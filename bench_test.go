@@ -1,0 +1,405 @@
+// Benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (§4), plus micro-benchmarks and policy
+// ablations. Run everything with
+//
+//	go test -bench=. -benchmem
+//
+// Each figure benchmark regenerates the figure's data and reports its
+// headline numbers as custom metrics; the first iteration prints the
+// full table (EXPERIMENTS.md records paper-vs-measured values).
+package dynacut_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/dynacut/dynacut"
+	"github.com/dynacut/dynacut/internal/experiments"
+)
+
+// printOnce emits a figure's rendering on the first iteration only.
+func printOnce(b *testing.B, i int, title, body string) {
+	b.Helper()
+	if i == 0 {
+		fmt.Printf("\n--- %s ---\n%s", title, body)
+	}
+}
+
+func BenchmarkFigure2_LivenessMap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Figure 2: basic-block liveness", experiments.FormatF2(rows))
+		for _, r := range rows {
+			if r.Program == "lighttpd" {
+				b.ReportMetric(float64(r.UnusedBlocks)/float64(r.TotalBlocks)*100, "lighttpd-unused-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure6_FeatureRemoval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Figure 6: feature-removal overhead", experiments.FormatF6(rows))
+		for _, r := range rows {
+			b.ReportMetric(float64(r.Total().Microseconds()), r.App+"-total-us")
+		}
+	}
+}
+
+func BenchmarkFigure7_InitRemoval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure7(!testing.Short())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Figure 7: init-code removal cost", experiments.FormatF7(rows))
+		for _, r := range rows {
+			if r.App == "600.perlbench_s" || r.App == "lighttpd" {
+				b.ReportMetric(float64(r.CodeUpdate.Microseconds()), r.App+"-update-us")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure8_ServiceInterruption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Figure 8: Redis-like throughput timeline", experiments.FormatF8(res))
+		if !res.ServerSurvived {
+			b.Fatal("server died during rewrites")
+		}
+	}
+}
+
+func BenchmarkFigure9_InitBlocks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure9(!testing.Short())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Figure 9: executed vs removed basic blocks", experiments.FormatF9(rows))
+		for _, r := range rows {
+			if r.App == "nginx" {
+				b.ReportMetric(r.RemovedPct*100, "nginx-removed-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure10_LiveBlocks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Figure 10: live basic blocks over time", experiments.FormatF10(res))
+		b.ReportMetric(res.MaxPct*100, "dynacut-max-live-%")
+		b.ReportMetric(res.RazorPct*100, "razor-live-%")
+		b.ReportMetric(res.ChiselPct*100, "chisel-live-%")
+	}
+}
+
+func BenchmarkTable1_CVEMitigation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Table 1: Redis CVE mitigation", experiments.FormatT1(rows))
+		mitigated := 0
+		for _, r := range rows {
+			if r.BlockedMitigated {
+				mitigated++
+			}
+		}
+		b.ReportMetric(float64(mitigated), "CVEs-mitigated")
+	}
+}
+
+func BenchmarkSecurity_PLTRemoval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SecurityPLT()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Security: executed-PLT removal (ret2plt)", experiments.FormatPLT(rows))
+		for _, r := range rows {
+			b.ReportMetric(float64(r.RemovedPLT), r.App+"-plt-removed")
+		}
+	}
+}
+
+func BenchmarkSecurity_SyscallSpecialization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SecuritySeccomp()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Security: temporal syscall specialization (§5)",
+			experiments.FormatSeccomp(res))
+		b.ReportMetric(float64(res.AllowedSyscalls), "allowed-syscalls")
+	}
+}
+
+func BenchmarkSecurity_BROP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SecurityBROP()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Security: BROP mitigation", experiments.FormatBROP(res))
+		b.ReportMetric(float64(res.VanillaRounds), "vanilla-rounds")
+		b.ReportMetric(float64(res.ProtectedRounds), "protected-rounds")
+	}
+}
+
+func BenchmarkAblation_TraceQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationTraceQuality()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Ablation: profiling-quality sensitivity (§5)",
+			experiments.FormatAblation(rows))
+		b.ReportMetric(float64(rows[0].FalseRemovals), "false-rm-smallest-profile")
+		b.ReportMetric(float64(rows[len(rows)-1].FalseRemovals), "false-rm-fullest-profile")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: removal-policy cost (DESIGN.md's policy trade-off)
+
+func benchmarkPolicy(b *testing.B, policy dynacut.Policy) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		app, err := dynacut.BuildWebServer(dynacut.WebServerConfig{Name: "lighttpd", Port: 8080, InitRoutines: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := dynacut.StartServer(app.Exe, []*dynacut.Binary{app.Libc}, app.Config.Port)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range experiments.WantedWeb {
+			if _, err := sess.Request(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		serving, err := sess.SnapshotPhase("serving")
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocks := dynacut.IdentifyInitBlocks(sess.InitGraph(), serving, app.Config.Name)
+		cust, err := dynacut.NewCustomizer(sess.Machine, sess.PID(), dynacut.CustomizerOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		stats, err := cust.DisableBlocks("init", blocks, policy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if i == 0 {
+			b.Logf("policy %v: %d blocks, %d pages unmapped, %v total",
+				policy, stats.BlocksPatched, stats.PagesUnmapped, stats.Total())
+		}
+	}
+}
+
+func BenchmarkAblation_PolicyBlockEntry(b *testing.B) { benchmarkPolicy(b, dynacut.PolicyBlockEntry) }
+func BenchmarkAblation_PolicyWipeBlocks(b *testing.B) { benchmarkPolicy(b, dynacut.PolicyWipeBlocks) }
+func BenchmarkAblation_PolicyUnmapPages(b *testing.B) { benchmarkPolicy(b, dynacut.PolicyUnmapPages) }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: the primitive costs behind the figures.
+
+func buildBenchSession(b *testing.B) *dynacut.Session {
+	b.Helper()
+	app, err := dynacut.BuildWebServer(dynacut.WebServerConfig{Name: "lighttpd", Port: 8080})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := dynacut.StartServer(app.Exe, []*dynacut.Binary{app.Libc}, app.Config.Port)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sess
+}
+
+func BenchmarkMicro_CheckpointDump(b *testing.B) {
+	sess := buildBenchSession(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dynacut.Dump(sess.Machine, sess.PID(), dynacut.DumpOpts{ExecPages: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_DumpRestoreCycle(b *testing.B) {
+	sess := buildBenchSession(b)
+	pid := sess.PID()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, err := dynacut.Dump(sess.Machine, pid, dynacut.DumpOpts{ExecPages: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.Machine.Kill(pid); err != nil {
+			b.Fatal(err)
+		}
+		procs, _, err := dynacut.Restore(sess.Machine, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pid = procs[0].PID()
+	}
+}
+
+func BenchmarkMicro_ImageMarshal(b *testing.B) {
+	sess := buildBenchSession(b)
+	set, err := dynacut.Dump(sess.Machine, sess.PID(), dynacut.DumpOpts{ExecPages: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob := set.Marshal()
+		if len(blob) == 0 {
+			b.Fatal("empty blob")
+		}
+	}
+}
+
+func BenchmarkMicro_GuestRequest(b *testing.B) {
+	sess := buildBenchSession(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := sess.Request("GET /\n")
+		if err != nil || !strings.Contains(resp, "200") {
+			b.Fatalf("resp=%q err=%v", resp, err)
+		}
+	}
+}
+
+func BenchmarkMicro_StaticCFG(b *testing.B) {
+	app, err := dynacut.BuildWebServer(dynacut.WebServerConfig{Name: "lighttpd", Port: 8080})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := dynacut.AnalyzeCFG(app.Exe)
+		if cfg.Count() == 0 {
+			b.Fatal("empty CFG")
+		}
+	}
+}
+
+func BenchmarkMicro_TraceDiff(b *testing.B) {
+	sess := buildBenchSession(b)
+	for _, r := range experiments.WantedWeb {
+		if _, err := sess.Request(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wanted, err := sess.SnapshotPhase("wanted")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range experiments.UndesiredWeb {
+		if _, err := sess.Request(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	undesired, err := sess.SnapshotPhase("undesired")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := dynacut.DiffGraphs(undesired, wanted)
+		if d.Count() == 0 {
+			b.Fatal("empty diff")
+		}
+	}
+}
+
+// BenchmarkMicro_BootFromScratch vs BenchmarkMicro_RestoreCustomized
+// quantify the paper's §4.1 footnote: resuming a customized process
+// image is faster than booting through the whole initialization
+// sequence again.
+func BenchmarkMicro_BootFromScratch(b *testing.B) {
+	app, err := dynacut.BuildWebServer(dynacut.WebServerConfig{
+		Name: "lighttpd", Port: 8080, InitRoutines: 128,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dynacut.StartServer(app.Exe, []*dynacut.Binary{app.Libc}, app.Config.Port); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_RestoreCustomized(b *testing.B) {
+	app, err := dynacut.BuildWebServer(dynacut.WebServerConfig{
+		Name: "lighttpd", Port: 8080, InitRoutines: 128,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := dynacut.StartServer(app.Exe, []*dynacut.Binary{app.Libc}, app.Config.Port)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := dynacut.Dump(sess.Machine, sess.PID(), dynacut.DumpOpts{ExecPages: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob := set.Marshal()
+	binaries := map[string][]byte{}
+	for _, name := range []string{app.Exe.Name, app.Libc.Name} {
+		data, err := sess.Machine.ReadFile(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		binaries[name] = data
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := dynacut.NewMachine()
+		for name, data := range binaries {
+			m.WriteFile(name, data)
+		}
+		shipped, err := dynacut.UnmarshalImages(blob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := dynacut.Restore(m, shipped); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_BuildWebServer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := dynacut.BuildWebServer(dynacut.WebServerConfig{Name: "lighttpd", Port: 8080}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"github.com/dynacut/dynacut"
+)
+
+// writeImages dumps a booted kvstore into a temp image file.
+func writeImages(t *testing.T) (string, int) {
+	t.Helper()
+	app, err := dynacut.BuildKVStore(dynacut.KVStoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := dynacut.StartServer(app.Exe, []*dynacut.Binary{app.Libc}, app.Config.Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := dynacut.Dump(sess.Machine, sess.PID(), dynacut.DumpOpts{ExecPages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "images.img")
+	if err := os.WriteFile(path, set.Marshal(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, set.PIDs[0]
+}
+
+func TestCritShowAndX(t *testing.T) {
+	path, pid := writeImages(t)
+	if err := run([]string{"show", path}); err != nil {
+		t.Fatalf("show: %v", err)
+	}
+	if err := run([]string{"show", path, strconv.Itoa(pid)}); err != nil {
+		t.Fatalf("show pid: %v", err)
+	}
+	if err := run([]string{"x", path, "mems"}); err != nil {
+		t.Fatalf("x mems: %v", err)
+	}
+	if err := run([]string{"x", path, "files"}); err != nil {
+		t.Fatalf("x files: %v", err)
+	}
+	if err := run([]string{"x", path, "wat"}); err == nil {
+		t.Fatal("unknown x target accepted")
+	}
+}
+
+func TestCritDecode(t *testing.T) {
+	path, pid := writeImages(t)
+	outDir := filepath.Join(t.TempDir(), "decoded")
+	if err := run([]string{"decode", path, strconv.Itoa(pid), outDir}); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for _, name := range []string{"core", "mm"} {
+		p := filepath.Join(outDir, name+"-"+strconv.Itoa(pid)+".json")
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s empty", p)
+		}
+	}
+}
+
+func TestCritErrors(t *testing.T) {
+	path, _ := writeImages(t)
+	for _, args := range [][]string{
+		nil,
+		{"show"},
+		{"show", "/nonexistent.img"},
+		{"frob", path},
+		{"decode", path},
+		{"decode", path, "notanumber", "out"},
+		{"show", path, "999"}, // unknown pid
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+	// Corrupt image file.
+	bad := filepath.Join(t.TempDir(), "bad.img")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"show", bad}); err == nil {
+		t.Error("garbage image accepted")
+	}
+}
+
+func TestCritDisasm(t *testing.T) {
+	path, pid := writeImages(t)
+	if err := run([]string{"disasm", path, strconv.Itoa(pid)}); err != nil {
+		t.Fatalf("disasm: %v", err)
+	}
+	if err := run([]string{"disasm", path}); err != nil {
+		t.Fatalf("disasm default pid: %v", err)
+	}
+}

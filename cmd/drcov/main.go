@@ -1,0 +1,138 @@
+// Command drcov runs a guest application under the basic-block
+// coverage tracer and writes drcov-style logs, including the
+// nudge-split initialization-phase log the paper's extension adds.
+//
+// Usage:
+//
+//	drcov -app lighttpd -o serving.cov -init init.cov -requests "GET /;PUT /f x"
+//	drcov -app 605.mcf_s -o full.cov -init init.cov
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/dynacut/dynacut"
+	"github.com/dynacut/dynacut/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "drcov:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("drcov", flag.ContinueOnError)
+	appName := fs.String("app", "lighttpd", "guest: lighttpd, nginx, kvstore, or a SPEC profile name")
+	out := fs.String("o", "coverage.cov", "output log (post-init coverage)")
+	initOut := fs.String("init", "", "optional output log for init-phase coverage")
+	requests := fs.String("requests", "GET /", "';'-separated requests to drive (servers only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// SPEC profile?
+	for _, prof := range dynacut.SpecProfiles() {
+		if prof.Name == *appName {
+			return traceSpec(prof, *out, *initOut)
+		}
+	}
+	return traceServer(*appName, *out, *initOut, strings.Split(*requests, ";"))
+}
+
+func traceServer(name, out, initOut string, reqs []string) error {
+	var (
+		exe  *dynacut.Binary
+		libs []*dynacut.Binary
+		port uint16
+	)
+	switch name {
+	case "lighttpd", "nginx":
+		workers := 0
+		if name == "nginx" {
+			workers = 1
+		}
+		app, err := dynacut.BuildWebServer(dynacut.WebServerConfig{Name: name, Port: 8080, Workers: workers})
+		if err != nil {
+			return err
+		}
+		exe, libs, port = app.Exe, []*dynacut.Binary{app.Libc}, app.Config.Port
+	case "kvstore":
+		app, err := dynacut.BuildKVStore(dynacut.KVStoreConfig{})
+		if err != nil {
+			return err
+		}
+		exe, libs, port = app.Exe, []*dynacut.Binary{app.Libc}, app.Config.Port
+	default:
+		return fmt.Errorf("unknown app %q", name)
+	}
+	sess, err := dynacut.StartServer(exe, libs, port)
+	if err != nil {
+		return err
+	}
+	if initOut != "" {
+		if err := os.WriteFile(initOut, sess.InitLog.Marshal(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote init coverage (%d blocks) to %s\n", len(sess.InitLog.Blocks), initOut)
+	}
+	for _, r := range reqs {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			continue
+		}
+		if _, err := sess.Request(r + "\n"); err != nil {
+			return fmt.Errorf("request %q: %w", r, err)
+		}
+	}
+	root, err := sess.Root()
+	if err != nil {
+		return err
+	}
+	log := sess.Collector.Snapshot(root.Modules(), "serving")
+	if err := os.WriteFile(out, log.Marshal(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote serving coverage (%d blocks) to %s\n", len(log.Blocks), out)
+	return nil
+}
+
+func traceSpec(prof dynacut.SpecProfile, out, initOut string) error {
+	app, err := dynacut.BuildSpec(prof)
+	if err != nil {
+		return err
+	}
+	m := dynacut.NewMachine()
+	col := trace.NewCollector(prof.Name)
+	m.SetTracer(col)
+	p, err := m.Load(app.Exe, app.Libc)
+	if err != nil {
+		return err
+	}
+	var initLog *dynacut.CoverageLog
+	m.SetNudgeFunc(func(pid int, arg uint64) {
+		if initLog == nil {
+			initLog = col.SnapshotAndReset(p.Modules(), "init")
+		}
+	})
+	m.Run(2_000_000_000)
+	if !p.Exited() {
+		return fmt.Errorf("%s did not finish", prof.Name)
+	}
+	if initOut != "" && initLog != nil {
+		if err := os.WriteFile(initOut, initLog.Marshal(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote init coverage (%d blocks) to %s\n", len(initLog.Blocks), initOut)
+	}
+	log := col.Snapshot(p.Modules(), "serving")
+	if err := os.WriteFile(out, log.Marshal(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote serving coverage (%d blocks) to %s\n", len(log.Blocks), out)
+	return nil
+}

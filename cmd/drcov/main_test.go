@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/trace"
+)
+
+func TestDrcovServerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "serving.cov")
+	initOut := filepath.Join(dir, "init.cov")
+	err := run([]string{
+		"-app", "lighttpd", "-o", out, "-init", initOut,
+		"-requests", "GET /;PUT /f data;DELETE /f",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, path := range []string{out, initOut} {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log, err := trace.Parse(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(log.Blocks) == 0 || len(log.Modules) == 0 {
+			t.Fatalf("%s: empty log", path)
+		}
+		if !strings.Contains(log.Program, "lighttpd") {
+			t.Errorf("%s: program = %q", path, log.Program)
+		}
+	}
+}
+
+func TestDrcovSpecProfile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "mcf.cov")
+	initOut := filepath.Join(dir, "mcf-init.cov")
+	if err := run([]string{"-app", "605.mcf_s", "-o", out, "-init", initOut}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(initOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	log, err := trace.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Phase != "init" {
+		t.Errorf("phase = %q", log.Phase)
+	}
+}
+
+func TestDrcovUnknownApp(t *testing.T) {
+	if err := run([]string{"-app", "doom"}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

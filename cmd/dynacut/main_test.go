@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		nil,
+		{"frobnicate"},
+		{"report"},
+		{"report", "figure99"},
+		{"dump", "-app", "nosuch"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+func TestDemo(t *testing.T) {
+	if err := demo(); err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+}
+
+func TestDumpWritesImages(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "images.img")
+	if err := run([]string{"dump", "-app", "kvstore", "-o", out}); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	st, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Fatal("empty image file")
+	}
+}
+
+func TestReportSingleFigure(t *testing.T) {
+	// figure6 is one of the fastest full reports.
+	if err := run([]string{"report", "figure6"}); err != nil {
+		t.Fatalf("report figure6: %v", err)
+	}
+}
+
+func TestReportFastReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"figure10", "table1", "seccomp", "ablation"} {
+		if err := run([]string{"report", name}); err != nil {
+			t.Fatalf("report %s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command tracediff is the paper's tracediff.py (Figure 4): given
+// coverage logs of undesired and wanted executions, it prints the
+// basic blocks unique to the undesired features, filtering out
+// library blocks.
+//
+// Usage:
+//
+//	tracediff -undesired put.cov -wanted get.cov [-keep-libs]
+//	tracediff -undesired init.cov -wanted serving.cov   # init-only blocks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/dynacut/dynacut/internal/coverage"
+	"github.com/dynacut/dynacut/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracediff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracediff", flag.ContinueOnError)
+	undesiredPath := fs.String("undesired", "", "coverage log of undesired executions")
+	wantedPaths := fs.String("wanted", "", "','-separated coverage logs of wanted executions (merged)")
+	keepLibs := fs.Bool("keep-libs", false, "keep blocks from shared libraries in the diff")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *undesiredPath == "" || *wantedPaths == "" {
+		return fmt.Errorf("usage: tracediff -undesired <log> -wanted <log>[,<log>...]")
+	}
+
+	undesired, err := loadGraph(*undesiredPath)
+	if err != nil {
+		return err
+	}
+	wanted := coverage.NewGraph()
+	for _, p := range strings.Split(*wantedPaths, ",") {
+		g, err := loadGraph(strings.TrimSpace(p))
+		if err != nil {
+			return err
+		}
+		wanted = coverage.Merge(wanted, g)
+	}
+
+	diff := coverage.Diff(undesired, wanted)
+	if !*keepLibs {
+		diff = diff.FilterModules(func(m string) bool {
+			return m != "" && !strings.HasSuffix(m, ".so")
+		})
+	}
+	blocks := diff.Blocks()
+	fmt.Printf("# %d basic blocks unique to %s\n", len(blocks), *undesiredPath)
+	fmt.Printf("# module, offset, size, absolute\n")
+	for _, b := range blocks {
+		abs := "-"
+		if base, ok := diff.ModuleBase(b.Module); ok {
+			abs = fmt.Sprintf("0x%x", base+b.Off)
+		}
+		fmt.Printf("%s, 0x%x, %d, %s\n", b.Module, b.Off, b.Size, abs)
+	}
+	return nil
+}
+
+func loadGraph(path string) (*coverage.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	log, err := trace.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return coverage.FromLog(log), nil
+}

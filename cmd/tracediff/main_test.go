@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/kernel"
+	"github.com/dynacut/dynacut/internal/trace"
+)
+
+func writeLog(t *testing.T, dir, name string, blocks ...trace.RawBlock) string {
+	t.Helper()
+	col := trace.NewCollector("prog")
+	for _, b := range blocks {
+		col.OnBlock(1, b.Addr, b.Size)
+	}
+	log := col.Snapshot([]kernel.Module{
+		{Name: "prog", Lo: 0x400000, Hi: 0x500000},
+		{Name: "libc.so", Lo: 0x10000000, Hi: 0x10100000},
+	}, "test")
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, log.Marshal(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTracediffRun(t *testing.T) {
+	dir := t.TempDir()
+	wanted := writeLog(t, dir, "wanted.cov",
+		trace.RawBlock{Addr: 0x400010, Size: 5},
+		trace.RawBlock{Addr: 0x10000010, Size: 5})
+	undesired := writeLog(t, dir, "undesired.cov",
+		trace.RawBlock{Addr: 0x400010, Size: 5},
+		trace.RawBlock{Addr: 0x400020, Size: 5},   // unique
+		trace.RawBlock{Addr: 0x10000020, Size: 5}) // library: filtered
+
+	if err := run([]string{"-undesired", undesired, "-wanted", wanted}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestTracediffMissingArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("run without args succeeded")
+	}
+}
+
+func TestTracediffBadFile(t *testing.T) {
+	dir := t.TempDir()
+	bogus := filepath.Join(dir, "bogus.cov")
+	if err := os.WriteFile(bogus, []byte("not a log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-undesired", bogus, "-wanted", bogus}); err == nil {
+		t.Fatal("bogus log accepted")
+	}
+}

@@ -1,0 +1,245 @@
+// Package dynacut is the public API of DynaCut-Go, a reproduction of
+// "DynaCut: A Framework for Dynamic and Adaptive Program
+// Customization" (Middleware 2023) as a self-contained simulation:
+// guest programs compiled for a virtual ISA run on a userspace
+// kernel, and DynaCut customizes them at run time by checkpointing
+// (CRIU-style), rewriting the frozen process images (INT3 blocking,
+// block wiping, page unmapping, signal-handler injection), and
+// restoring them with live TCP connections intact.
+//
+// The typical workflow:
+//
+//	app, _ := dynacut.BuildWebServer(dynacut.WebServerConfig{Port: 8080})
+//	sess, _ := dynacut.StartServer(app.Exe, []*dynacut.Binary{app.Libc}, 8080)
+//	sess.Request("GET /\n")                       // wanted traffic
+//	wanted := sess.SnapshotPhase("wanted")
+//	sess.Request("PUT /f data\n")                 // undesired traffic
+//	undesired := sess.SnapshotPhase("undesired")
+//	blocks := dynacut.IdentifyFeatureBlocks(undesired, wanted, app.Exe.Name)
+//
+//	cust, _ := dynacut.NewCustomizer(sess.Machine, sess.PID(), dynacut.CustomizerOptions{
+//	    RedirectTo: errHandlerAddr,
+//	})
+//	cust.DisableBlocks("webdav", blocks, dynacut.PolicyBlockEntry)
+//	// ... later, when the scenario changes:
+//	cust.EnableBlocks("webdav")
+package dynacut
+
+import (
+	"github.com/dynacut/dynacut/internal/apps/kvstore"
+	applibc "github.com/dynacut/dynacut/internal/apps/libc"
+	"github.com/dynacut/dynacut/internal/apps/specgen"
+	"github.com/dynacut/dynacut/internal/apps/webserv"
+	"github.com/dynacut/dynacut/internal/asm"
+	"github.com/dynacut/dynacut/internal/baseline"
+	"github.com/dynacut/dynacut/internal/core"
+	"github.com/dynacut/dynacut/internal/coverage"
+	"github.com/dynacut/dynacut/internal/criu"
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/delf/link"
+	"github.com/dynacut/dynacut/internal/disasm"
+	"github.com/dynacut/dynacut/internal/kernel"
+	"github.com/dynacut/dynacut/internal/trace"
+)
+
+// Re-exported types. The implementation lives under internal/; these
+// aliases form the supported public surface.
+type (
+	// Machine is the simulated computer hosting guest processes.
+	Machine = kernel.Machine
+	// Process is one guest process.
+	Process = kernel.Process
+	// HostConn is a host-side client connection into a guest server.
+	HostConn = kernel.HostConn
+	// Module describes one binary mapped into a process.
+	Module = kernel.Module
+	// Signal is a guest signal number.
+	Signal = kernel.Signal
+
+	// Binary is a DELF executable or shared library.
+	Binary = delf.File
+
+	// Customizer applies DynaCut's dynamic customization to a guest.
+	Customizer = core.Customizer
+	// CustomizerOptions configures a Customizer.
+	CustomizerOptions = core.Options
+	// Policy selects how undesired code is removed.
+	Policy = core.Policy
+	// RewriteStats reports the cost of one rewrite cycle.
+	RewriteStats = core.Stats
+	// Handler is the injected SIGTRAP handler's in-guest state.
+	Handler = core.Handler
+
+	// Graph is a code-coverage graph.
+	Graph = coverage.Graph
+	// AbsBlock is a basic block at an absolute guest address.
+	AbsBlock = coverage.AbsBlock
+	// Collector gathers drcov-style coverage.
+	Collector = trace.Collector
+	// CoverageLog is one serializable coverage log.
+	CoverageLog = trace.Log
+
+	// ImageSet is a CRIU-style checkpoint of a process tree.
+	ImageSet = criu.ImageSet
+	// DumpOpts controls checkpointing.
+	DumpOpts = criu.DumpOpts
+
+	// CFG is a static control-flow graph.
+	CFG = disasm.CFG
+
+	// WebServerConfig shapes the web-server guest.
+	WebServerConfig = webserv.Config
+	// WebServerApp is a built web-server guest.
+	WebServerApp = webserv.App
+	// KVStoreConfig shapes the key-value store guest.
+	KVStoreConfig = kvstore.Config
+	// KVStoreApp is a built key-value store guest.
+	KVStoreApp = kvstore.App
+	// SpecProfile shapes a synthetic SPEC-like benchmark guest.
+	SpecProfile = specgen.Profile
+	// SpecApp is a built benchmark guest.
+	SpecApp = specgen.App
+
+	// DebloatResult is the outcome of a static baseline debloater.
+	DebloatResult = baseline.Result
+
+	// AutoNudge detects the end of initialization automatically by
+	// syscall monitoring (the paper's §5 future-work item).
+	AutoNudge = core.AutoNudge
+)
+
+// Removal policies (§3.2.2), cheapest to strongest.
+const (
+	PolicyBlockEntry = core.PolicyBlockEntry
+	PolicyWipeBlocks = core.PolicyWipeBlocks
+	PolicyUnmapPages = core.PolicyUnmapPages
+)
+
+// Signals.
+const (
+	SIGTRAP = kernel.SIGTRAP
+	SIGSEGV = kernel.SIGSEGV
+	SIGSYS  = kernel.SIGSYS
+)
+
+// NewMachine creates an empty simulated machine.
+func NewMachine() *Machine { return kernel.NewMachine() }
+
+// NewCustomizer wraps the guest process rooted at pid.
+func NewCustomizer(m *Machine, pid int, opts CustomizerOptions) (*Customizer, error) {
+	return core.New(m, pid, opts)
+}
+
+// DefaultInitEndSyscall is the accept(2) analogue used by AutoNudge
+// as the canonical init/serving boundary for servers.
+const DefaultInitEndSyscall = core.DefaultInitEndSyscall
+
+// ServingSyscalls returns the post-initialization syscall allow list
+// for servers (request handling only), for use with
+// Customizer.RestrictSyscalls — the paper's §5 temporal seccomp
+// specialization built on process rewriting.
+func ServingSyscalls() []uint64 { return append([]uint64(nil), core.ServingSyscalls...) }
+
+// MasterSyscalls returns the allow list for a supervising master
+// process.
+func MasterSyscalls() []uint64 { return append([]uint64(nil), core.MasterSyscalls...) }
+
+// NewAutoNudge arms automatic init-end detection: onInit fires once
+// when the guest first issues the trigger syscall.
+func NewAutoNudge(m *Machine, trigger uint64, onInit func(pid int)) *AutoNudge {
+	return core.NewAutoNudge(m, trigger, onInit)
+}
+
+// BuildLibc builds the shared C-library guest binary.
+func BuildLibc() (*Binary, error) { return applibc.Build() }
+
+// BuildWebServer builds the Lighttpd/Nginx-like guest.
+func BuildWebServer(cfg WebServerConfig) (*WebServerApp, error) { return webserv.Build(cfg) }
+
+// BuildKVStore builds the Redis-like guest.
+func BuildKVStore(cfg KVStoreConfig) (*KVStoreApp, error) { return kvstore.Build(cfg) }
+
+// BuildSpec builds a synthetic SPEC-like benchmark guest.
+func BuildSpec(p SpecProfile) (*SpecApp, error) { return specgen.Build(p) }
+
+// SpecProfiles returns the built-in benchmark profiles (the paper's
+// seven SPEC INTSpeed C/C++ programs at 1:10 scale).
+func SpecProfiles() []SpecProfile { return append([]SpecProfile(nil), specgen.Profiles...) }
+
+// Assemble builds an executable from assembly source, linked against
+// the given shared libraries.
+func Assemble(name, src string, libs ...*Binary) (*Binary, error) {
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	return link.Executable(name, []*asm.Object{obj}, libs...)
+}
+
+// AssembleLibrary builds a position-independent shared library from
+// assembly source.
+func AssembleLibrary(name, src string) (*Binary, error) {
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	return link.Library(name, []*asm.Object{obj})
+}
+
+// Dump checkpoints a process (tree) into CRIU-style images.
+func Dump(m *Machine, pid int, opts DumpOpts) (*ImageSet, error) {
+	return criu.Dump(m, pid, opts)
+}
+
+// Restore materializes an image set into fresh processes.
+func Restore(m *Machine, set *ImageSet) ([]*Process, map[int]int, error) {
+	return criu.Restore(m, set)
+}
+
+// UnmarshalImages decodes a serialized image-set blob (the inverse of
+// ImageSet.Marshal), e.g. images shipped between machines.
+func UnmarshalImages(blob []byte) (*ImageSet, error) {
+	return criu.Unmarshal(blob)
+}
+
+// AnalyzeCFG statically enumerates a binary's basic blocks (the
+// paper's Angr role).
+func AnalyzeCFG(b *Binary) *CFG { return disasm.Analyze(b) }
+
+// IdentifyFeatureBlocks diffs undesired-request coverage against
+// wanted-request coverage (§3.1).
+func IdentifyFeatureBlocks(undesired, wanted *Graph, program string) []AbsBlock {
+	return core.IdentifyFeatureBlocks(undesired, wanted, program)
+}
+
+// IdentifyInitBlocks diffs initialization coverage against serving
+// coverage (§3.1).
+func IdentifyInitBlocks(initPhase, serving *Graph, program string) []AbsBlock {
+	return core.IdentifyInitBlocks(initPhase, serving, program)
+}
+
+// IdentifyUnexecutedBlocks lists static blocks no trace covered.
+func IdentifyUnexecutedBlocks(cfg *CFG, executed *Graph, program string) []AbsBlock {
+	return core.IdentifyUnexecutedBlocks(cfg, executed, program)
+}
+
+// RazorDebloat statically debloats a binary the way RAZOR does
+// (traced blocks plus related-code heuristics).
+func RazorDebloat(exe *Binary, traces *Graph) (*DebloatResult, error) {
+	return baseline.Razor(exe, traces)
+}
+
+// ChiselDebloat statically debloats a binary the way CHISEL does
+// (exactly the traced blocks).
+func ChiselDebloat(exe *Binary, traces *Graph) (*DebloatResult, error) {
+	return baseline.Chisel(exe, traces)
+}
+
+// GraphFromLog builds a coverage graph from one log.
+func GraphFromLog(l *CoverageLog) *Graph { return coverage.FromLog(l) }
+
+// MergeGraphs unions coverage graphs.
+func MergeGraphs(gs ...*Graph) *Graph { return coverage.Merge(gs...) }
+
+// DiffGraphs returns blocks in a absent from b.
+func DiffGraphs(a, b *Graph) *Graph { return coverage.Diff(a, b) }

@@ -1,0 +1,106 @@
+package dynacut_test
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dynacut/dynacut"
+)
+
+// Example demonstrates the full DynaCut workflow on the web-server
+// guest: profile, disable a feature, observe the redirect, re-enable.
+func Example() {
+	app, err := dynacut.BuildWebServer(dynacut.WebServerConfig{Name: "lighttpd", Port: 8080})
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	sess, err := dynacut.StartServer(app.Exe, []*dynacut.Binary{app.Libc}, app.Config.Port)
+	if err != nil {
+		fmt.Println("start:", err)
+		return
+	}
+	blocks, err := sess.ProfileFeatures(
+		[]string{"GET /\n", "HEAD /\n", "POST /\n"},
+		[]string{"PUT /f x\n", "DELETE /f\n"},
+	)
+	if err != nil {
+		fmt.Println("profile:", err)
+		return
+	}
+	errAddr, _ := sess.SymbolAddr("resp_403")
+	cust, err := dynacut.NewCustomizer(sess.Machine, sess.PID(),
+		dynacut.CustomizerOptions{RedirectTo: errAddr})
+	if err != nil {
+		fmt.Println("customizer:", err)
+		return
+	}
+	if _, err := cust.DisableBlocks("webdav", blocks, dynacut.PolicyBlockEntry); err != nil {
+		fmt.Println("disable:", err)
+		return
+	}
+	fmt.Println("PUT  ->", strings.TrimSpace(sess.MustRequest("PUT /f data\n")))
+	fmt.Println("GET  ->", strings.TrimSpace(sess.MustRequest("GET /\n")))
+	if _, err := cust.EnableBlocks("webdav"); err != nil {
+		fmt.Println("enable:", err)
+		return
+	}
+	fmt.Println("PUT  ->", strings.TrimSpace(sess.MustRequest("PUT /f data\n")))
+	// Output:
+	// PUT  -> 403 Forbidden
+	// GET  -> 200 OK
+	// PUT  -> 201 Created
+}
+
+// ExampleAssemble shows running a hand-written guest program.
+func ExampleAssemble() {
+	exe, err := dynacut.Assemble("hello", `
+.text
+.global _start
+_start:
+	lea r2, msg
+	mov r0, 2       ; write
+	mov r1, 1       ; stdout
+	mov r3, 14
+	syscall
+	mov r0, 1       ; exit
+	mov r1, 0
+	syscall
+.rodata
+msg: .ascii "hello, guest!\n"
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m := dynacut.NewMachine()
+	p, err := m.Load(exe)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m.Run(1000)
+	fmt.Print(string(p.Stdout()))
+	// Output:
+	// hello, guest!
+}
+
+// ExampleCustomizer_RestrictSyscalls shows temporal syscall
+// specialization: post-initialization, a server only needs its
+// request-serving syscalls.
+func ExampleCustomizer_RestrictSyscalls() {
+	app, _ := dynacut.BuildWebServer(dynacut.WebServerConfig{Name: "lighttpd", Port: 8080})
+	sess, err := dynacut.StartServer(app.Exe, []*dynacut.Binary{app.Libc}, app.Config.Port)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cust, _ := dynacut.NewCustomizer(sess.Machine, sess.PID(), dynacut.CustomizerOptions{})
+	if _, err := cust.RestrictSyscalls(dynacut.ServingSyscalls()); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("GET ->", strings.TrimSpace(sess.MustRequest("GET /\n")))
+	// Output:
+	// GET -> 200 OK
+}

@@ -1,0 +1,133 @@
+// Phases example: Figure 10 in miniature. It walks the Lighttpd-like
+// server through its lifecycle — vanilla boot, deployment (unused
+// code and write features removed), post-initialization (init-only
+// code removed), a short PUT/DELETE administration window, and back —
+// and prints the fraction of basic blocks still "live" (reachable by
+// an attacker) at each step, compared with static RAZOR- and
+// CHISEL-style debloating, whose live fraction never changes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/dynacut/dynacut"
+)
+
+var (
+	wanted    = []string{"GET /\n", "HEAD /\n", "OPTIONS /\n", "POST /\n", "MKCOL /d\n", "BREW /\n"}
+	undesired = []string{"PUT /f x\n", "DELETE /f\n"}
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	app, err := dynacut.BuildWebServer(dynacut.WebServerConfig{
+		Name: "lighttpd", Port: 8080, InitRoutines: 24,
+	})
+	if err != nil {
+		return err
+	}
+	sess, err := dynacut.StartServer(app.Exe, []*dynacut.Binary{app.Libc}, app.Config.Port)
+	if err != nil {
+		return err
+	}
+
+	// Profile everything once. The trailing PUT→GET→DELETE cycle
+	// covers the "serve stored content" path, which only executes
+	// after something has been uploaded — trace-based debloating
+	// keeps exactly what the profile exercises (§5's caveat).
+	profile := append(append([]string{}, wanted...), undesired...)
+	profile = append(profile, "PUT /f seed\n", "GET /f\n", "DELETE /f\n")
+	for _, r := range profile {
+		if _, err := sess.Request(r); err != nil {
+			return err
+		}
+	}
+	serving, err := sess.SnapshotPhase("serving")
+	if err != nil {
+		return err
+	}
+	initG := sess.InitGraph()
+	full := dynacut.MergeGraphs(initG, serving)
+	cfg := dynacut.AnalyzeCFG(app.Exe)
+	total := float64(cfg.Count())
+
+	// Static baselines: constant live fractions.
+	razor, err := dynacut.RazorDebloat(app.Exe, full)
+	if err != nil {
+		return err
+	}
+	chisel, err := dynacut.ChiselDebloat(app.Exe, full)
+	if err != nil {
+		return err
+	}
+
+	unexec := dynacut.IdentifyUnexecutedBlocks(cfg, full, app.Config.Name)
+	initOnly := dynacut.IdentifyInitBlocks(initG, serving, app.Config.Name)
+	writeBlocks, err := sess.ProfileFeatures(wanted, undesired)
+	if err != nil {
+		return err
+	}
+
+	errAddr, err := sess.SymbolAddr("resp_403")
+	if err != nil {
+		return err
+	}
+	cust, err := dynacut.NewCustomizer(sess.Machine, sess.PID(), dynacut.CustomizerOptions{
+		RedirectTo: errAddr,
+	})
+	if err != nil {
+		return err
+	}
+
+	bar := func(pct float64) string {
+		n := int(pct * 40)
+		return strings.Repeat("#", n) + strings.Repeat(".", 40-n)
+	}
+	report := func(phase string) {
+		live := (total - float64(cust.DisabledBlockCount())) / total
+		fmt.Printf("%-24s |%s| %5.1f%% live\n", phase, bar(live), live*100)
+	}
+
+	fmt.Printf("lighttpd: %d static basic blocks\n", cfg.Count())
+	fmt.Printf("%-24s |%s| %5.1f%% live (constant)\n", "RAZOR (static)", bar(razor.LiveFraction()), razor.LiveFraction()*100)
+	fmt.Printf("%-24s |%s| %5.1f%% live (constant)\n\n", "CHISEL (static)", bar(chisel.LiveFraction()), chisel.LiveFraction()*100)
+
+	report("boot (vanilla)")
+	if _, err := cust.DisableBlocks("unexecuted", unexec, dynacut.PolicyBlockEntry); err != nil {
+		return err
+	}
+	if _, err := cust.DisableBlocks("write-methods", writeBlocks, dynacut.PolicyBlockEntry); err != nil {
+		return err
+	}
+	report("deployed read-only")
+	if _, err := cust.DisableBlocks("init-code", initOnly, dynacut.PolicyBlockEntry); err != nil {
+		return err
+	}
+	report("init code removed")
+
+	if _, err := cust.EnableBlocks("write-methods"); err != nil {
+		return err
+	}
+	report("PUT/DELETE window open")
+	if resp := sess.MustRequest("PUT /f admin-upload\n"); !strings.Contains(resp, "201") {
+		return fmt.Errorf("admin upload failed: %q", resp)
+	}
+	fmt.Println("    (admin uploaded /f during the window)")
+	if _, err := cust.DisableBlocks("write-methods", writeBlocks, dynacut.PolicyBlockEntry); err != nil {
+		return err
+	}
+	report("window closed")
+
+	if resp := sess.MustRequest("GET /f\n"); !strings.Contains(resp, "admin-upload") {
+		return fmt.Errorf("uploaded file lost: %q", resp)
+	}
+	fmt.Println("\nthe uploaded file is still served; write paths are dark again.")
+	return nil
+}

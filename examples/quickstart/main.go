@@ -1,0 +1,128 @@
+// Quickstart: assemble a tiny guest with two features, run it on the
+// simulated kernel, block one feature at run time with a single INT3
+// byte through the checkpoint→rewrite→restore cycle, and watch the
+// injected SIGTRAP handler redirect the blocked path to the program's
+// own error handler.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/dynacut/dynacut"
+)
+
+// The guest: polls a request word, dispatches to feature A or B, and
+// has a shared error path — the minimal shape DynaCut needs.
+const guestSrc = `
+.text
+.global _start
+_start:
+	mov r8, =request
+spin:
+	load r1, [r8]
+	cmp r1, 0
+	je spin
+	cmp r1, 1
+	je feature_a
+	cmp r1, 2
+	je feature_b
+	jmp error_path
+feature_a:
+	mov r2, 100
+	jmp done
+feature_b:
+	mov r2, 200
+	jmp done
+error_path:
+	mov r2, 255
+done:
+	mov r9, =result
+	store [r9], r2
+	mov r9, =request     ; consume the request and poll again
+	mov r1, 0
+	store [r9], r1
+	jmp spin
+.data
+request: .quad 0
+result: .quad 0
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	exe, err := dynacut.Assemble("guest", guestSrc)
+	if err != nil {
+		return err
+	}
+	m := dynacut.NewMachine()
+	p, err := m.Load(exe)
+	if err != nil {
+		return err
+	}
+	m.Run(1000) // guest spins waiting for requests
+
+	reqAddr, _ := exe.Symbol("request")
+	resAddr, _ := exe.Symbol("result")
+	featA, _ := exe.Symbol("feature_a")
+	errPath, _ := exe.Symbol("error_path")
+
+	// send pokes a request into guest memory and returns the result.
+	send := func(req uint64) (uint64, error) {
+		proc := m.Processes()[0]
+		if err := proc.Mem().WriteU64(reqAddr.Value, req); err != nil {
+			return 0, err
+		}
+		m.Run(10_000)
+		return proc.Mem().ReadU64(resAddr.Value)
+	}
+
+	r, err := send(1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("feature A before customization: result = %d\n", r)
+
+	// Block feature A: one INT3 byte on its first basic block,
+	// applied to the frozen checkpoint images, with unexpected
+	// accesses redirected to the guest's own error path.
+	cust, err := dynacut.NewCustomizer(m, p.PID(), dynacut.CustomizerOptions{
+		RedirectTo: errPath.Value,
+	})
+	if err != nil {
+		return err
+	}
+	stats, err := cust.DisableBlocks("feature-a",
+		[]dynacut.AbsBlock{{Addr: featA.Value, Size: featA.Size}},
+		dynacut.PolicyBlockEntry)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rewrote process in %v (%d block patched)\n", stats.Total(), stats.BlocksPatched)
+
+	r, err = send(1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("feature A while blocked: result = %d (error path)\n", r)
+	r, err = send(2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("feature B unaffected: result = %d\n", r)
+
+	// The change is reversible: re-enable and call A again.
+	if _, err := cust.EnableBlocks("feature-a"); err != nil {
+		return err
+	}
+	r, err = send(1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("feature A after re-enable: result = %d\n", r)
+	return nil
+}

@@ -1,0 +1,92 @@
+// spec-initcut example: initialization-code removal on a CPU-bound
+// guest (the paper's SPEC INT2017 experiments, Figures 7 and 9). The
+// mcf-like benchmark boots, signals end-of-init via nudge, and keeps
+// crunching; DynaCut diffs init-phase against serving-phase coverage,
+// wipes the blocks that only ran during initialization, and the
+// benchmark finishes untouched — while re-running any wiped block
+// would trap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/dynacut/dynacut"
+	"github.com/dynacut/dynacut/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	prof, ok := find("605.mcf_s")
+	if !ok {
+		return fmt.Errorf("no mcf profile")
+	}
+	app, err := dynacut.BuildSpec(prof)
+	if err != nil {
+		return err
+	}
+	m := dynacut.NewMachine()
+	col := trace.NewCollector(prof.Name)
+	m.SetTracer(col)
+	p, err := m.Load(app.Exe, app.Libc)
+	if err != nil {
+		return err
+	}
+
+	var initG *dynacut.Graph
+	m.SetNudgeFunc(func(pid int, arg uint64) {
+		if initG == nil {
+			initG = dynacut.GraphFromLog(col.SnapshotAndReset(p.Modules(), "init"))
+		}
+	})
+	if !m.RunUntil(func() bool { return initG != nil }, 100_000_000) {
+		return fmt.Errorf("%s never finished initialization", prof.Name)
+	}
+	fmt.Printf("%s initialized: %d blocks ran during boot\n", prof.Name, initG.Count())
+
+	// Let a couple of serving passes run, then diff.
+	m.Run(60_000)
+	servingG := dynacut.GraphFromLog(col.Snapshot(p.Modules(), "serving"))
+	initOnly := dynacut.IdentifyInitBlocks(initG, servingG, prof.Name)
+	fmt.Printf("serving phase touches %d blocks; %d blocks are init-only\n",
+		servingG.Count(), len(initOnly))
+
+	cust, err := dynacut.NewCustomizer(m, p.PID(), dynacut.CustomizerOptions{})
+	if err != nil {
+		return err
+	}
+	stats, err := cust.DisableBlocks("init", initOnly, dynacut.PolicyWipeBlocks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wiped %d init-only blocks in %v (checkpoint %v, update %v, restore %v)\n",
+		stats.BlocksPatched, stats.Total(), stats.Checkpoint, stats.CodeUpdate, stats.Restore)
+
+	// The benchmark must still run to completion.
+	m.Run(2_000_000_000)
+	rp := cust.PID()
+	proc, err := m.Process(rp)
+	if err != nil {
+		return err
+	}
+	if !proc.Exited() || proc.ExitCode() != 0 {
+		return fmt.Errorf("benchmark failed after init removal: exited=%v code=%d killed=%v",
+			proc.Exited(), proc.ExitCode(), proc.KilledBy())
+	}
+	fmt.Printf("%s completed normally with its initialization code wiped from memory\n", prof.Name)
+	return nil
+}
+
+func find(name string) (dynacut.SpecProfile, bool) {
+	for _, p := range dynacut.SpecProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return dynacut.SpecProfile{}, false
+}

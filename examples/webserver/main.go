@@ -1,0 +1,104 @@
+// Webserver example: the paper's headline scenario on the
+// Lighttpd-like guest. A read-mostly server runs with its WebDAV
+// write methods (PUT/DELETE) dynamically disabled; an administrator
+// opens a short write window to upload a file, then closes it again.
+// Afterwards, initialization-only code is wiped from memory. The
+// server is never restarted, and clients of blocked methods receive
+// "403 Forbidden" instead of the process dying.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/dynacut/dynacut"
+)
+
+var (
+	wanted    = []string{"GET /\n", "HEAD /\n", "OPTIONS /\n", "POST /\n", "MKCOL /d\n"}
+	undesired = []string{"PUT /f x\n", "DELETE /f\n"}
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	app, err := dynacut.BuildWebServer(dynacut.WebServerConfig{
+		Name: "lighttpd", Port: 8080, InitRoutines: 16,
+	})
+	if err != nil {
+		return err
+	}
+	sess, err := dynacut.StartServer(app.Exe, []*dynacut.Binary{app.Libc}, app.Config.Port)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lighttpd up; %d basic blocks executed during initialization\n",
+		len(sess.InitLog.Blocks))
+
+	// Phase 1 — profile: drive wanted and undesired workloads and
+	// diff their coverage (tracediff).
+	blocks, err := sess.ProfileFeatures(wanted, undesired)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("identified %d blocks unique to PUT/DELETE\n", len(blocks))
+
+	// Phase 2 — disable the write methods; redirect stray accesses to
+	// the server's own 403 responder.
+	errAddr, err := sess.SymbolAddr("resp_403")
+	if err != nil {
+		return err
+	}
+	cust, err := dynacut.NewCustomizer(sess.Machine, sess.PID(), dynacut.CustomizerOptions{
+		RedirectTo: errAddr,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := cust.DisableBlocks("webdav-write", blocks, dynacut.PolicyBlockEntry); err != nil {
+		return err
+	}
+	show(sess, "read-only service", "GET /\n", "PUT /f secret\n")
+
+	// Phase 3 — the admin needs to upload: open the write window.
+	if _, err := cust.EnableBlocks("webdav-write"); err != nil {
+		return err
+	}
+	show(sess, "write window open", "PUT /f uploaded-content\n", "GET /f\n")
+
+	// Phase 4 — close the window again.
+	if _, err := cust.DisableBlocks("webdav-write", blocks, dynacut.PolicyBlockEntry); err != nil {
+		return err
+	}
+	show(sess, "window closed", "PUT /f attacker-data\n", "GET /f\n")
+
+	// Phase 5 — drop initialization-only code from memory entirely.
+	serving, err := sess.SnapshotPhase("serving")
+	if err != nil {
+		return err
+	}
+	initBlocks := dynacut.IdentifyInitBlocks(sess.InitGraph(), serving, app.Config.Name)
+	stats, err := cust.DisableBlocks("init-code", initBlocks, dynacut.PolicyWipeBlocks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nwiped %d initialization-only blocks (%v)\n",
+		stats.BlocksPatched, stats.Total())
+	show(sess, "after init removal", "GET /f\n")
+	fmt.Printf("\ntotal code disabled: %d bytes across %d block groups\n",
+		cust.DisabledBytes(), len(cust.Disabled()))
+	return nil
+}
+
+func show(sess *dynacut.Session, phase string, reqs ...string) {
+	fmt.Printf("\n[%s]\n", phase)
+	for _, r := range reqs {
+		resp := sess.MustRequest(r)
+		fmt.Printf("  %-26q -> %q\n", strings.TrimSuffix(r, "\n"), strings.TrimSuffix(resp, "\n"))
+	}
+}

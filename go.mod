@@ -1,0 +1,3 @@
+module github.com/dynacut/dynacut
+
+go 1.22

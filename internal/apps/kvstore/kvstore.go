@@ -1,0 +1,469 @@
+// Package kvstore generates the Redis-like key-value server guest.
+// It speaks a line protocol (PING/GET/SET/DEL/EXISTS/INCR/SETRANGE/
+// STRALGO/CONFIG) dispatched through a switch-case chain, and carries
+// deliberately planted memory-safety bugs mirroring the CVEs of the
+// paper's Table 1:
+//
+//   - STRALGO LCS — unchecked copy into a small scratch buffer
+//     (CVE-2021-32625 / CVE-2021-29477, integer overflow in LCS),
+//   - SETRANGE    — attacker-controlled offset without bounds check
+//     (CVE-2019-10192/10193, buffer overflows),
+//   - CONFIG SET  — unchecked copy into a fixed config buffer
+//     (CVE-2016-8339).
+//
+// Guard words placed after each vulnerable buffer let the host-side
+// exploit clients detect successful corruption; oversized payloads
+// run off the mapping and crash the server. DynaCut's feature
+// blocking at the dispatcher prevents all three exploits while GET
+// traffic continues uninterrupted.
+package kvstore
+
+import (
+	"fmt"
+	"strings"
+
+	applibc "github.com/dynacut/dynacut/internal/apps/libc"
+	"github.com/dynacut/dynacut/internal/asm"
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/delf/link"
+)
+
+// Commands the dispatcher understands, in match order (longer
+// prefixes first where one command is a prefix of another).
+var Commands = []string{
+	"PING", "GETRANGE", "GET", "SETRANGE", "SET", "DEL",
+	"EXISTS", "INCR", "APPEND", "STRLEN", "STRALGO", "CONFIG",
+}
+
+// GuardMagic is the sentinel stored in the guard words; exploits that
+// smash a buffer overwrite it.
+const GuardMagic = 0x5ec0de5ec0de
+
+// Config shapes the generated server.
+type Config struct {
+	Name string
+	Port uint16
+	// InitRoutines sizes the boot-time-only code chain.
+	InitRoutines int
+}
+
+// App is the generated guest.
+type App struct {
+	Config Config
+	Exe    *delf.File
+	Libc   *delf.File
+	Source string
+}
+
+// Build generates, assembles and links the server.
+func Build(cfg Config) (*App, error) {
+	if cfg.Name == "" {
+		cfg.Name = "kvstore"
+	}
+	if cfg.Port == 0 {
+		cfg.Port = 6379
+	}
+	if cfg.InitRoutines <= 0 {
+		cfg.InitRoutines = 6
+	}
+	lc, err := applibc.Build()
+	if err != nil {
+		return nil, err
+	}
+	src := generate(cfg)
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore assemble: %w", err)
+	}
+	exe, err := link.Executable(cfg.Name, []*asm.Object{obj}, lc)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore link: %w", err)
+	}
+	return &App{Config: cfg, Exe: exe, Libc: lc, Source: src}, nil
+}
+
+func generate(cfg Config) string {
+	var b strings.Builder
+	w := func(format string, args ...any) {
+		fmt.Fprintf(&b, format+"\n", args...)
+	}
+
+	w(".text")
+	w(".global _start")
+	w("_start:")
+	w("\tcall libc_init@plt")
+	w("\tcall kv_init_0")
+	w("\tcall socket@plt")
+	w("\tmov r10, r0")
+	w("\tmov r1, r10")
+	w("\tmov r2, %d", cfg.Port)
+	w("\tcall bind@plt")
+	w("\tcmp r0, 0")
+	w("\tjne kfatal")
+	w("\tmov r1, r10")
+	w("\tcall listen@plt")
+	w("\tmov r1, 1")
+	w("\tcall nudge@plt       ; initialization finished")
+	w("\tjmp kv_main_loop")
+	w("kfatal:")
+	w("\tmov r1, 1")
+	w("\tcall exit@plt")
+
+	w("kv_main_loop:")
+	w("\tmov r1, r10")
+	w("\tcall accept@plt")
+	w("\tmov r11, r0")
+	w("\tcmp r11, -1")
+	w("\tje kv_main_loop")
+	w("kv_next_req:")
+	w("\tmov r1, r11")
+	w("\tmov r2, =reqbuf")
+	w("\tmov r3, 255")
+	w("\tcall read@plt")
+	w("\tcmp r0, 0")
+	w("\tjle kv_close")
+	w("\tmov r12, r0")
+	w("\tmov r4, =reqbuf")
+	w("\tadd r4, r12")
+	w("\tmov r5, 0")
+	w("\tstoreb [r4], r5")
+	w("\t; strip the trailing newline if present")
+	w("\tsub r4, 1")
+	w("\tloadb r5, [r4]")
+	w("\tcmp r5, '\\n'")
+	w("\tjne kv_dispatch")
+	w("\tmov r5, 0")
+	w("\tstoreb [r4], r5")
+	w("\tsub r12, 1")
+
+	// Dispatcher: the big switch-case of §3.1.
+	w("kv_dispatch:")
+	w("\tmov r13, =reqbuf")
+	for _, c := range Commands {
+		emitMatch(w, c, "cmd_"+strings.ToLower(c))
+	}
+	w("\tjmp resp_err         ; unknown command")
+
+	// ---- PING
+	w("cmd_ping:")
+	w("\tlea r2, rpong")
+	w("\tmov r3, %d", len("+PONG\n"))
+	w("\tjmp kv_respond")
+
+	// ---- GET k : "GET a"
+	w("cmd_get:")
+	w("\tloadb r7, [r13+4]")
+	w("\tcall slot_of         ; r7 char -> r8 slot addr, r9 len addr")
+	w("\tcmp r0, 0")
+	w("\tjne resp_err")
+	w("\tload r3, [r9]")
+	w("\tcmp r3, 0")
+	w("\tje resp_nil")
+	w("\tmov r1, r11")
+	w("\tmov r2, r8")
+	w("\tcall write@plt")
+	w("\tlea r2, rnl")
+	w("\tmov r3, 1")
+	w("\tjmp kv_respond")
+
+	// ---- GETRANGE k off n : bounds-checked (the fixed sibling)
+	w("cmd_getrange:")
+	w("\tloadb r7, [r13+9]")
+	w("\tcall slot_of")
+	w("\tcmp r0, 0")
+	w("\tjne resp_err")
+	w("\tjmp resp_ok")
+
+	// ---- SET k v : "SET a hello"
+	w("cmd_set:")
+	w("\tloadb r7, [r13+4]")
+	w("\tcall slot_of")
+	w("\tcmp r0, 0")
+	w("\tjne resp_err")
+	w("\tmov r1, r8")
+	w("\tmov r2, =reqbuf")
+	w("\tadd r2, 6")
+	w("\tmov r3, r12")
+	w("\tsub r3, 6")
+	w("\tcmp r3, 0")
+	w("\tjle resp_err")
+	w("\tcmp r3, 63")
+	w("\tjle set_copy")
+	w("\tmov r3, 63           ; SET is bounds-checked (not vulnerable)")
+	w("set_copy:")
+	w("\tpush r3")
+	w("\tcall memcpy@plt")
+	w("\tpop r3")
+	w("\tstore [r9], r3")
+	w("\tjmp resp_ok")
+
+	// ---- DEL k
+	w("cmd_del:")
+	w("\tloadb r7, [r13+4]")
+	w("\tcall slot_of")
+	w("\tcmp r0, 0")
+	w("\tjne resp_err")
+	w("\tmov r7, 0")
+	w("\tstore [r9], r7")
+	w("\tjmp resp_ok")
+
+	// ---- EXISTS k
+	w("cmd_exists:")
+	w("\tloadb r7, [r13+7]")
+	w("\tcall slot_of")
+	w("\tcmp r0, 0")
+	w("\tjne resp_err")
+	w("\tload r3, [r9]")
+	w("\tcmp r3, 0")
+	w("\tje resp_zero")
+	w("\tlea r2, rone")
+	w("\tmov r3, %d", len(":1\n"))
+	w("\tjmp kv_respond")
+	w("resp_zero:")
+	w("\tlea r2, rzero")
+	w("\tmov r3, %d", len(":0\n"))
+	w("\tjmp kv_respond")
+
+	// ---- INCR k : parse the stored decimal, +1, store back
+	w("cmd_incr:")
+	w("\tloadb r7, [r13+5]")
+	w("\tcall slot_of")
+	w("\tcmp r0, 0")
+	w("\tjne resp_err")
+	w("\tmov r1, r8")
+	w("\tcall atoi@plt")
+	w("\tadd r0, 1")
+	w("\tmov r1, r0")
+	w("\tmov r2, r8")
+	w("\tcall itoa@plt")
+	w("\tstore [r9], r0")
+	w("\t; respond :<n>\\n")
+	w("\tmov r1, r11")
+	w("\tlea r2, rcolon")
+	w("\tmov r3, 1")
+	w("\tcall write@plt")
+	w("\tmov r1, r11")
+	w("\tmov r2, r8")
+	w("\tload r3, [r9]")
+	w("\tcall write@plt")
+	w("\tlea r2, rnl")
+	w("\tmov r3, 1")
+	w("\tjmp kv_respond")
+
+	// ---- APPEND k v : bounds-checked concatenation
+	w("cmd_append:")
+	w("\tloadb r7, [r13+7]")
+	w("\tcall slot_of")
+	w("\tcmp r0, 0")
+	w("\tjne resp_err")
+	w("\tload r6, [r9]        ; current length")
+	w("\tmov r1, r8")
+	w("\tadd r1, r6           ; append position")
+	w("\tmov r2, =reqbuf")
+	w("\tadd r2, 9")
+	w("\tmov r3, r12")
+	w("\tsub r3, 9            ; value length")
+	w("\tcmp r3, 0")
+	w("\tjle resp_err")
+	w("\tmov r5, 63")
+	w("\tsub r5, r6           ; remaining capacity")
+	w("\tcmp r5, 0")
+	w("\tjle resp_err         ; slot full")
+	w("\tcmp r3, r5")
+	w("\tjle ap_copy")
+	w("\tmov r3, r5           ; clamp (the bounds check)")
+	w("ap_copy:")
+	w("\tpush r3")
+	w("\tpush r6")
+	w("\tcall memcpy@plt")
+	w("\tpop r6")
+	w("\tpop r3")
+	w("\tadd r6, r3")
+	w("\tstore [r9], r6")
+	w("\tjmp resp_ok")
+
+	// ---- STRLEN k : respond :<len>
+	w("cmd_strlen:")
+	w("\tloadb r7, [r13+7]")
+	w("\tcall slot_of")
+	w("\tcmp r0, 0")
+	w("\tjne resp_err")
+	w("\tload r1, [r9]")
+	w("\tmov r2, =respbuf")
+	w("\tcall itoa@plt")
+	w("\tmov r3, r0")
+	w("\tmov r1, r11")
+	w("\tlea r2, rcolon")
+	w("\tpush r3")
+	w("\tmov r3, 1")
+	w("\tcall write@plt")
+	w("\tpop r3")
+	w("\tmov r1, r11")
+	w("\tmov r2, =respbuf")
+	w("\tcall write@plt")
+	w("\tlea r2, rnl")
+	w("\tmov r3, 1")
+	w("\tjmp kv_respond")
+
+	// ---- SETRANGE k off v  (VULNERABLE: CVE-2019-10192/10193)
+	// "SETRANGE a 4 xyz": the offset is used unchecked, so a large
+	// offset writes far past the slot (and past the guard word).
+	w("cmd_setrange:")
+	w("\tloadb r7, [r13+9]")
+	w("\tcall slot_of")
+	w("\tcmp r0, 0")
+	w("\tjne resp_err")
+	w("\tmov r1, =reqbuf")
+	w("\tadd r1, 11")
+	w("\tcall atoi@plt")
+	w("\tmov r6, r0           ; offset — NEVER validated (the bug)")
+	w("\t; find the value after the offset token")
+	w("\tmov r2, =reqbuf")
+	w("\tadd r2, 11")
+	w("sr_skip:")
+	w("\tloadb r4, [r2]")
+	w("\tcmp r4, ' '")
+	w("\tje sr_found")
+	w("\tcmp r4, 0")
+	w("\tje resp_err")
+	w("\tadd r2, 1")
+	w("\tjmp sr_skip")
+	w("sr_found:")
+	w("\tadd r2, 1")
+	w("\tmov r1, r8")
+	w("\tadd r1, r6           ; slot + unchecked offset")
+	w("\tmov r3, =reqbuf")
+	w("\tadd r3, r12")
+	w("\tsub r3, r2           ; value length")
+	w("\tcmp r3, 0")
+	w("\tjle resp_err")
+	w("\tcall memcpy@plt")
+	w("\tjmp resp_ok")
+
+	// ---- STRALGO LCS a b  (VULNERABLE: CVE-2021-32625/29477)
+	// The "LCS" scratch buffer is 32 bytes but the copy length is the
+	// whole remaining request — an unchecked (integer-overflow-style)
+	// length.
+	w("cmd_stralgo:")
+	w("\tmov r1, =lcs_scratch")
+	w("\tmov r2, =reqbuf")
+	w("\tadd r2, 8")
+	w("\tmov r3, r12")
+	w("\tsub r3, 8            ; unchecked length (the bug)")
+	w("\tcmp r3, 0")
+	w("\tjle resp_err")
+	w("\tcall memcpy@plt")
+	w("\tjmp resp_ok")
+
+	// ---- CONFIG SET p v  (VULNERABLE: CVE-2016-8339)
+	w("cmd_config:")
+	w("\tmov r1, =cfgbuf")
+	w("\tmov r2, =reqbuf")
+	w("\tadd r2, 11")
+	w("\tmov r3, r12")
+	w("\tsub r3, 11           ; unchecked length (the bug)")
+	w("\tcmp r3, 0")
+	w("\tjle resp_err")
+	w("\tcall memcpy@plt")
+	w("\tjmp resp_ok")
+
+	// Shared responders; resp_err doubles as the default error
+	// handler redirect target for blocked commands.
+	w("resp_ok:")
+	w("\tlea r2, rok")
+	w("\tmov r3, %d", len("+OK\n"))
+	w("\tjmp kv_respond")
+	w("resp_nil:")
+	w("\tlea r2, rnil")
+	w("\tmov r3, %d", len("$-1\n"))
+	w("\tjmp kv_respond")
+	w("resp_err:")
+	w("\tlea r2, rerr")
+	w("\tmov r3, %d", len("-ERR\n"))
+	w("\tjmp kv_respond")
+	w("kv_respond:")
+	w("\tmov r1, r11")
+	w("\tcall write@plt")
+	w("\tjmp kv_next_req      ; keep the connection open (pipelining)")
+	w("kv_close:")
+	w("\tmov r1, r11")
+	w("\tcall close@plt")
+	w("\tjmp kv_main_loop")
+
+	// slot_of: r7 = key char; returns r0=0 ok, r8=value addr, r9=len addr.
+	w("slot_of:")
+	w("\tcmp r7, 'a'")
+	w("\tjl slot_bad")
+	w("\tcmp r7, 'z'")
+	w("\tjg slot_bad")
+	w("\tsub r7, 'a'")
+	w("\tmov r8, r7")
+	w("\tshl r8, 6            ; 64-byte slots")
+	w("\tmov r9, =slots")
+	w("\tadd r8, r9")
+	w("\tmov r9, r7")
+	w("\tshl r9, 3")
+	w("\tmov r6, =slot_lens")
+	w("\tadd r9, r6")
+	w("\tmov r0, 0")
+	w("\tret")
+	w("slot_bad:")
+	w("\tmov r0, 1")
+	w("\tret")
+
+	// Init chain.
+	for i := 0; i < cfg.InitRoutines; i++ {
+		w("kv_init_%d:", i)
+		w("\tmov r7, %d", i*13+1)
+		w("\tmul r7, %d", i+3)
+		w("\tmov r8, =kv_init_state")
+		w("\tload r6, [r8]")
+		w("\txor r6, r7")
+		w("\tstore [r8], r6")
+		if i+1 < cfg.InitRoutines {
+			w("\tcall kv_init_%d", i+1)
+		}
+		w("\tret")
+	}
+
+	// Data. Guard words sit immediately after each vulnerable buffer.
+	w(".data")
+	w(".align 8")
+	w("kv_init_state: .quad 0")
+	w("lcs_scratch: .space 32")
+	w(".global lcs_guard")
+	w("lcs_guard: .quad %d", uint64(GuardMagic))
+	w("cfgbuf: .space 16")
+	w(".global cfg_guard")
+	w("cfg_guard: .quad %d", uint64(GuardMagic))
+	w("slot_lens: .space 208          ; 26 quads")
+	w("slots: .space 1664             ; 26 x 64-byte values")
+	w(".global slots_guard")
+	w("slots_guard: .quad %d", uint64(GuardMagic))
+	w(".bss")
+	w(".align 8")
+	w("reqbuf: .space 256")
+	w("respbuf: .space 32")
+	w(".rodata")
+	w("rok: .ascii \"+OK\\n\"")
+	w("rerr: .ascii \"-ERR\\n\"")
+	w("rpong: .ascii \"+PONG\\n\"")
+	w("rnil: .ascii \"$-1\\n\"")
+	w("rone: .ascii \":1\\n\"")
+	w("rzero: .ascii \":0\\n\"")
+	w("rcolon: .ascii \":\"")
+	w("rnl: .ascii \"\\n\"")
+
+	return b.String()
+}
+
+func emitMatch(w func(string, ...any), cmd, target string) {
+	next := "kno_" + strings.ToLower(cmd)
+	for i := 0; i < len(cmd); i++ {
+		w("\tloadb r4, [r13+%d]", i)
+		w("\tcmp r4, '%c'", cmd[i])
+		w("\tjne %s", next)
+	}
+	w("\tjmp %s", target)
+	w("%s:", next)
+}

@@ -1,0 +1,142 @@
+package kvstore
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIncrMultiDigit(t *testing.T) {
+	m, app, _ := boot(t, Config{})
+	c := dial(t, m, app.Config.Port)
+	if got := c.cmd("SET n 98"); !strings.Contains(got, "+OK") {
+		t.Fatalf("SET -> %q", got)
+	}
+	for i, want := range []string{":99", ":100", ":101"} {
+		if got := c.cmd("INCR n"); !strings.Contains(got, want) {
+			t.Fatalf("INCR %d -> %q, want %q", i, got, want)
+		}
+	}
+	if got := c.cmd("GET n"); !strings.Contains(got, "101") {
+		t.Fatalf("GET after INCR -> %q", got)
+	}
+}
+
+func TestIncrOnUnsetKeyStartsAtOne(t *testing.T) {
+	m, app, _ := boot(t, Config{})
+	c := dial(t, m, app.Config.Port)
+	if got := c.cmd("INCR z"); !strings.Contains(got, ":1") {
+		t.Fatalf("INCR unset -> %q", got)
+	}
+}
+
+func TestGetrangeBoundsChecked(t *testing.T) {
+	m, app, p := boot(t, Config{})
+	c := dial(t, m, app.Config.Port)
+	if got := c.cmd("GETRANGE a 0 4"); !strings.Contains(got, "+OK") {
+		t.Fatalf("GETRANGE -> %q", got)
+	}
+	// Unlike SETRANGE, the read-only sibling never corrupts memory.
+	if got := c.cmd("GETRANGE z 99999 5"); !strings.Contains(got, "+OK") {
+		t.Fatalf("big GETRANGE -> %q", got)
+	}
+	if p.Exited() {
+		t.Fatal("GETRANGE crashed the server")
+	}
+	if v := guard(t, m, app, "slots_guard"); v != GuardMagic {
+		t.Fatal("GETRANGE corrupted the guard")
+	}
+}
+
+func TestKeysAreIndependentSlots(t *testing.T) {
+	m, app, _ := boot(t, Config{})
+	c := dial(t, m, app.Config.Port)
+	c.cmd("SET a alpha")
+	c.cmd("SET b beta")
+	c.cmd("SET z omega")
+	if got := c.cmd("GET a"); !strings.Contains(got, "alpha") {
+		t.Fatalf("GET a -> %q", got)
+	}
+	if got := c.cmd("GET b"); !strings.Contains(got, "beta") {
+		t.Fatalf("GET b -> %q", got)
+	}
+	if got := c.cmd("GET z"); !strings.Contains(got, "omega") {
+		t.Fatalf("GET z -> %q", got)
+	}
+	c.cmd("DEL b")
+	if got := c.cmd("GET b"); !strings.Contains(got, "$-1") {
+		t.Fatalf("GET deleted -> %q", got)
+	}
+	if got := c.cmd("GET a"); !strings.Contains(got, "alpha") {
+		t.Fatalf("GET a after DEL b -> %q", got)
+	}
+}
+
+func TestSetrangeInBoundsIsSafe(t *testing.T) {
+	m, app, p := boot(t, Config{})
+	c := dial(t, m, app.Config.Port)
+	c.cmd("SET a AAAAAAAA")
+	if got := c.cmd("SETRANGE a 2 xx"); !strings.Contains(got, "+OK") {
+		t.Fatalf("SETRANGE -> %q", got)
+	}
+	if got := c.cmd("GET a"); !strings.Contains(got, "AAxxAAAA") {
+		t.Fatalf("GET after in-bounds SETRANGE -> %q", got)
+	}
+	if p.Exited() {
+		t.Fatal("server died")
+	}
+	if v := guard(t, m, app, "slots_guard"); v != GuardMagic {
+		t.Fatal("in-bounds SETRANGE touched the guard")
+	}
+}
+
+func TestAppendAndStrlen(t *testing.T) {
+	m, app, p := boot(t, Config{})
+	c := dial(t, m, app.Config.Port)
+	c.cmd("SET a hello")
+	if got := c.cmd("STRLEN a"); !strings.Contains(got, ":5") {
+		t.Fatalf("STRLEN -> %q", got)
+	}
+	if got := c.cmd("APPEND a -world"); !strings.Contains(got, "+OK") {
+		t.Fatalf("APPEND -> %q", got)
+	}
+	if got := c.cmd("GET a"); !strings.Contains(got, "hello-world") {
+		t.Fatalf("GET after APPEND -> %q", got)
+	}
+	if got := c.cmd("STRLEN a"); !strings.Contains(got, ":11") {
+		t.Fatalf("STRLEN after APPEND -> %q", got)
+	}
+	// APPEND is bounds-checked: flooding the slot clamps, never smashes.
+	huge := strings.Repeat("Q", 100)
+	c.cmd("APPEND a " + huge)
+	if p.Exited() {
+		t.Fatal("APPEND crashed the server")
+	}
+	if v := guard(t, m, app, "slots_guard"); v != GuardMagic {
+		t.Fatal("APPEND corrupted the guard: bounds check missing")
+	}
+	// A full slot refuses further appends.
+	if got := c.cmd("APPEND a more"); !strings.Contains(got, "-ERR") {
+		t.Fatalf("APPEND to full slot -> %q", got)
+	}
+	if got := c.cmd("STRLEN z"); !strings.Contains(got, ":0") {
+		t.Fatalf("STRLEN unset -> %q", got)
+	}
+}
+
+func TestEmptyAndMalformedRequests(t *testing.T) {
+	m, app, p := boot(t, Config{})
+	c := dial(t, m, app.Config.Port)
+	for _, cmd := range []string{"", "   ", "SET", "GET", "INCR", "X"} {
+		got := c.cmd(cmd)
+		if got == "" && !p.Exited() {
+			t.Fatalf("no response to %q", cmd)
+		}
+		if p.Exited() {
+			t.Fatalf("malformed request %q killed the server (%v)", cmd, p.KilledBy())
+		}
+	}
+	// Still healthy afterwards.
+	if got := c.cmd("PING"); !strings.Contains(got, "+PONG") {
+		t.Fatalf("PING after garbage -> %q", got)
+	}
+}

@@ -1,0 +1,187 @@
+package kvstore
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/kernel"
+)
+
+func boot(t *testing.T, cfg Config) (*kernel.Machine, *App, *kernel.Process) {
+	t.Helper()
+	app, err := Build(cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m := kernel.NewMachine()
+	p, err := m.Load(app.Exe, app.Libc)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	nudged := false
+	m.SetNudgeFunc(func(pid int, arg uint64) { nudged = true })
+	if !m.RunUntil(func() bool { return nudged }, 5_000_000) {
+		t.Fatalf("kvstore never finished init: exited=%v killed=%v", p.Exited(), p.KilledBy())
+	}
+	m.Run(10000)
+	return m, app, p
+}
+
+// client is a persistent connection speaking the line protocol.
+type client struct {
+	t    *testing.T
+	m    *kernel.Machine
+	conn *kernel.HostConn
+}
+
+func dial(t *testing.T, m *kernel.Machine, port uint16) *client {
+	t.Helper()
+	conn, err := m.Dial(port)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	return &client{t: t, m: m, conn: conn}
+}
+
+func (c *client) cmd(line string) string {
+	c.t.Helper()
+	if _, err := c.conn.Write([]byte(line + "\n")); err != nil {
+		c.t.Fatalf("write %q: %v", line, err)
+	}
+	c.m.RunUntil(func() bool {
+		return len(c.conn.ReadAllPeek()) > 0 || c.conn.Closed()
+	}, 2_000_000)
+	c.m.Run(20000)
+	return string(c.conn.ReadAll())
+}
+
+func TestBasicCommands(t *testing.T) {
+	m, app, p := boot(t, Config{})
+	c := dial(t, m, app.Config.Port)
+	tests := []struct {
+		cmd  string
+		want string
+	}{
+		{"PING", "+PONG"},
+		{"GET a", "$-1"},
+		{"SET a hello", "+OK"},
+		{"GET a", "hello"},
+		{"EXISTS a", ":1"},
+		{"EXISTS b", ":0"},
+		{"SET n 5", "+OK"},
+		{"INCR n", ":6"},
+		{"INCR n", ":7"},
+		{"DEL a", "+OK"},
+		{"GET a", "$-1"},
+		{"WHAT", "-ERR"},
+		{"GET !", "-ERR"},
+	}
+	for _, tt := range tests {
+		got := c.cmd(tt.cmd)
+		if !strings.Contains(got, tt.want) {
+			t.Errorf("%q -> %q, want %q", tt.cmd, got, tt.want)
+		}
+	}
+	if p.Exited() {
+		t.Fatalf("server died: %v", p.KilledBy())
+	}
+}
+
+func TestSetIsBoundsChecked(t *testing.T) {
+	m, app, p := boot(t, Config{})
+	c := dial(t, m, app.Config.Port)
+	huge := strings.Repeat("A", 200)
+	if got := c.cmd("SET a " + huge); !strings.Contains(got, "+OK") {
+		t.Fatalf("big SET -> %q", got)
+	}
+	if p.Exited() {
+		t.Fatal("bounds-checked SET crashed the server")
+	}
+	if got := guard(t, m, app, "slots_guard"); got != GuardMagic {
+		t.Fatalf("slots_guard corrupted by bounds-checked SET: %#x", got)
+	}
+}
+
+func guard(t *testing.T, m *kernel.Machine, app *App, name string) uint64 {
+	t.Helper()
+	sym, err := app.Exe.Symbol(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := m.Processes()
+	if len(procs) == 0 {
+		t.Fatal("no live process to read guard from")
+	}
+	v, err := procs[0].Mem().ReadU64(sym.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// The planted CVEs: each exploit must corrupt its guard word on the
+// vanilla server (Table 1's vulnerable baseline).
+func TestCVEStralgoOverflow(t *testing.T) {
+	m, app, p := boot(t, Config{})
+	c := dial(t, m, app.Config.Port)
+	payload := "STRALGO LCS " + strings.Repeat("B", 60)
+	got := c.cmd(payload)
+	if !strings.Contains(got, "+OK") {
+		t.Fatalf("exploit response = %q", got)
+	}
+	if v := guard(t, m, app, "lcs_guard"); v == GuardMagic {
+		t.Fatal("lcs_guard intact: STRALGO overflow did not fire")
+	}
+	if p.Exited() {
+		t.Log("server crashed outright (also a successful trigger)")
+	}
+}
+
+func TestCVESetrangeOverflow(t *testing.T) {
+	m, app, _ := boot(t, Config{})
+	c := dial(t, m, app.Config.Port)
+	// Key 'z' is the last slot; an offset past its 64 bytes lands on
+	// slots_guard.
+	got := c.cmd("SETRANGE z 64 XXXXXXXX")
+	if !strings.Contains(got, "+OK") {
+		t.Fatalf("exploit response = %q", got)
+	}
+	if v := guard(t, m, app, "slots_guard"); v == GuardMagic {
+		t.Fatal("slots_guard intact: SETRANGE overflow did not fire")
+	}
+}
+
+func TestCVEConfigSetOverflow(t *testing.T) {
+	m, app, _ := boot(t, Config{})
+	c := dial(t, m, app.Config.Port)
+	got := c.cmd("CONFIG SET " + strings.Repeat("C", 40))
+	if !strings.Contains(got, "+OK") {
+		t.Fatalf("exploit response = %q", got)
+	}
+	if v := guard(t, m, app, "cfg_guard"); v == GuardMagic {
+		t.Fatal("cfg_guard intact: CONFIG SET overflow did not fire")
+	}
+}
+
+func TestHugePayloadCrashesVanilla(t *testing.T) {
+	m, app, p := boot(t, Config{})
+	c := dial(t, m, app.Config.Port)
+	// An enormous SETRANGE offset writes outside the mapping.
+	c.cmd("SETRANGE a 99999999 X")
+	m.Run(100000)
+	if !p.Exited() || p.KilledBy() != kernel.SIGSEGV {
+		t.Fatalf("wild write: exited=%v killed=%v, want SIGSEGV", p.Exited(), p.KilledBy())
+	}
+	_ = app
+}
+
+func TestPipelinedCommandsOneConnection(t *testing.T) {
+	m, app, _ := boot(t, Config{})
+	c := dial(t, m, app.Config.Port)
+	for i := 0; i < 20; i++ {
+		if got := c.cmd("PING"); !strings.Contains(got, "+PONG") {
+			t.Fatalf("iteration %d: %q", i, got)
+		}
+	}
+	_ = app
+}

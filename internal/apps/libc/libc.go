@@ -1,0 +1,325 @@
+// Package libc builds the shared C-library analogue every guest
+// application links against. It gives the guests what the paper's
+// PLT/GOT experiments need: all syscalls are reached through libc
+// wrapper functions called via PLT trampolines, so removing executed
+// PLT entries (ret2plt, §4.2) and disabling the fork path (BROP) are
+// faithful reproductions. The library also carries initialization-
+// only code (libc_init), mirroring glibc's startup work.
+package libc
+
+import (
+	"fmt"
+
+	"github.com/dynacut/dynacut/internal/asm"
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/delf/link"
+)
+
+// SoName is the library's soname.
+const SoName = "libc.so"
+
+// Source is the library's assembly. Exposed for inspection/tests.
+const Source = `
+; libc.so — syscall wrappers and string/memory helpers.
+; Convention: arguments arrive in r1..r5 (already the kernel ABI),
+; result in r0. Wrappers only load the syscall number.
+.text
+
+.global libc_init
+libc_init:
+	; Initialization-only work: locale tables, allocator warm-up,
+	; auxv parsing stand-in. Runs once from every guest's _start.
+	push r1
+	push r2
+	lea r1, init_table
+	mov r2, 0
+.li_loop:
+	cmp r2, 64
+	jge .li_done
+	load r3, [r1]
+	mul r3, 1103515245
+	add r3, 12345
+	store [r1], r3
+	add r1, 8
+	add r2, 1
+	jmp .li_loop
+.li_done:
+	lea r1, init_done
+	mov r2, 1
+	store [r1], r2
+	pop r2
+	pop r1
+	ret
+
+.global exit
+exit:
+	mov r0, 1
+	syscall
+	hlt                  ; unreachable
+
+.global write
+write:
+	mov r0, 2
+	syscall
+	ret
+
+.global read
+read:
+	mov r0, 3
+	syscall
+	ret
+
+.global socket
+socket:
+	mov r0, 4
+	syscall
+	ret
+
+.global bind
+bind:
+	mov r0, 5
+	syscall
+	ret
+
+.global listen
+listen:
+	mov r0, 6
+	syscall
+	ret
+
+.global accept
+accept:
+	mov r0, 7
+	syscall
+	ret
+
+.global close
+close:
+	mov r0, 8
+	syscall
+	ret
+
+.global fork
+fork:
+	mov r0, 9
+	syscall
+	ret
+
+.global getpid
+getpid:
+	mov r0, 10
+	syscall
+	ret
+
+.global sigaction
+sigaction:
+	mov r0, 11
+	syscall
+	ret
+
+.global clock
+clock:
+	mov r0, 13
+	syscall
+	ret
+
+.global yield
+yield:
+	mov r0, 14
+	syscall
+	ret
+
+.global nudge
+nudge:
+	mov r0, 15
+	syscall
+	ret
+
+.global waitpid
+waitpid:
+	mov r0, 16
+	syscall
+	ret
+
+; strlen(r1 ptr) -> r0
+.global strlen
+strlen:
+	push r2
+	push r3
+	mov r0, 0
+.sl_loop:
+	mov r2, r1
+	add r2, r0
+	loadb r3, [r2]
+	cmp r3, 0
+	je .sl_done
+	add r0, 1
+	jmp .sl_loop
+.sl_done:
+	pop r3
+	pop r2
+	ret
+
+; strcmp(r1 a, r2 b) -> r0 (0 when equal, 1 otherwise)
+.global strcmp
+strcmp:
+	push r3
+	push r4
+.sc_loop:
+	loadb r3, [r1]
+	loadb r4, [r2]
+	cmp r3, r4
+	jne .sc_diff
+	cmp r3, 0
+	je .sc_eq
+	add r1, 1
+	add r2, 1
+	jmp .sc_loop
+.sc_eq:
+	mov r0, 0
+	pop r4
+	pop r3
+	ret
+.sc_diff:
+	mov r0, 1
+	pop r4
+	pop r3
+	ret
+
+; memcpy(r1 dst, r2 src, r3 n) -> r0 dst
+.global memcpy
+memcpy:
+	push r4
+	push r5
+	mov r0, r1
+	mov r4, 0
+.mc_loop:
+	cmp r4, r3
+	jge .mc_done
+	loadb r5, [r2]
+	storeb [r1], r5
+	add r1, 1
+	add r2, 1
+	add r4, 1
+	jmp .mc_loop
+.mc_done:
+	pop r5
+	pop r4
+	ret
+
+; memset(r1 dst, r2 byte, r3 n) -> r0 dst
+.global memset
+memset:
+	push r4
+	mov r0, r1
+	mov r4, 0
+.ms_loop:
+	cmp r4, r3
+	jge .ms_done
+	storeb [r1], r2
+	add r1, 1
+	add r4, 1
+	jmp .ms_loop
+.ms_done:
+	pop r4
+	ret
+
+; atoi(r1 ptr) -> r0 value; stops at the first non-digit
+.global atoi
+atoi:
+	push r2
+	push r3
+	mov r0, 0
+.at_loop:
+	loadb r2, [r1]
+	cmp r2, '0'
+	jl .at_done
+	cmp r2, '9'
+	jg .at_done
+	mul r0, 10
+	mov r3, r2
+	sub r3, '0'
+	add r0, r3
+	add r1, 1
+	jmp .at_loop
+.at_done:
+	pop r3
+	pop r2
+	ret
+
+; itoa(r1 value, r2 buf) -> r0 length; decimal, no sign
+.global itoa
+itoa:
+	push r3
+	push r4
+	push r5
+	push r6
+	cmp r1, 0
+	jne .it_nonzero
+	mov r3, '0'
+	storeb [r2], r3
+	mov r0, 1
+	jmp .it_done
+.it_nonzero:
+	mov r0, 0
+	mov r5, r2
+.it_count:
+	cmp r1, 0
+	je .it_rev
+	mov r3, r1
+	mov r4, 10
+	div r3, r4          ; r3 = r1/10
+	mov r6, r3
+	mul r6, 10
+	mov r4, r1
+	sub r4, r6          ; r4 = r1 % 10
+	add r4, '0'
+	storeb [r5], r4
+	add r5, 1
+	add r0, 1
+	mov r1, r3
+	jmp .it_count
+.it_rev:
+	; reverse buf[0..r0)
+	mov r3, r2          ; left
+	mov r4, r5
+	sub r4, 1           ; right
+.it_revloop:
+	cmp r3, r4
+	jge .it_done
+	loadb r5, [r3]
+	loadb r6, [r4]
+	storeb [r3], r6
+	storeb [r4], r5
+	add r3, 1
+	sub r4, 1
+	jmp .it_revloop
+.it_done:
+	pop r6
+	pop r5
+	pop r4
+	pop r3
+	ret
+
+.data
+.align 8
+init_done: .quad 0
+init_table:
+	.space 512
+
+.rodata
+libc_version: .asciz "dynacut-libc 1.0"
+`
+
+// Build assembles and links the library.
+func Build() (*delf.File, error) {
+	obj, err := asm.Assemble(Source)
+	if err != nil {
+		return nil, fmt.Errorf("libc assemble: %w", err)
+	}
+	lib, err := link.Library(SoName, []*asm.Object{obj})
+	if err != nil {
+		return nil, fmt.Errorf("libc link: %w", err)
+	}
+	return lib, nil
+}

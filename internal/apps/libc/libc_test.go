@@ -1,0 +1,183 @@
+package libc
+
+import (
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/asm"
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/delf/link"
+	"github.com/dynacut/dynacut/internal/kernel"
+)
+
+func TestBuildExportsExpectedSymbols(t *testing.T) {
+	lib, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Type != delf.TypeDyn || lib.Name != SoName {
+		t.Fatalf("lib = %s/%v", lib.Name, lib.Type)
+	}
+	for _, name := range []string{
+		"libc_init", "exit", "write", "read", "socket", "bind", "listen",
+		"accept", "close", "fork", "getpid", "sigaction", "clock",
+		"yield", "nudge", "waitpid", "strlen", "strcmp", "memcpy",
+		"memset", "atoi", "itoa",
+	} {
+		sym, err := lib.Symbol(name)
+		if err != nil {
+			t.Errorf("missing symbol %s", name)
+			continue
+		}
+		if !sym.Global || sym.Kind != delf.SymFunc {
+			t.Errorf("symbol %s not a global function", name)
+		}
+	}
+}
+
+// runLibcProg links a test program against libc and runs it.
+func runLibcProg(t *testing.T, src string) *kernel.Process {
+	t.Helper()
+	lib, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	exe, err := link.Executable("libctest", []*asm.Object{obj}, lib)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	m := kernel.NewMachine()
+	p, err := m.Load(exe, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(10_000_000)
+	if !p.Exited() {
+		t.Fatalf("did not exit; killed=%v rip=%#x", p.KilledBy(), p.RIP())
+	}
+	return p
+}
+
+func TestStringFunctions(t *testing.T) {
+	p := runLibcProg(t, `
+.text
+.global _start
+_start:
+	call libc_init@plt
+	mov r1, =s1
+	call strlen@plt
+	cmp r0, 5
+	jne bad
+	mov r1, =s1
+	mov r2, =s1b
+	call strcmp@plt
+	cmp r0, 0
+	jne bad
+	mov r1, =s1
+	mov r2, =s2
+	call strcmp@plt
+	cmp r0, 0
+	je bad
+	; memcpy then compare
+	mov r1, =buf
+	mov r2, =s2
+	mov r3, 6
+	call memcpy@plt
+	mov r1, =buf
+	mov r2, =s2
+	call strcmp@plt
+	cmp r0, 0
+	jne bad
+	; memset
+	mov r1, =buf
+	mov r2, 0
+	mov r3, 16
+	call memset@plt
+	mov r1, =buf
+	call strlen@plt
+	cmp r0, 0
+	jne bad
+	mov r1, 0
+	call exit@plt
+bad:
+	mov r1, 1
+	call exit@plt
+.rodata
+s1: .asciz "hello"
+s1b: .asciz "hello"
+s2: .asciz "world"
+.bss
+buf: .space 32
+`)
+	if p.ExitCode() != 0 {
+		t.Fatalf("exit = %d", p.ExitCode())
+	}
+}
+
+func TestAtoiItoa(t *testing.T) {
+	p := runLibcProg(t, `
+.text
+.global _start
+_start:
+	mov r1, =num
+	call atoi@plt
+	cmp r0, 4923
+	jne bad
+	; itoa(307) then atoi back
+	mov r1, 307
+	mov r2, =buf
+	call itoa@plt
+	cmp r0, 3
+	jne bad
+	mov r1, =buf
+	call atoi@plt
+	cmp r0, 307
+	jne bad
+	; zero round-trips too
+	mov r1, 0
+	mov r2, =buf
+	call itoa@plt
+	cmp r0, 1
+	jne bad
+	mov r1, 0
+	call exit@plt
+bad:
+	mov r1, 1
+	call exit@plt
+.rodata
+num: .asciz "4923x"
+.bss
+buf: .space 32
+`)
+	if p.ExitCode() != 0 {
+		t.Fatalf("exit = %d", p.ExitCode())
+	}
+}
+
+func TestLibcInitSetsState(t *testing.T) {
+	lib, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := lib.Symbol("libc_init")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Size == 0 {
+		t.Error("libc_init has zero size")
+	}
+	p := runLibcProg(t, `
+.text
+.global _start
+_start:
+	call libc_init@plt
+	mov r1, 0
+	call exit@plt
+`)
+	if p.ExitCode() != 0 {
+		t.Fatalf("exit = %d", p.ExitCode())
+	}
+}

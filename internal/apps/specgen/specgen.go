@@ -1,0 +1,175 @@
+// Package specgen generates synthetic CPU-bound guests standing in
+// for the SPEC INT2017 speed benchmarks of the paper's evaluation.
+// The real suite is proprietary; what the experiments actually
+// consume is the *shape* of each program — total basic blocks, the
+// fraction executed, the fraction executed only during
+// initialization, and code size — so each profile reproduces those
+// ratios at 1:10 scale (recorded in EXPERIMENTS.md).
+//
+// A generated benchmark runs: libc init → an initialization pass over
+// the first InitFuncs entries of a function table → nudge → LoopIters
+// serving-phase passes over the remaining executed functions → exit.
+// Functions beyond ExecFuncs exist in the binary but never run (the
+// gray blocks of Figure 2).
+package specgen
+
+import (
+	"fmt"
+	"strings"
+
+	applibc "github.com/dynacut/dynacut/internal/apps/libc"
+	"github.com/dynacut/dynacut/internal/asm"
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/delf/link"
+)
+
+// Profile shapes one synthetic benchmark.
+type Profile struct {
+	Name string
+	// TotalFuncs is the number of generated functions (≈ static BBs).
+	TotalFuncs int
+	// ExecFuncs of them execute at least once (ExecFuncs ≤ TotalFuncs).
+	ExecFuncs int
+	// InitFuncs of the executed ones run only during initialization
+	// (InitFuncs ≤ ExecFuncs).
+	InitFuncs int
+	// LoopIters is the number of serving-phase passes.
+	LoopIters int
+}
+
+// Validate checks profile consistency.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("specgen: profile needs a name")
+	}
+	if p.TotalFuncs < 1 || p.ExecFuncs < 1 || p.ExecFuncs > p.TotalFuncs ||
+		p.InitFuncs < 0 || p.InitFuncs > p.ExecFuncs {
+		return fmt.Errorf("specgen: inconsistent profile %+v", p)
+	}
+	if p.LoopIters < 1 {
+		return fmt.Errorf("specgen: LoopIters must be >= 1")
+	}
+	return nil
+}
+
+// Profiles mirrors the paper's seven SPEC INTSpeed C/C++ benchmarks
+// at roughly 1:10 scale, with init-only fractions chosen to land the
+// removal percentages of Figure 9 (8.4%–41.4%, perlbench highest).
+var Profiles = []Profile{
+	{Name: "600.perlbench_s", TotalFuncs: 3600, ExecFuncs: 2600, InitFuncs: 1080, LoopIters: 40},
+	{Name: "605.mcf_s", TotalFuncs: 118, ExecFuncs: 90, InitFuncs: 18, LoopIters: 400},
+	{Name: "620.omnetpp_s", TotalFuncs: 3000, ExecFuncs: 1700, InitFuncs: 430, LoopIters: 40},
+	{Name: "623.xalancbmk_s", TotalFuncs: 5200, ExecFuncs: 2100, InitFuncs: 650, LoopIters: 40},
+	{Name: "625.x264_s", TotalFuncs: 2200, ExecFuncs: 1300, InitFuncs: 260, LoopIters: 40},
+	{Name: "631.deepsjeng_s", TotalFuncs: 500, ExecFuncs: 360, InitFuncs: 50, LoopIters: 100},
+	{Name: "641.leela_s", TotalFuncs: 1060, ExecFuncs: 640, InitFuncs: 54, LoopIters: 60},
+}
+
+// ProfileByName returns the named profile.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// App is a generated benchmark guest.
+type App struct {
+	Profile Profile
+	Exe     *delf.File
+	Libc    *delf.File
+}
+
+// Build generates, assembles and links a benchmark.
+func Build(p Profile) (*App, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	lc, err := applibc.Build()
+	if err != nil {
+		return nil, err
+	}
+	src := generate(p)
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("specgen assemble %s: %w", p.Name, err)
+	}
+	exe, err := link.Executable(p.Name, []*asm.Object{obj}, lc)
+	if err != nil {
+		return nil, fmt.Errorf("specgen link %s: %w", p.Name, err)
+	}
+	return &App{Profile: p, Exe: exe, Libc: lc}, nil
+}
+
+func generate(p Profile) string {
+	var b strings.Builder
+	w := func(format string, args ...any) {
+		fmt.Fprintf(&b, format+"\n", args...)
+	}
+
+	w(".text")
+	w(".global _start")
+	w("_start:")
+	w("\tcall libc_init@plt")
+	// Initialization pass: call table entries [0, InitFuncs).
+	w("\tmov r9, =call_table")
+	w("\tmov r8, 0")
+	w("spec_init_loop:")
+	w("\tcmp r8, %d", p.InitFuncs)
+	w("\tjge spec_init_done")
+	w("\tload r7, [r9]")
+	w("\tcall r7")
+	w("\tadd r9, 8")
+	w("\tadd r8, 1")
+	w("\tjmp spec_init_loop")
+	w("spec_init_done:")
+	w("\tmov r1, 1")
+	w("\tcall nudge@plt")
+	// Serving phase: LoopIters passes over [InitFuncs, ExecFuncs).
+	w("\tmov r12, 0")
+	w("spec_outer:")
+	w("\tcmp r12, %d", p.LoopIters)
+	w("\tjge spec_finish")
+	w("\tmov r9, =call_table")
+	w("\tadd r9, %d", p.InitFuncs*8)
+	w("\tmov r8, %d", p.InitFuncs)
+	w("spec_inner:")
+	w("\tcmp r8, %d", p.ExecFuncs)
+	w("\tjge spec_inext")
+	w("\tload r7, [r9]")
+	w("\tcall r7")
+	w("\tadd r9, 8")
+	w("\tadd r8, 1")
+	w("\tjmp spec_inner")
+	w("spec_inext:")
+	w("\tadd r12, 1")
+	w("\tjmp spec_outer")
+	w("spec_finish:")
+	w("\tmov r1, 0")
+	w("\tcall exit@plt")
+
+	// The function population. fn_0..fn_{InitFuncs-1} are init-only,
+	// the next run in the serving loop, the rest never execute.
+	for i := 0; i < p.TotalFuncs; i++ {
+		w("fn_%d:", i)
+		w("\tmov r7, %d", i*2654435761%1000003+1)
+		w("\txor r7, %d", (i*40503)&0xffff)
+		w("\tmov r6, =acc")
+		w("\tload r5, [r6]")
+		w("\tadd r5, r7")
+		w("\tstore [r6], r5")
+		w("\tret")
+	}
+
+	w(".data")
+	w(".align 8")
+	w("acc: .quad 0")
+	w("call_table:")
+	for i := 0; i < p.ExecFuncs; i++ {
+		w("\t.quad fn_%d", i)
+	}
+
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package specgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/disasm"
+)
+
+// Property: any consistent profile builds a binary whose static CFG
+// contains at least one block per generated function, and whose call
+// table holds exactly ExecFuncs entries.
+func TestQuickProfilesBuild(t *testing.T) {
+	f := func(total, exec, init uint8, iters uint8) bool {
+		p := Profile{
+			Name:       "q",
+			TotalFuncs: int(total%40) + 2,
+			LoopIters:  int(iters%5) + 1,
+		}
+		p.ExecFuncs = int(exec)%p.TotalFuncs + 1
+		p.InitFuncs = int(init) % (p.ExecFuncs + 1)
+		if p.Validate() != nil {
+			return true // inconsistent draw: skip
+		}
+		app, err := Build(p)
+		if err != nil {
+			return false
+		}
+		cfg := disasm.Analyze(app.Exe)
+		if cfg.Count() < p.TotalFuncs {
+			return false
+		}
+		// The call table is ExecFuncs quads.
+		sym, err := app.Exe.Symbol("call_table")
+		if err != nil {
+			return false
+		}
+		_ = sym
+		data, err := app.Exe.Section(delf.SecData)
+		if err != nil {
+			return false
+		}
+		return data.Size >= uint64(8*p.ExecFuncs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: generated function addresses are distinct and strictly
+// increasing in index order.
+func TestFunctionLayoutMonotone(t *testing.T) {
+	app, err := Build(Profile{Name: "m", TotalFuncs: 30, ExecFuncs: 20, InitFuncs: 5, LoopIters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	for i := 0; i < 30; i++ {
+		sym, err := app.Exe.Symbol(fnName(i))
+		if err != nil {
+			t.Fatalf("missing %s", fnName(i))
+		}
+		if sym.Value <= prev {
+			t.Fatalf("%s at %#x not after %#x", fnName(i), sym.Value, prev)
+		}
+		prev = sym.Value
+	}
+}

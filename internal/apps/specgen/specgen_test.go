@@ -1,0 +1,139 @@
+package specgen
+
+import (
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/kernel"
+	"github.com/dynacut/dynacut/internal/trace"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Profile{
+		{},
+		{Name: "x", TotalFuncs: 0, ExecFuncs: 1, LoopIters: 1},
+		{Name: "x", TotalFuncs: 5, ExecFuncs: 6, LoopIters: 1},
+		{Name: "x", TotalFuncs: 5, ExecFuncs: 3, InitFuncs: 4, LoopIters: 1},
+		{Name: "x", TotalFuncs: 5, ExecFuncs: 3, InitFuncs: 1, LoopIters: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %d validated: %+v", i, p)
+		}
+	}
+	for _, p := range Profiles {
+		if err := p.Validate(); err != nil {
+			t.Errorf("built-in profile %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if _, ok := ProfileByName("605.mcf_s"); !ok {
+		t.Error("mcf profile missing")
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("phantom profile")
+	}
+}
+
+// TestMcfRunsToCompletion runs the smallest profile end to end under
+// the tracer and checks the init/serving split.
+func TestMcfRunsToCompletion(t *testing.T) {
+	prof, _ := ProfileByName("605.mcf_s")
+	app, err := Build(prof)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m := kernel.NewMachine()
+	col := trace.NewCollector(prof.Name)
+	m.SetTracer(col)
+	p, err := m.Load(app.Exe, app.Libc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var initLog *trace.Log
+	m.SetNudgeFunc(func(pid int, arg uint64) {
+		initLog = col.SnapshotAndReset(p.Modules(), "init")
+	})
+	m.Run(50_000_000)
+	if !p.Exited() || p.ExitCode() != 0 {
+		t.Fatalf("exit = %v/%d killed=%v", p.Exited(), p.ExitCode(), p.KilledBy())
+	}
+	if initLog == nil {
+		t.Fatal("nudge never fired")
+	}
+	servingLog := col.Snapshot(p.Modules(), "serving")
+	if len(initLog.Blocks) == 0 || len(servingLog.Blocks) == 0 {
+		t.Fatalf("phase logs empty: init=%d serving=%d",
+			len(initLog.Blocks), len(servingLog.Blocks))
+	}
+	// Init-only functions must appear only in the init log.
+	initSym, err := app.Exe.Symbol("fn_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotSym, err := app.Exe.Symbol(fnName(prof.InitFuncs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasBlockAt(initLog, initSym.Value) {
+		t.Error("fn_0 missing from init coverage")
+	}
+	if hasBlockAt(servingLog, initSym.Value) {
+		t.Error("init-only fn_0 executed during serving phase")
+	}
+	if !hasBlockAt(servingLog, hotSym.Value) {
+		t.Error("hot function missing from serving coverage")
+	}
+	// Never-executed functions appear in neither.
+	deadSym, err := app.Exe.Symbol(fnName(prof.ExecFuncs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasBlockAt(initLog, deadSym.Value) || hasBlockAt(servingLog, deadSym.Value) {
+		t.Error("never-executed function traced")
+	}
+}
+
+func fnName(i int) string {
+	return "fn_" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func hasBlockAt(l *trace.Log, addr uint64) bool {
+	for _, b := range l.Blocks {
+		if b.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBuildAllProfilesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, prof := range Profiles {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			app, err := Build(prof)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if app.Exe.TextSize() == 0 {
+				t.Fatal("empty text")
+			}
+		})
+	}
+}

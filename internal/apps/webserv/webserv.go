@@ -1,0 +1,383 @@
+// Package webserv generates the web-server guest used throughout the
+// evaluation: a Lighttpd-like single-process event server or an
+// Nginx-like master/worker server (fork-based, optional worker
+// respawn). The server has the structural features DynaCut exploits:
+//
+//   - a big dispatcher that switches on the request method
+//     (GET/HEAD/PUT/DELETE/OPTIONS/MKCOL/POST plus synthetic extras),
+//   - a default error handler (the 403 responder) in the same
+//     function as the dispatch targets, so trapped features can be
+//     redirected to it (§3.2.2, Listing 1),
+//   - a clearly bounded initialization phase (config parsing, a chain
+//     of init routines, socket setup, worker forking) terminated by a
+//     nudge,
+//   - libc usage exclusively through PLT entries, so PLT-removal and
+//     fork-disabling (ret2plt/BROP, §4.2) are measurable.
+package webserv
+
+import (
+	"fmt"
+	"strings"
+
+	applibc "github.com/dynacut/dynacut/internal/apps/libc"
+	"github.com/dynacut/dynacut/internal/asm"
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/delf/link"
+)
+
+// Method names the dispatchable request methods.
+var Methods = []string{"GET", "HEAD", "PUT", "DELETE", "OPTIONS", "MKCOL", "POST"}
+
+// Config sizes and shapes the generated server.
+type Config struct {
+	// Name is the program name ("lighttpd", "nginx", ...).
+	Name string
+	// Port is the listening port.
+	Port uint16
+	// Workers: 0 = single-process event loop (Lighttpd style);
+	// N > 0 = master forks N workers (Nginx style).
+	Workers int
+	// RespawnWorkers makes the master re-fork dead workers (the BROP
+	// precondition).
+	RespawnWorkers bool
+	// ExtraFeatures adds synthetic request handlers ("X0".."Xn"),
+	// inflating the dispatcher and code size.
+	ExtraFeatures int
+	// InitRoutines sizes the initialization chain (distinct basic
+	// blocks executed exactly once at boot).
+	InitRoutines int
+	// CrashCommand adds a "STACKBUG" request whose handler
+	// dereferences a wild pointer, crashing the worker — the attack
+	// primitive for the BROP experiment.
+	CrashCommand bool
+}
+
+// App is a generated guest: the executable plus its libraries.
+type App struct {
+	Config Config
+	Exe    *delf.File
+	Libc   *delf.File
+	Source string
+}
+
+// Responses the server emits, for host-side assertions.
+const (
+	Resp200   = "200 OK\n"
+	Resp201   = "201 Created\n"
+	Resp204   = "204 No Content\n"
+	Resp210   = "210 Feature\n"
+	Resp400   = "400 Bad Request\n"
+	Resp403   = "403 Forbidden\n"
+	RespAllow = "200 Allow: all\n"
+)
+
+// Build generates, assembles and links the server.
+func Build(cfg Config) (*App, error) {
+	if cfg.Name == "" {
+		cfg.Name = "webserv"
+	}
+	if cfg.Port == 0 {
+		cfg.Port = 8080
+	}
+	if cfg.InitRoutines <= 0 {
+		cfg.InitRoutines = 8
+	}
+	lc, err := applibc.Build()
+	if err != nil {
+		return nil, err
+	}
+	src := generate(cfg)
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("webserv assemble: %w", err)
+	}
+	exe, err := link.Executable(cfg.Name, []*asm.Object{obj}, lc)
+	if err != nil {
+		return nil, fmt.Errorf("webserv link: %w", err)
+	}
+	return &App{Config: cfg, Exe: exe, Libc: lc, Source: src}, nil
+}
+
+// generate emits the server's assembly source.
+func generate(cfg Config) string {
+	var b strings.Builder
+	w := func(format string, args ...any) {
+		fmt.Fprintf(&b, format+"\n", args...)
+	}
+
+	w(".text")
+	w(".global _start")
+	w("_start:")
+	w("\tcall libc_init@plt")
+	w("\tcall parse_config")
+	w("\tcall init_0")
+	// Socket setup (init phase).
+	w("\tcall socket@plt")
+	w("\tmov r10, r0          ; listener fd")
+	w("\tmov r1, r10")
+	w("\tmov r2, %d", cfg.Port)
+	w("\tcall bind@plt")
+	w("\tcmp r0, 0")
+	w("\tjne fatal")
+	w("\tmov r1, r10")
+	w("\tcall listen@plt")
+
+	if cfg.Workers > 0 {
+		w("\tmov r9, 0            ; forked workers")
+		w("fork_workers:")
+		w("\tcmp r9, %d", cfg.Workers)
+		w("\tjge master_loop")
+		w("\tcall fork@plt")
+		w("\tcmp r0, 0")
+		w("\tje worker_entry")
+		w("\tadd r9, 1")
+		w("\tjmp fork_workers")
+		w("master_loop:")
+		w("\tcall waitpid@plt")
+		w("\tcmp r0, -1")
+		w("\tje master_idle")
+		if cfg.RespawnWorkers {
+			w("\t; a worker died: respawn it")
+			w("\tmov r8, =respawns")
+			w("\tload r7, [r8]")
+			w("\tadd r7, 1")
+			w("\tstore [r8], r7")
+			w("\tcall fork@plt")
+			w("\tcmp r0, 0")
+			w("\tje worker_entry")
+		}
+		w("\tjmp master_loop")
+		w("master_idle:")
+		w("\tcall yield@plt")
+		w("\tjmp master_loop")
+	} else {
+		w("\tjmp worker_entry")
+	}
+
+	w("fatal:")
+	w("\tmov r1, 1")
+	w("\tcall exit@plt")
+
+	// Worker: end of initialization, then the accept loop.
+	w("worker_entry:")
+	w("\tmov r1, 1")
+	w("\tcall nudge@plt        ; initialization finished")
+	w("server_main_loop:")
+	w("\tmov r1, r10")
+	w("\tcall accept@plt")
+	w("\tmov r11, r0          ; connection fd")
+	w("\tcmp r11, -1")
+	w("\tje server_main_loop")
+	w("\tmov r1, r11")
+	w("\tmov r2, =reqbuf")
+	w("\tmov r3, 255")
+	w("\tcall read@plt")
+	w("\tcmp r0, 0")
+	w("\tjle close_conn")
+	w("\tmov r12, r0          ; request length")
+	w("\tmov r4, =reqbuf")
+	w("\tadd r4, r12")
+	w("\tmov r5, 0")
+	w("\tstoreb [r4], r5      ; NUL-terminate")
+	w("\tjmp dispatch")
+
+	// The dispatcher: Listing 1's switch-case over methods.
+	w("dispatch:")
+	w("\tmov r13, =reqbuf")
+	for _, m := range Methods {
+		emitMatch(w, m, "handle_"+strings.ToLower(m))
+	}
+	for i := 0; i < cfg.ExtraFeatures; i++ {
+		emitMatch(w, fmt.Sprintf("X%d", i), fmt.Sprintf("handle_x%d", i))
+	}
+	if cfg.CrashCommand {
+		emitMatch(w, "STACKBUG", "handle_stackbug")
+	}
+	w("\tjmp resp_400         ; unknown method")
+
+	// Handlers. Each responds and loops. resp_403 is the default
+	// error handler the rewriter redirects blocked methods to; it
+	// lives in the same dispatch function, as §3.2.2 requires.
+	w("handle_get:")
+	w("\tmov r8, =filelen")
+	w("\tload r7, [r8]")
+	w("\tcmp r7, 0")
+	w("\tje get_default")
+	w("\tmov r1, r11")
+	w("\tmov r2, =filestore")
+	w("\tmov r3, r7")
+	w("\tcall write@plt")
+	w("\tjmp respond_200")
+	w("get_default:")
+	w("\tjmp respond_200")
+
+	w("handle_head:")
+	w("\tjmp respond_200")
+
+	w("handle_put:")
+	w("\t; copy body (after \"PUT \") into the file store")
+	w("\tmov r1, =filestore")
+	w("\tmov r2, =reqbuf")
+	w("\tadd r2, 4")
+	w("\tmov r3, r12")
+	w("\tsub r3, 4")
+	w("\tcmp r3, 0")
+	w("\tjle put_empty")
+	w("\tcmp r3, 200")
+	w("\tjle put_copy")
+	w("\tmov r3, 200")
+	w("put_copy:")
+	w("\tpush r3")
+	w("\tcall memcpy@plt")
+	w("\tpop r3")
+	w("\tmov r8, =filelen")
+	w("\tstore [r8], r3")
+	w("\tjmp respond_201")
+	w("put_empty:")
+	w("\tjmp respond_400")
+
+	w("handle_delete:")
+	w("\tmov r8, =filelen")
+	w("\tmov r7, 0")
+	w("\tstore [r8], r7")
+	w("\tlea r2, r204")
+	w("\tmov r3, %d", len(Resp204))
+	w("\tjmp respond")
+
+	w("handle_options:")
+	w("\tlea r2, rallow")
+	w("\tmov r3, %d", len(RespAllow))
+	w("\tjmp respond")
+
+	w("handle_mkcol:")
+	w("\tjmp respond_201")
+
+	w("handle_post:")
+	w("\tjmp respond_200")
+
+	for i := 0; i < cfg.ExtraFeatures; i++ {
+		w("handle_x%d:", i)
+		w("\tmov r7, %d", i+1)
+		w("\tmul r7, 3")
+		w("\tadd r7, %d", i)
+		w("\tmov r8, =xstate")
+		w("\tstore [r8], r7")
+		w("\tlea r2, r210")
+		w("\tmov r3, %d", len(Resp210))
+		w("\tjmp respond")
+	}
+
+	if cfg.CrashCommand {
+		w("handle_stackbug:")
+		w("\t; the planted memory-safety bug: wild store, instant SIGSEGV")
+		w("\tmov r7, 0x6861636b         ; attacker-controlled pointer")
+		w("\tmov r8, 1")
+		w("\tstore [r7], r8")
+		w("\tjmp respond_200            ; never reached")
+	}
+
+	w("respond_200:")
+	w("\tlea r2, r200")
+	w("\tmov r3, %d", len(Resp200))
+	w("\tjmp respond")
+	w("respond_201:")
+	w("\tlea r2, r201")
+	w("\tmov r3, %d", len(Resp201))
+	w("\tjmp respond")
+	w("respond_400:")
+	w("resp_400:")
+	w("\tlea r2, r400")
+	w("\tmov r3, %d", len(Resp400))
+	w("\tjmp respond")
+	w("resp_403:")
+	w("\tlea r2, r403")
+	w("\tmov r3, %d", len(Resp403))
+	w("\tjmp respond")
+	w("respond:")
+	w("\tmov r1, r11")
+	w("\tcall write@plt")
+	w("close_conn:")
+	w("\tmov r1, r11")
+	w("\tcall close@plt")
+	w("\tjmp server_main_loop")
+
+	// Initialization chain: InitRoutines small routines, each a
+	// distinct set of blocks executed exactly once at boot.
+	w("parse_config:")
+	w("\tpush r1")
+	w("\tpush r2")
+	w("\tpush r3")
+	w("\tmov r1, =config_blob")
+	w("\tmov r2, 0")
+	w("\tmov r3, 0")
+	w("pc_loop:")
+	w("\tcmp r2, %d", 128)
+	w("\tjge pc_done")
+	w("\tloadb r4, [r1]")
+	w("\tadd r3, r4")
+	w("\tadd r1, 1")
+	w("\tadd r2, 1")
+	w("\tjmp pc_loop")
+	w("pc_done:")
+	w("\tmov r8, =config_sum")
+	w("\tstore [r8], r3")
+	w("\tpop r3")
+	w("\tpop r2")
+	w("\tpop r1")
+	w("\tret")
+
+	for i := 0; i < cfg.InitRoutines; i++ {
+		w("init_%d:", i)
+		w("\tmov r7, %d", i*7+3)
+		w("\tmul r7, %d", i+2)
+		w("\txor r7, %d", 0x5a5a)
+		w("\tmov r8, =init_state")
+		w("\tload r6, [r8]")
+		w("\tadd r6, r7")
+		w("\tstore [r8], r6")
+		if i+1 < cfg.InitRoutines {
+			w("\tcall init_%d", i+1)
+		}
+		w("\tret")
+	}
+
+	// Data.
+	w(".data")
+	w(".align 8")
+	w("filelen: .quad 0")
+	w("config_sum: .quad 0")
+	w("init_state: .quad 0")
+	w("xstate: .quad 0")
+	w("respawns: .quad 0")
+	w(".bss")
+	w(".align 8")
+	w("reqbuf: .space 256")
+	w("filestore: .space 256")
+	w(".rodata")
+	w("r200: .ascii %q", Resp200)
+	w("r201: .ascii %q", Resp201)
+	w("r204: .ascii %q", Resp204)
+	w("r210: .ascii %q", Resp210)
+	w("r400: .ascii %q", Resp400)
+	w("r403: .ascii %q", Resp403)
+	w("rallow: .ascii %q", RespAllow)
+	w("config_blob:")
+	w("\t.ascii \"server.port=%d workers=%d keepalive=on doc-root=/srv/www modules=dav,auth,rewrite padpadpadpadpadpadpadpadpadpadpadpadpadpad\"", cfg.Port, cfg.Workers)
+
+	return b.String()
+}
+
+// emitMatch generates the character-compare chain for one dispatcher
+// case. r13 holds the request buffer pointer.
+func emitMatch(w func(string, ...any), method, target string) {
+	label := "try_" + strings.ToLower(method)
+	next := "no_" + strings.ToLower(method)
+	w("%s:", label)
+	for i := 0; i < len(method); i++ {
+		w("\tloadb r4, [r13+%d]", i)
+		w("\tcmp r4, '%c'", method[i])
+		w("\tjne %s", next)
+	}
+	w("\tjmp %s", target)
+	w("%s:", next)
+}

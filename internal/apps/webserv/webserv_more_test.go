@@ -1,0 +1,95 @@
+package webserv
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLargePUTIsTruncatedSafely(t *testing.T) {
+	m, app, p := boot(t, Config{Port: 8180})
+	// The request buffer is 256 bytes and the file store caps at 200;
+	// an oversized body must be truncated, never overflow.
+	body := strings.Repeat("Z", 400)
+	got := request(t, m, app.Config.Port, "PUT /big "+body+"\n")
+	if !strings.Contains(got, "201") {
+		t.Fatalf("big PUT -> %q", got)
+	}
+	if p.Exited() {
+		t.Fatalf("server died: %v", p.KilledBy())
+	}
+	got = request(t, m, app.Config.Port, "GET /big\n")
+	if len(got) == 0 || len(got) > 250+len(Resp200) {
+		t.Fatalf("stored content length suspicious: %d bytes", len(got))
+	}
+}
+
+func TestEmptyPUTRejected(t *testing.T) {
+	m, app, _ := boot(t, Config{Port: 8181})
+	if got := request(t, m, app.Config.Port, "PUT\n"); !strings.Contains(got, "400") {
+		t.Fatalf("empty PUT -> %q", got)
+	}
+}
+
+func TestNginxStyleWithExtraFeatures(t *testing.T) {
+	m, app, _ := boot(t, Config{Name: "nginx", Port: 8182, Workers: 2, ExtraFeatures: 4})
+	if len(m.Processes()) != 3 {
+		t.Fatalf("procs = %d", len(m.Processes()))
+	}
+	// Features work through whichever worker accepts.
+	for i := 0; i < 4; i++ {
+		if got := request(t, m, app.Config.Port, "X2 /\n"); !strings.Contains(got, "210") {
+			t.Fatalf("X2 round %d -> %q", i, got)
+		}
+	}
+}
+
+func TestRequestSmallerThanMethodName(t *testing.T) {
+	m, app, p := boot(t, Config{Port: 8183})
+	// One-byte request: every match chain must fail on the NUL without
+	// reading out of bounds.
+	if got := request(t, m, app.Config.Port, "G"); !strings.Contains(got, "400") {
+		t.Fatalf("tiny request -> %q", got)
+	}
+	if p.Exited() {
+		t.Fatal("tiny request killed the server")
+	}
+}
+
+func TestSourceExposedForInspection(t *testing.T) {
+	app, err := Build(Config{Port: 8184, ExtraFeatures: 2, CrashCommand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"server_main_loop", "resp_403", "handle_put", "handle_x1",
+		"handle_stackbug", "parse_config",
+	} {
+		if !strings.Contains(app.Source, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+	// Respawn code only with the option.
+	if strings.Contains(app.Source, "respawn it") {
+		t.Error("respawn path generated without RespawnWorkers")
+	}
+	app2, err := Build(Config{Port: 8185, Workers: 1, RespawnWorkers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(app2.Source, "respawn it") {
+		t.Error("respawn path missing with RespawnWorkers")
+	}
+}
+
+func TestMethodsListMatchesDispatcher(t *testing.T) {
+	m, app, _ := boot(t, Config{Port: 8186})
+	for _, method := range Methods {
+		got := request(t, m, app.Config.Port, method+" /\n")
+		if strings.Contains(got, "400") {
+			t.Errorf("declared method %s got 400", method)
+		}
+		if got == "" {
+			t.Errorf("declared method %s got no response", method)
+		}
+	}
+}

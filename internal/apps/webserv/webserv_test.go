@@ -1,0 +1,170 @@
+package webserv
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/kernel"
+)
+
+// boot loads the app into a fresh machine and runs it past init.
+func boot(t *testing.T, cfg Config) (*kernel.Machine, *App, *kernel.Process) {
+	t.Helper()
+	app, err := Build(cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m := kernel.NewMachine()
+	p, err := m.Load(app.Exe, app.Libc)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	nudged := false
+	m.SetNudgeFunc(func(pid int, arg uint64) { nudged = true })
+	if !m.RunUntil(func() bool { return nudged }, 5_000_000) {
+		t.Fatalf("server never finished init; exited=%v code=%d killed=%v stdout=%q",
+			p.Exited(), p.ExitCode(), p.KilledBy(), p.Stdout())
+	}
+	m.Run(10000) // settle into accept
+	return m, app, p
+}
+
+// request sends one request and returns the full response.
+func request(t *testing.T, m *kernel.Machine, port uint16, req string) string {
+	t.Helper()
+	conn, err := m.Dial(port)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if _, err := conn.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntil(func() bool { return len(conn.ReadAllPeek()) > 0 || conn.Closed() }, 2_000_000)
+	m.Run(20000) // drain trailing bytes
+	return string(conn.ReadAll())
+}
+
+func TestLighttpdStyleServesMethods(t *testing.T) {
+	m, app, p := boot(t, Config{Name: "lighttpd", Port: 8080})
+	tests := []struct {
+		req  string
+		want string
+	}{
+		{"GET /index.html\n", Resp200},
+		{"HEAD /\n", Resp200},
+		{"PUT /file hello-world\n", Resp201},
+		{"GET /file\n", "hello-world"},
+		{"DELETE /file\n", Resp204},
+		{"GET /file\n", Resp200},
+		{"OPTIONS /\n", RespAllow},
+		{"MKCOL /dir\n", Resp201},
+		{"POST /form\n", Resp200},
+		{"BREW /coffee\n", Resp400},
+	}
+	for _, tt := range tests {
+		got := request(t, m, app.Config.Port, tt.req)
+		if !strings.Contains(got, strings.TrimSuffix(tt.want, "\n")) {
+			t.Errorf("request %q -> %q, want %q", tt.req, got, tt.want)
+		}
+	}
+	if p.Exited() {
+		t.Fatalf("server died: %v", p.KilledBy())
+	}
+}
+
+func TestExtraFeatures(t *testing.T) {
+	m, app, _ := boot(t, Config{Port: 8081, ExtraFeatures: 3})
+	for _, req := range []string{"X0 /\n", "X1 /\n", "X2 /\n"} {
+		got := request(t, m, app.Config.Port, req)
+		if !strings.Contains(got, "210") {
+			t.Errorf("%q -> %q, want 210", req, got)
+		}
+	}
+	if got := request(t, m, app.Config.Port, "X9 /\n"); !strings.Contains(got, "400") {
+		t.Errorf("undefined feature -> %q", got)
+	}
+}
+
+func TestNginxStyleMasterWorker(t *testing.T) {
+	m, app, p := boot(t, Config{Name: "nginx", Port: 8082, Workers: 1})
+	// Two processes: master + one worker.
+	if n := len(m.Processes()); n != 2 {
+		t.Fatalf("processes = %d, want 2", n)
+	}
+	got := request(t, m, app.Config.Port, "GET /\n")
+	if !strings.Contains(got, "200") {
+		t.Fatalf("GET through worker -> %q", got)
+	}
+	if p.Exited() {
+		t.Fatal("master died")
+	}
+}
+
+func TestWorkerRespawn(t *testing.T) {
+	m, app, _ := boot(t, Config{
+		Name: "nginx", Port: 8083, Workers: 1,
+		RespawnWorkers: true, CrashCommand: true,
+	})
+	// Crash the worker.
+	conn, err := m.Dial(app.Config.Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("STACKBUG /\n")); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(2_000_000)
+	// The master must have respawned a worker: service is back.
+	respawns, err := m.Processes()[0].Mem().ReadU64(symAddr(t, app, "respawns"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if respawns < 1 {
+		t.Fatalf("respawns = %d, want >= 1", respawns)
+	}
+	got := request(t, m, app.Config.Port, "GET /\n")
+	if !strings.Contains(got, "200") {
+		t.Fatalf("GET after respawn -> %q", got)
+	}
+}
+
+func symAddr(t *testing.T, app *App, name string) uint64 {
+	t.Helper()
+	sym, err := app.Exe.Symbol(name)
+	if err != nil {
+		t.Fatalf("symbol %s: %v", name, err)
+	}
+	return sym.Value
+}
+
+func TestInitRoutinesRunOnce(t *testing.T) {
+	m, app, _ := boot(t, Config{Port: 8084, InitRoutines: 5})
+	p := m.Processes()[0]
+	v, err := p.Mem().ReadU64(symAddr(t, app, "init_state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == 0 {
+		t.Fatal("init chain did not run")
+	}
+	cs, err := p.Mem().ReadU64(symAddr(t, app, "config_sum"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs == 0 {
+		t.Fatal("config parse did not run")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	app, err := Build(Config{})
+	if err != nil {
+		t.Fatalf("default Build: %v", err)
+	}
+	if app.Config.Port == 0 || app.Config.Name == "" {
+		t.Error("defaults not applied")
+	}
+	if app.Exe.TextSize() == 0 {
+		t.Error("empty text")
+	}
+}

@@ -1,0 +1,767 @@
+// Package asm implements a two-pass assembler for the virtual ISA.
+//
+// The assembler consumes a textual source file and produces an Object:
+// sections of raw bytes plus symbol definitions and relocation
+// requests, which internal/delf/link turns into DELF executables or
+// shared libraries. Guest applications (the simulated web server,
+// key-value store, and SPEC-like benchmarks) are authored in this
+// assembly, either by hand or by Go generators.
+//
+// Syntax, one statement per line; ';' and '#' start comments:
+//
+//	.text | .rodata | .data | .bss      select the current section
+//	.global NAME                        export NAME
+//	.extern NAME                        declare an imported symbol
+//	.ascii "s" | .asciz "s"             string data ('\n','\t','\0','\\','\"' escapes)
+//	.byte  e, e, ...                    8-bit values
+//	.quad  e, e, ...                    64-bit values; e may be a label
+//	.space N                            N zero bytes
+//	.align N                            pad to N-byte boundary
+//	label:                              define label at current position
+//
+// Labels beginning with '.' are local (do not terminate the enclosing
+// function symbol). A non-local label in .text starts a function; its
+// size extends to the next non-local label or the end of the section.
+//
+// Instruction operands: registers r0..r15 (sp = r15), immediates
+// (decimal, 0x hex, 'c'), memory [reg], [reg+imm], [reg-imm], labels,
+// `name@plt` for calls through the PLT, and `=label` for a 64-bit
+// absolute address immediate.
+package asm
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/isa"
+)
+
+// Object is the assembler's output: relocatable sections plus symbol
+// and relocation tables, all section-relative.
+type Object struct {
+	Sections map[string]*Section
+	Symbols  []SymDef
+	Relocs   []Reloc
+	Externs  []string
+}
+
+// Section is an object-file section under construction.
+type Section struct {
+	Name string
+	Data []byte
+	// Size covers .bss, which has Size > 0 and no Data.
+	Size uint64
+}
+
+// SymDef defines a symbol at an offset within a section.
+type SymDef struct {
+	Name    string
+	Section string
+	Off     uint64
+	Size    uint64
+	Kind    delf.SymKind
+	Global  bool
+}
+
+// Reloc asks the linker to patch a field inside a section.
+type Reloc struct {
+	Section string
+	Off     uint64
+	Kind    delf.RelKind
+	Symbol  string
+	Addend  int64
+}
+
+// SyntaxError reports an assembly failure with its line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
+
+var errNotReg = errors.New("not a register")
+
+// Assemble assembles one source file.
+func Assemble(src string) (*Object, error) {
+	a := &assembler{
+		obj: &Object{Sections: map[string]*Section{}},
+	}
+	// Pass 1: lay out bytes, record label offsets and relocation sites.
+	if err := a.run(src); err != nil {
+		return nil, err
+	}
+	// Pass 2 is implicit: all label references were emitted as
+	// relocations; the linker resolves local ones too. Compute
+	// function symbol sizes now that section sizes are final.
+	a.finishFuncSizes()
+	return a.obj, nil
+}
+
+type assembler struct {
+	obj     *Object
+	cur     *Section
+	line    int
+	globals map[string]bool
+	externs map[string]bool
+	// funcOrder tracks non-local .text labels in definition order so
+	// function sizes can be computed.
+	funcOrder []int // indices into obj.Symbols
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return &SyntaxError{Line: a.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) run(src string) error {
+	a.globals = map[string]bool{}
+	a.externs = map[string]bool{}
+	defined := map[string]bool{}
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// One or more labels may prefix a statement.
+		for {
+			idx := strings.Index(line, ":")
+			if idx < 0 || strings.ContainsAny(line[:idx], " \t\"'[,") {
+				break
+			}
+			name := strings.TrimSpace(line[:idx])
+			if !validIdent(name) {
+				return a.errf("invalid label %q", name)
+			}
+			if defined[name] {
+				return a.errf("label %q redefined", name)
+			}
+			defined[name] = true
+			if err := a.defineLabel(name); err != nil {
+				return err
+			}
+			line = strings.TrimSpace(line[idx+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		var err error
+		if strings.HasPrefix(line, ".") {
+			err = a.directive(line)
+		} else {
+			err = a.instruction(line)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	// Mark globals/externs.
+	for i := range a.obj.Symbols {
+		if a.globals[a.obj.Symbols[i].Name] {
+			a.obj.Symbols[i].Global = true
+		}
+	}
+	for name := range a.globals {
+		if !defined[name] {
+			return &SyntaxError{Line: 0, Msg: fmt.Sprintf(".global %q never defined", name)}
+		}
+	}
+	for name := range a.externs {
+		a.obj.Externs = append(a.obj.Externs, name)
+	}
+	return nil
+}
+
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if i == 0 || line[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case ';', '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_' || c == '.':
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) section(name string) *Section {
+	s, ok := a.obj.Sections[name]
+	if !ok {
+		s = &Section{Name: name}
+		a.obj.Sections[name] = s
+	}
+	return s
+}
+
+func (a *assembler) need() (*Section, error) {
+	if a.cur == nil {
+		return nil, a.errf("no current section (missing .text/.data?)")
+	}
+	return a.cur, nil
+}
+
+func (a *assembler) defineLabel(name string) error {
+	s, err := a.need()
+	if err != nil {
+		return err
+	}
+	kind := delf.SymObject
+	if s.Name == delf.SecText {
+		kind = delf.SymFunc
+	}
+	sym := SymDef{Name: name, Section: s.Name, Off: s.Size, Kind: kind}
+	a.obj.Symbols = append(a.obj.Symbols, sym)
+	if kind == delf.SymFunc && !strings.HasPrefix(name, ".") {
+		a.funcOrder = append(a.funcOrder, len(a.obj.Symbols)-1)
+	}
+	return nil
+}
+
+// finishFuncSizes sets each non-local .text function's size to the
+// distance to the next non-local .text label (or the section end).
+func (a *assembler) finishFuncSizes() {
+	text, ok := a.obj.Sections[delf.SecText]
+	if !ok {
+		return
+	}
+	for i, symIdx := range a.funcOrder {
+		end := text.Size
+		if i+1 < len(a.funcOrder) {
+			end = a.obj.Symbols[a.funcOrder[i+1]].Off
+		}
+		a.obj.Symbols[symIdx].Size = end - a.obj.Symbols[symIdx].Off
+	}
+}
+
+func (a *assembler) emit(b ...byte) error {
+	s, err := a.need()
+	if err != nil {
+		return err
+	}
+	if s.Name == delf.SecBSS {
+		return a.errf("cannot emit data into .bss")
+	}
+	s.Data = append(s.Data, b...)
+	s.Size = uint64(len(s.Data))
+	return nil
+}
+
+func (a *assembler) emitInst(in isa.Inst) error {
+	s, err := a.need()
+	if err != nil {
+		return err
+	}
+	if s.Name != delf.SecText {
+		return a.errf("instruction outside .text")
+	}
+	enc, err := isa.Encode(nil, in)
+	if err != nil {
+		return a.errf("%v", err)
+	}
+	return a.emit(enc...)
+}
+
+// addReloc records a relocation at the given offset in the current section.
+func (a *assembler) addReloc(off uint64, kind delf.RelKind, symbol string, addend int64) {
+	a.obj.Relocs = append(a.obj.Relocs, Reloc{
+		Section: a.cur.Name, Off: off, Kind: kind, Symbol: symbol, Addend: addend,
+	})
+}
+
+func (a *assembler) directive(line string) error {
+	fields := strings.SplitN(line, " ", 2)
+	dir := strings.TrimSpace(fields[0])
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch dir {
+	case ".text", ".rodata", ".data", ".bss":
+		a.cur = a.section(dir)
+		return nil
+	case ".global", ".globl":
+		if !validIdent(rest) {
+			return a.errf(".global needs a symbol name")
+		}
+		a.globals[rest] = true
+		return nil
+	case ".extern":
+		if !validIdent(rest) {
+			return a.errf(".extern needs a symbol name")
+		}
+		a.externs[rest] = true
+		return nil
+	case ".ascii", ".asciz":
+		s, err := parseString(rest)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		if dir == ".asciz" {
+			s = append(s, 0)
+		}
+		return a.emit(s...)
+	case ".byte":
+		for _, tok := range splitOperands(rest) {
+			v, err := parseImm(tok)
+			if err != nil {
+				return a.errf("bad .byte value %q: %v", tok, err)
+			}
+			if v < -128 || v > 255 {
+				return a.errf(".byte value %d out of range", v)
+			}
+			if err := a.emit(byte(v)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case ".quad":
+		for _, tok := range splitOperands(rest) {
+			if v, err := parseImm(tok); err == nil {
+				var buf [8]byte
+				putU64(buf[:], uint64(v))
+				if err := a.emit(buf[:]...); err != nil {
+					return err
+				}
+				continue
+			}
+			if !validIdent(tok) {
+				return a.errf("bad .quad value %q", tok)
+			}
+			s, err := a.need()
+			if err != nil {
+				return err
+			}
+			a.addReloc(s.Size, delf.RelAbs64, tok, 0)
+			if err := a.emit(make([]byte, 8)...); err != nil {
+				return err
+			}
+		}
+		return nil
+	case ".space":
+		n, err := parseImm(rest)
+		if err != nil || n < 0 {
+			return a.errf("bad .space size %q", rest)
+		}
+		s, serr := a.need()
+		if serr != nil {
+			return serr
+		}
+		if s.Name == delf.SecBSS {
+			s.Size += uint64(n)
+			return nil
+		}
+		return a.emit(make([]byte, n)...)
+	case ".align":
+		n, err := parseImm(rest)
+		if err != nil || n <= 0 || n&(n-1) != 0 {
+			return a.errf("bad .align %q (need power of two)", rest)
+		}
+		s, serr := a.need()
+		if serr != nil {
+			return serr
+		}
+		pad := (uint64(n) - s.Size%uint64(n)) % uint64(n)
+		if s.Name == delf.SecBSS {
+			s.Size += pad
+			return nil
+		}
+		fill := byte(0)
+		if s.Name == delf.SecText {
+			fill = byte(isa.OpNOP)
+		}
+		padBytes := make([]byte, pad)
+		for i := range padBytes {
+			padBytes[i] = fill
+		}
+		return a.emit(padBytes...)
+	default:
+		return a.errf("unknown directive %q", dir)
+	}
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func parseString(tok string) ([]byte, error) {
+	if len(tok) < 2 || tok[0] != '"' || tok[len(tok)-1] != '"' {
+		return nil, fmt.Errorf("expected quoted string, got %q", tok)
+	}
+	body := tok[1 : len(tok)-1]
+	var out []byte
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return nil, errors.New("trailing backslash in string")
+		}
+		switch body[i] {
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case 'r':
+			out = append(out, '\r')
+		case '0':
+			out = append(out, 0)
+		case '\\':
+			out = append(out, '\\')
+		case '"':
+			out = append(out, '"')
+		default:
+			return nil, fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return out, nil
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	tail := strings.TrimSpace(s[start:])
+	if tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}
+
+func parseReg(tok string) (isa.Register, error) {
+	tok = strings.ToLower(strings.TrimSpace(tok))
+	if tok == "sp" {
+		return isa.SP, nil
+	}
+	if !strings.HasPrefix(tok, "r") {
+		return 0, errNotReg
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 || n >= isa.NumRegisters {
+		return 0, errNotReg
+	}
+	return isa.Register(n), nil
+}
+
+func parseImm(tok string) (int64, error) {
+	tok = strings.TrimSpace(tok)
+	if len(tok) >= 3 && tok[0] == '\'' && tok[len(tok)-1] == '\'' {
+		body := tok[1 : len(tok)-1]
+		if len(body) == 1 {
+			return int64(body[0]), nil
+		}
+		if len(body) == 2 && body[0] == '\\' {
+			switch body[1] {
+			case 'n':
+				return '\n', nil
+			case 't':
+				return '\t', nil
+			case '0':
+				return 0, nil
+			case 'r':
+				return '\r', nil
+			case '\\':
+				return '\\', nil
+			}
+		}
+		return 0, fmt.Errorf("bad char literal %q", tok)
+	}
+	return strconv.ParseInt(tok, 0, 64)
+}
+
+// memOperand parses "[reg]", "[reg+imm]", "[reg-imm]".
+func parseMem(tok string) (isa.Register, int64, error) {
+	tok = strings.TrimSpace(tok)
+	if len(tok) < 3 || tok[0] != '[' || tok[len(tok)-1] != ']' {
+		return 0, 0, fmt.Errorf("expected memory operand, got %q", tok)
+	}
+	body := tok[1 : len(tok)-1]
+	sign := int64(1)
+	idx := strings.IndexAny(body, "+-")
+	regPart, immPart := body, ""
+	if idx > 0 {
+		regPart, immPart = body[:idx], body[idx+1:]
+		if body[idx] == '-' {
+			sign = -1
+		}
+	}
+	reg, err := parseReg(regPart)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad base register in %q", tok)
+	}
+	var disp int64
+	if immPart != "" {
+		disp, err = parseImm(immPart)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad displacement in %q", tok)
+		}
+	}
+	return reg, sign * disp, nil
+}
+
+func (a *assembler) instruction(line string) error {
+	sp := strings.IndexAny(line, " \t")
+	mnem := line
+	rest := ""
+	if sp > 0 {
+		mnem = line[:sp]
+		rest = strings.TrimSpace(line[sp+1:])
+	}
+	mnem = strings.ToLower(mnem)
+	ops := splitOperands(rest)
+
+	switch mnem {
+	case "nop":
+		return a.emitInst(isa.Inst{Op: isa.OpNOP})
+	case "ret":
+		return a.emitInst(isa.Inst{Op: isa.OpRET})
+	case "int3":
+		return a.emitInst(isa.Inst{Op: isa.OpINT3})
+	case "hlt":
+		return a.emitInst(isa.Inst{Op: isa.OpHLT})
+	case "syscall":
+		return a.emitInst(isa.Inst{Op: isa.OpSYS})
+	case "push", "pop":
+		if len(ops) != 1 {
+			return a.errf("%s needs one register", mnem)
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf("%s: %v", mnem, err)
+		}
+		op := isa.OpPUSH
+		if mnem == "pop" {
+			op = isa.OpPOP
+		}
+		return a.emitInst(isa.Inst{Op: op, A: r})
+	case "mov":
+		return a.asmMov(ops)
+	case "lea":
+		if len(ops) != 2 {
+			return a.errf("lea needs two operands")
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf("lea: %v", err)
+		}
+		if !validIdent(ops[1]) {
+			return a.errf("lea: expected label, got %q", ops[1])
+		}
+		s, serr := a.need()
+		if serr != nil {
+			return serr
+		}
+		// rel32 field is at +2 in the LEA encoding.
+		a.addReloc(s.Size+2, delf.RelPC32, ops[1], 0)
+		return a.emitInst(isa.Inst{Op: isa.OpLEA, A: r})
+	case "load", "loadb":
+		if len(ops) != 2 {
+			return a.errf("%s needs two operands", mnem)
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf("%s: %v", mnem, err)
+		}
+		base, disp, err := parseMem(ops[1])
+		if err != nil {
+			return a.errf("%s: %v", mnem, err)
+		}
+		op := isa.OpLOAD
+		if mnem == "loadb" {
+			op = isa.OpLOADB
+		}
+		return a.emitInst(isa.Inst{Op: op, A: r, B: base, Imm: disp})
+	case "store", "storeb":
+		if len(ops) != 2 {
+			return a.errf("%s needs two operands", mnem)
+		}
+		base, disp, err := parseMem(ops[0])
+		if err != nil {
+			return a.errf("%s: %v", mnem, err)
+		}
+		r, err := parseReg(ops[1])
+		if err != nil {
+			return a.errf("%s: %v", mnem, err)
+		}
+		op := isa.OpSTORE
+		if mnem == "storeb" {
+			op = isa.OpSTOREB
+		}
+		return a.emitInst(isa.Inst{Op: op, A: r, B: base, Imm: disp})
+	case "add", "sub", "mul", "div", "and", "or", "xor", "shl", "shr", "cmp":
+		return a.asmALU(mnem, ops)
+	case "jmp", "je", "jne", "jl", "jg", "jle", "jge":
+		return a.asmJump(mnem, ops)
+	case "call":
+		return a.asmCall(ops)
+	default:
+		return a.errf("unknown mnemonic %q", mnem)
+	}
+}
+
+func (a *assembler) asmMov(ops []string) error {
+	if len(ops) != 2 {
+		return a.errf("mov needs two operands")
+	}
+	dst, err := parseReg(ops[0])
+	if err != nil {
+		return a.errf("mov: bad destination %q", ops[0])
+	}
+	if src, err := parseReg(ops[1]); err == nil {
+		return a.emitInst(isa.Inst{Op: isa.OpMOVrr, A: dst, B: src})
+	}
+	if strings.HasPrefix(ops[1], "=") {
+		sym := strings.TrimPrefix(ops[1], "=")
+		if !validIdent(sym) {
+			return a.errf("mov: bad address literal %q", ops[1])
+		}
+		s, serr := a.need()
+		if serr != nil {
+			return serr
+		}
+		// imm64 field is at +2 in the MOVri encoding.
+		a.addReloc(s.Size+2, delf.RelAbs64, sym, 0)
+		return a.emitInst(isa.Inst{Op: isa.OpMOVri, A: dst})
+	}
+	imm, err := parseImm(ops[1])
+	if err != nil {
+		return a.errf("mov: bad source %q", ops[1])
+	}
+	return a.emitInst(isa.Inst{Op: isa.OpMOVri, A: dst, Imm: imm})
+}
+
+var aluRR = map[string]isa.Opcode{
+	"add": isa.OpADDrr, "sub": isa.OpSUBrr, "mul": isa.OpMULrr,
+	"div": isa.OpDIVrr, "and": isa.OpANDrr, "or": isa.OpORrr,
+	"xor": isa.OpXORrr, "shl": isa.OpSHLrr, "shr": isa.OpSHRrr,
+	"cmp": isa.OpCMPrr,
+}
+
+var aluRI = map[string]isa.Opcode{
+	"add": isa.OpADDri, "sub": isa.OpSUBri, "mul": isa.OpMULri,
+	"and": isa.OpANDri, "or": isa.OpORri, "xor": isa.OpXORri,
+	"shl": isa.OpSHLri, "shr": isa.OpSHRri, "cmp": isa.OpCMPri,
+}
+
+func (a *assembler) asmALU(mnem string, ops []string) error {
+	if len(ops) != 2 {
+		return a.errf("%s needs two operands", mnem)
+	}
+	dst, err := parseReg(ops[0])
+	if err != nil {
+		return a.errf("%s: bad register %q", mnem, ops[0])
+	}
+	if src, err := parseReg(ops[1]); err == nil {
+		return a.emitInst(isa.Inst{Op: aluRR[mnem], A: dst, B: src})
+	}
+	imm, err := parseImm(ops[1])
+	if err != nil {
+		return a.errf("%s: bad operand %q", mnem, ops[1])
+	}
+	op, ok := aluRI[mnem]
+	if !ok {
+		return a.errf("%s does not take an immediate", mnem)
+	}
+	return a.emitInst(isa.Inst{Op: op, A: dst, Imm: imm})
+}
+
+var jumps = map[string]isa.Opcode{
+	"jmp": isa.OpJMP, "je": isa.OpJE, "jne": isa.OpJNE,
+	"jl": isa.OpJL, "jg": isa.OpJG, "jle": isa.OpJLE, "jge": isa.OpJGE,
+}
+
+func (a *assembler) asmJump(mnem string, ops []string) error {
+	if len(ops) != 1 {
+		return a.errf("%s needs one operand", mnem)
+	}
+	if mnem == "jmp" {
+		if r, err := parseReg(ops[0]); err == nil {
+			return a.emitInst(isa.Inst{Op: isa.OpJMPr, A: r})
+		}
+	}
+	if !validIdent(ops[0]) {
+		return a.errf("%s: bad target %q", mnem, ops[0])
+	}
+	s, serr := a.need()
+	if serr != nil {
+		return serr
+	}
+	// rel32 field is at +1 in direct branch encodings.
+	a.addReloc(s.Size+1, delf.RelPC32, ops[0], 0)
+	return a.emitInst(isa.Inst{Op: jumps[mnem]})
+}
+
+func (a *assembler) asmCall(ops []string) error {
+	if len(ops) != 1 {
+		return a.errf("call needs one operand")
+	}
+	if r, err := parseReg(ops[0]); err == nil {
+		return a.emitInst(isa.Inst{Op: isa.OpCALLr, A: r})
+	}
+	target := ops[0]
+	kind := delf.RelPC32
+	if strings.HasSuffix(target, "@plt") {
+		target = strings.TrimSuffix(target, "@plt")
+		kind = delf.RelPLT32
+		a.externs[target] = true
+	}
+	if !validIdent(target) {
+		return a.errf("call: bad target %q", ops[0])
+	}
+	s, serr := a.need()
+	if serr != nil {
+		return serr
+	}
+	a.addReloc(s.Size+1, kind, target, 0)
+	return a.emitInst(isa.Inst{Op: isa.OpCALL})
+}

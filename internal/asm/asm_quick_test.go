@@ -1,0 +1,104 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/isa"
+)
+
+// genSource builds a structurally valid assembly source from a random
+// seed: labeled blocks of arithmetic with occasional branches between
+// them.
+func genSource(seed []byte) string {
+	var b strings.Builder
+	b.WriteString(".text\n.global _start\n_start:\n")
+	nLabels := len(seed)/8 + 1
+	for i, v := range seed {
+		switch v % 6 {
+		case 0:
+			fmt.Fprintf(&b, "\tmov r%d, %d\n", v%14, int(v)*3)
+		case 1:
+			fmt.Fprintf(&b, "\tadd r%d, %d\n", v%14, v)
+		case 2:
+			fmt.Fprintf(&b, "\tcmp r%d, r%d\n", v%14, (v+1)%14)
+		case 3:
+			fmt.Fprintf(&b, "\tjne lbl_%d\n", int(v)%nLabels)
+		case 4:
+			fmt.Fprintf(&b, "\tpush r%d\n\tpop r%d\n", v%14, v%14)
+		case 5:
+			fmt.Fprintf(&b, "\tlea r%d, data_word\n", v%14)
+		}
+		if i%8 == 7 {
+			fmt.Fprintf(&b, "lbl_%d:\n", i/8)
+		}
+	}
+	// Define any remaining referenced labels.
+	for i := 0; i < nLabels; i++ {
+		fmt.Fprintf(&b, "lbl_%d_guard:\n", i)
+	}
+	for i := len(seed) / 8; i < nLabels; i++ {
+		fmt.Fprintf(&b, "lbl_%d:\n", i)
+	}
+	b.WriteString("\tret\n.data\ndata_word: .quad 7\n")
+	return b.String()
+}
+
+// Property: generated sources assemble, and the emitted text decodes
+// as a valid instruction stream of the same byte length.
+func TestQuickAssembleDecodes(t *testing.T) {
+	f := func(seed []byte) bool {
+		if len(seed) > 150 {
+			seed = seed[:150]
+		}
+		src := genSource(seed)
+		obj, err := Assemble(src)
+		if err != nil {
+			t.Logf("assemble failed:\n%s\n%v", src, err)
+			return false
+		}
+		text := obj.Sections[delf.SecText]
+		off := 0
+		for off < len(text.Data) {
+			in, err := isa.Decode(text.Data[off:])
+			if err != nil {
+				return false
+			}
+			off += in.Size
+		}
+		return off == len(text.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every relocation site recorded by the assembler lies
+// within its section.
+func TestQuickRelocBounds(t *testing.T) {
+	f := func(seed []byte) bool {
+		if len(seed) > 100 {
+			seed = seed[:100]
+		}
+		obj, err := Assemble(genSource(seed))
+		if err != nil {
+			return false
+		}
+		for _, rel := range obj.Relocs {
+			sec, ok := obj.Sections[rel.Section]
+			if !ok {
+				return false
+			}
+			if rel.Off+4 > sec.Size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,260 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Object {
+	t.Helper()
+	obj, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return obj
+}
+
+func TestAssembleBasicProgram(t *testing.T) {
+	obj := mustAssemble(t, `
+.text
+.global _start
+_start:
+	mov r0, 60        ; exit
+	mov r1, 7
+	syscall
+`)
+	text := obj.Sections[delf.SecText]
+	if text == nil {
+		t.Fatal("no .text section")
+	}
+	insts, _ := isa.Disassemble(text.Data, 0)
+	if len(insts) != 3 {
+		t.Fatalf("got %d instructions, want 3", len(insts))
+	}
+	if insts[0].Op != isa.OpMOVri || insts[0].Imm != 60 {
+		t.Errorf("inst 0 = %v", insts[0])
+	}
+	if insts[2].Op != isa.OpSYS {
+		t.Errorf("inst 2 = %v", insts[2])
+	}
+	if len(obj.Symbols) != 1 || obj.Symbols[0].Name != "_start" || !obj.Symbols[0].Global {
+		t.Errorf("symbols = %+v", obj.Symbols)
+	}
+	if obj.Symbols[0].Size != text.Size {
+		t.Errorf("_start size = %d, want %d", obj.Symbols[0].Size, text.Size)
+	}
+}
+
+func TestAssembleAllForms(t *testing.T) {
+	obj := mustAssemble(t, `
+.text
+f:
+	mov r1, r2
+	mov r3, -0x10
+	mov r4, =greeting
+	lea r5, greeting
+	load r6, [r1+8]
+	loadb r6, [r1-1]
+	store [sp-16], r6
+	storeb [sp], r6
+	add r1, r2
+	add r1, 5
+	sub r1, 1
+	mul r2, r3
+	div r2, r3
+	and r1, 0xff
+	or r1, r2
+	xor r1, r1
+	shl r1, 3
+	shr r1, r2
+	cmp r1, 10
+	cmp r1, r2
+	push r1
+	pop r2
+	jmp .loop
+.loop:
+	je f
+	jne f
+	jl f
+	jg f
+	jle f
+	jge f
+	jmp r9
+	call f
+	call helper
+	call write@plt
+	int3
+	nop
+	hlt
+	ret
+helper:
+	ret
+
+.rodata
+greeting: .asciz "hi\n"
+
+.data
+.align 8
+counter: .quad 0
+table: .quad f, greeting, 0x1234
+
+.bss
+buf: .space 128
+.align 4096
+big: .space 4096
+`)
+	text := obj.Sections[delf.SecText]
+	insts, _ := isa.Disassemble(text.Data, 0)
+	if len(insts) != 38 {
+		t.Fatalf("decoded %d instructions, want 38", len(insts))
+	}
+	// Externs gathered from @plt.
+	foundWrite := false
+	for _, e := range obj.Externs {
+		if e == "write" {
+			foundWrite = true
+		}
+	}
+	if !foundWrite {
+		t.Errorf("externs = %v, want write", obj.Externs)
+	}
+	// Function sizes: f extends to helper; .loop is local and doesn't cut it.
+	var fDef, helperDef *SymDef
+	for i := range obj.Symbols {
+		switch obj.Symbols[i].Name {
+		case "f":
+			fDef = &obj.Symbols[i]
+		case "helper":
+			helperDef = &obj.Symbols[i]
+		}
+	}
+	if fDef == nil || helperDef == nil {
+		t.Fatal("missing function symbols")
+	}
+	if fDef.Off+fDef.Size != helperDef.Off {
+		t.Errorf("f size %d does not reach helper at %d", fDef.Size, helperDef.Off)
+	}
+	// BSS sizing: 128 + pad to 4096 + 4096.
+	bss := obj.Sections[delf.SecBSS]
+	if bss.Size != 8192 {
+		t.Errorf("bss size = %d, want 8192", bss.Size)
+	}
+	if len(bss.Data) != 0 {
+		t.Error("bss has data bytes")
+	}
+	// Data relocations for .quad f, greeting.
+	var quadRelocs int
+	for _, r := range obj.Relocs {
+		if r.Section == delf.SecData && r.Kind == delf.RelAbs64 {
+			quadRelocs++
+		}
+	}
+	if quadRelocs != 2 {
+		t.Errorf("data ABS64 relocs = %d, want 2", quadRelocs)
+	}
+	// rodata contents.
+	ro := obj.Sections[delf.SecROData]
+	if string(ro.Data) != "hi\n\x00" {
+		t.Errorf("rodata = %q", ro.Data)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no section", "mov r1, 2", "no current section"},
+		{"data in bss", ".bss\n.byte 1", "cannot emit data"},
+		{"inst in data", ".data\nmov r1, 2", "instruction outside .text"},
+		{"bad mnemonic", ".text\nfrobnicate r1", "unknown mnemonic"},
+		{"bad register", ".text\nmov r16, 1", "bad destination"},
+		{"bad label char", ".text\nfoo-bar:", "invalid label"},
+		{"dup label", ".text\nx:\nx:", "redefined"},
+		{"undefined global", ".text\n.global nope\nf: ret", "never defined"},
+		{"bad directive", ".wat 3", "unknown directive"},
+		{"bad align", ".data\n.align 3", "power of two"},
+		{"byte range", ".data\n.byte 300", "out of range"},
+		{"bad string", `.data
+.ascii hello`, "quoted string"},
+		{"jump to number", ".text\njmp 42", "bad target"},
+		{"shift range", ".text\nshl r1, 64", "isa"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Assemble(tt.src)
+			if err == nil {
+				t.Fatalf("Assemble succeeded, want error containing %q", tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error = %v, want substring %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	obj := mustAssemble(t, `
+; full line comment
+# hash comment
+.text
+f:   ret   ; trailing
+.rodata
+s: .ascii "a;b#c"  ; separators inside strings survive
+`)
+	if string(obj.Sections[delf.SecROData].Data) != "a;b#c" {
+		t.Errorf("rodata = %q", obj.Sections[delf.SecROData].Data)
+	}
+	if obj.Sections[delf.SecText].Size != 1 {
+		t.Errorf("text size = %d", obj.Sections[delf.SecText].Size)
+	}
+}
+
+func TestLabelOnSameLineAsInstruction(t *testing.T) {
+	obj := mustAssemble(t, ".text\nstart: mov r1, 1\nnext: ret\n")
+	if len(obj.Symbols) != 2 {
+		t.Fatalf("symbols = %+v", obj.Symbols)
+	}
+	if obj.Symbols[1].Off != 10 {
+		t.Errorf("next at %d, want 10", obj.Symbols[1].Off)
+	}
+}
+
+func TestCharImmediates(t *testing.T) {
+	obj := mustAssemble(t, ".text\nf: mov r1, 'A'\ncmp r1, '\\n'\nret\n")
+	insts, _ := isa.Disassemble(obj.Sections[delf.SecText].Data, 0)
+	if insts[0].Imm != 'A' {
+		t.Errorf("char imm = %d", insts[0].Imm)
+	}
+	if insts[1].Imm != '\n' {
+		t.Errorf("escape imm = %d", insts[1].Imm)
+	}
+}
+
+func TestRelocationOffsets(t *testing.T) {
+	obj := mustAssemble(t, `
+.text
+f:
+	call g        ; reloc at +1
+	lea r1, g     ; reloc at 5+2
+	mov r2, =g    ; reloc at 11+2
+	ret
+g:	ret
+`)
+	want := map[uint64]delf.RelKind{1: delf.RelPC32, 7: delf.RelPC32, 13: delf.RelAbs64}
+	if len(obj.Relocs) != len(want) {
+		t.Fatalf("relocs = %+v", obj.Relocs)
+	}
+	for _, r := range obj.Relocs {
+		if want[r.Off] != r.Kind {
+			t.Errorf("reloc at %d kind %v, want %v", r.Off, r.Kind, want[r.Off])
+		}
+		if r.Symbol != "g" {
+			t.Errorf("reloc symbol %q", r.Symbol)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package baseline implements trace-based *static* binary debloaters
+// standing in for RAZOR and CHISEL, the comparison systems of the
+// paper's Figure 10. Both take a binary plus execution traces and
+// produce a one-time debloated binary: removed blocks are filled with
+// INT3 in the binary image itself, permanently — the defining
+// limitation DynaCut lifts. Their live-block fraction is therefore a
+// constant over the program's lifetime.
+//
+//   - Chisel-like: aggressively keeps exactly the traced blocks
+//     (the paper reports CHISEL removing ~66% of blocks).
+//   - Razor-like: keeps traced blocks plus heuristically related
+//     code — both outgoing edges of every executed conditional and
+//     the blocks they reach transitively up to one level — RAZOR's
+//     "zCode" expansion keeps it from breaking on slightly different
+//     inputs (the paper reports ~53.1% removal).
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/dynacut/dynacut/internal/coverage"
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/disasm"
+)
+
+// Result describes one static debloating run.
+type Result struct {
+	Tool          string
+	TotalBlocks   int
+	KeptBlocks    int
+	RemovedBlocks int
+	// Debloated is the rewritten binary (removed blocks INT3-filled).
+	Debloated *delf.File
+}
+
+// LiveFraction is the constant fraction of blocks left reachable.
+func (r *Result) LiveFraction() float64 {
+	if r.TotalBlocks == 0 {
+		return 0
+	}
+	return float64(r.KeptBlocks) / float64(r.TotalBlocks)
+}
+
+// Chisel debloats exe keeping only the blocks covered by traces.
+func Chisel(exe *delf.File, traces *coverage.Graph) (*Result, error) {
+	return debloat("chisel", exe, traces, false)
+}
+
+// Razor debloats exe keeping covered blocks plus heuristically
+// related blocks (non-taken branch edges and their immediate
+// successors).
+func Razor(exe *delf.File, traces *coverage.Graph) (*Result, error) {
+	return debloat("razor", exe, traces, true)
+}
+
+func debloat(tool string, exe *delf.File, traces *coverage.Graph, expand bool) (*Result, error) {
+	if exe.Type != delf.TypeExec {
+		return nil, fmt.Errorf("baseline: %s is not an executable", exe.Name)
+	}
+	cfg := disasm.Analyze(exe)
+	base, _ := traces.ModuleBase(exe.Name)
+
+	kept := map[uint64]bool{}
+	for _, b := range cfg.Sorted() {
+		if traces.Contains(exe.Name, b.Addr-base) {
+			kept[b.Addr] = true
+		}
+	}
+	if expand {
+		// RAZOR-style related-code heuristic: for every kept block,
+		// keep all static successors, and their successors (two
+		// levels of the zCode expansion).
+		frontier := make([]uint64, 0, len(kept))
+		for a := range kept {
+			frontier = append(frontier, a)
+		}
+		for depth := 0; depth < 2; depth++ {
+			var next []uint64
+			for _, a := range frontier {
+				blk, ok := cfg.BlockAt(a)
+				if !ok {
+					continue
+				}
+				for _, s := range blk.Succs {
+					if !kept[s] {
+						if _, ok := cfg.BlockAt(s); ok {
+							kept[s] = true
+							next = append(next, s)
+						}
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+
+	out := cloneFile(exe)
+	removed := 0
+	for _, b := range cfg.Sorted() {
+		if kept[b.Addr] {
+			continue
+		}
+		if err := fillINT3(out, b.Addr, b.Size); err != nil {
+			return nil, err
+		}
+		removed++
+	}
+	return &Result{
+		Tool:          tool,
+		TotalBlocks:   cfg.Count(),
+		KeptBlocks:    cfg.Count() - removed,
+		RemovedBlocks: removed,
+		Debloated:     out,
+	}, nil
+}
+
+func cloneFile(f *delf.File) *delf.File {
+	out := &delf.File{
+		Type:    f.Type,
+		Name:    f.Name,
+		Entry:   f.Entry,
+		Symbols: append([]delf.Symbol(nil), f.Symbols...),
+		Relocs:  append([]delf.Reloc(nil), f.Relocs...),
+		Needed:  append([]string(nil), f.Needed...),
+	}
+	for _, s := range f.Sections {
+		ns := &delf.Section{Name: s.Name, Addr: s.Addr, Size: s.Size, Perm: s.Perm}
+		ns.Data = append([]byte(nil), s.Data...)
+		out.Sections = append(out.Sections, ns)
+	}
+	return out
+}
+
+func fillINT3(f *delf.File, addr, size uint64) error {
+	sec, err := f.SectionAt(addr)
+	if err != nil {
+		return err
+	}
+	off := addr - sec.Addr
+	if off+size > uint64(len(sec.Data)) {
+		return fmt.Errorf("baseline: block %#x+%d exceeds section %s", addr, size, sec.Name)
+	}
+	for i := uint64(0); i < size; i++ {
+		sec.Data[off+i] = 0xCC
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/apps/webserv"
+	"github.com/dynacut/dynacut/internal/coverage"
+	"github.com/dynacut/dynacut/internal/kernel"
+	"github.com/dynacut/dynacut/internal/trace"
+)
+
+// traceServer boots the server, drives the wanted workload, and
+// returns the app plus its full coverage graph.
+func traceServer(t *testing.T, reqs []string) (*webserv.App, *coverage.Graph) {
+	t.Helper()
+	app, err := webserv.Build(webserv.Config{Name: "lighttpd", Port: 8080})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := kernel.NewMachine()
+	col := trace.NewCollector(app.Config.Name)
+	m.SetTracer(col)
+	p, err := m.Load(app.Exe, app.Libc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nudged := false
+	m.SetNudgeFunc(func(pid int, arg uint64) { nudged = true })
+	if !m.RunUntil(func() bool { return nudged }, 10_000_000) {
+		t.Fatal("boot failed")
+	}
+	for _, r := range reqs {
+		conn, err := m.Dial(app.Config.Port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+		m.RunUntil(func() bool { return len(conn.ReadAllPeek()) > 0 || conn.Closed() }, 2_000_000)
+		m.Run(20000)
+	}
+	return app, coverage.FromLog(col.Snapshot(p.Modules(), "full"))
+}
+
+func TestChiselMoreAggressiveThanRazor(t *testing.T) {
+	app, cov := traceServer(t, []string{"GET /\n", "HEAD /\n"})
+	chisel, err := Chisel(app.Exe, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	razor, err := Razor(app.Exe, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chisel.RemovedBlocks == 0 || razor.RemovedBlocks == 0 {
+		t.Fatalf("nothing removed: chisel=%d razor=%d", chisel.RemovedBlocks, razor.RemovedBlocks)
+	}
+	// The paper's ordering: CHISEL removes more than RAZOR.
+	if chisel.RemovedBlocks <= razor.RemovedBlocks {
+		t.Errorf("chisel removed %d <= razor %d", chisel.RemovedBlocks, razor.RemovedBlocks)
+	}
+	if chisel.LiveFraction() >= razor.LiveFraction() {
+		t.Errorf("live fractions: chisel %.2f >= razor %.2f",
+			chisel.LiveFraction(), razor.LiveFraction())
+	}
+	if chisel.TotalBlocks != razor.TotalBlocks {
+		t.Errorf("total mismatch: %d vs %d", chisel.TotalBlocks, razor.TotalBlocks)
+	}
+	if chisel.KeptBlocks+chisel.RemovedBlocks != chisel.TotalBlocks {
+		t.Error("chisel kept+removed != total")
+	}
+}
+
+func TestDebloatedBinaryServesTracedWorkload(t *testing.T) {
+	reqs := []string{"GET /\n", "HEAD /\n", "OPTIONS /\n"}
+	app, cov := traceServer(t, reqs)
+	razor, err := Razor(app.Exe, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run the debloated binary: traced requests still work.
+	m := kernel.NewMachine()
+	p, err := m.Load(razor.Debloated, app.Libc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nudged := false
+	m.SetNudgeFunc(func(pid int, arg uint64) { nudged = true })
+	if !m.RunUntil(func() bool { return nudged }, 10_000_000) {
+		t.Fatalf("debloated server died during boot: killed=%v", p.KilledBy())
+	}
+	conn, err := m.Dial(app.Config.Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("GET /\n")); err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntil(func() bool { return len(conn.ReadAllPeek()) > 0 }, 2_000_000)
+	if got := string(conn.ReadAll()); !strings.Contains(got, "200") {
+		t.Fatalf("GET on debloated binary -> %q", got)
+	}
+}
+
+func TestDebloatedBinaryKillsUntracedFeature(t *testing.T) {
+	app, cov := traceServer(t, []string{"GET /\n"})
+	chisel, err := Chisel(app.Exe, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := kernel.NewMachine()
+	p, err := m.Load(chisel.Debloated, app.Libc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nudged := false
+	m.SetNudgeFunc(func(pid int, arg uint64) { nudged = true })
+	if !m.RunUntil(func() bool { return nudged }, 10_000_000) {
+		t.Fatalf("boot: killed=%v", p.KilledBy())
+	}
+	conn, err := m.Dial(app.Config.Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PUT was never traced: the static debloater removed it, and
+	// unlike DynaCut there is no error-path redirect — the process
+	// dies (the usability problem §3.2.2 calls out).
+	if _, err := conn.Write([]byte("PUT /f data\n")); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(3_000_000)
+	if !p.Exited() || p.KilledBy() != kernel.SIGTRAP {
+		t.Fatalf("untraced feature: exited=%v killed=%v, want SIGTRAP death",
+			p.Exited(), p.KilledBy())
+	}
+}
+
+func TestRejectsLibraries(t *testing.T) {
+	app, cov := traceServer(t, []string{"GET /\n"})
+	if _, err := Chisel(app.Libc, cov); err == nil {
+		t.Error("library accepted as debloat target")
+	}
+}

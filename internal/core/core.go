@@ -1,0 +1,567 @@
+// Package core implements DynaCut itself: dynamic and adaptive
+// program customization by offline process rewriting. A Customizer
+// wraps one running guest process (or process tree) and applies the
+// checkpoint → rewrite → restore cycle of the paper's Figure 3:
+// undesired basic blocks (identified by internal/coverage's
+// trace-differencing) are blocked with one-byte INT3 patches, wiped,
+// or unmapped; a signal-handler library is injected to redirect
+// accidental accesses to the application's own error path; and every
+// change is reversible at run time, so features can be re-enabled
+// when the usage scenario changes.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/dynacut/dynacut/internal/coverage"
+	"github.com/dynacut/dynacut/internal/crit"
+	"github.com/dynacut/dynacut/internal/criu"
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/kernel"
+)
+
+// Policy selects how undesired code is removed (§3.2.2).
+type Policy int
+
+// Removal policies, from cheapest to strongest.
+const (
+	// PolicyBlockEntry replaces only the first byte of each block
+	// with INT3: enough to stop the dispatcher from entering the
+	// feature, constant-time to apply and to revert.
+	PolicyBlockEntry Policy = iota + 1
+	// PolicyWipeBlocks overwrites every byte of each block with
+	// INT3, defeating mid-block jumps (ROP gadget reuse).
+	PolicyWipeBlocks
+	// PolicyUnmapPages removes whole pages from the address space;
+	// only pages fully covered by undesired blocks are unmapped, the
+	// remainder is wiped.
+	PolicyUnmapPages
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyBlockEntry:
+		return "block-entry"
+	case PolicyWipeBlocks:
+		return "wipe-blocks"
+	case PolicyUnmapPages:
+		return "unmap-pages"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Options configures a Customizer.
+type Options struct {
+	// Tree customizes the whole process tree (multi-process servers).
+	Tree bool
+	// RedirectTo, when nonzero, is the in-target address of the
+	// application's error path (e.g. the "403 Forbidden" responder);
+	// blocked-feature traps are redirected there instead of killing
+	// the process.
+	RedirectTo uint64
+	// Verifier arms §3.2.3's validation mode: trapped blocks restore
+	// themselves and log the address instead of being treated as
+	// attacks, so over-eliminated blocks can be found.
+	Verifier bool
+	// TicksPerSecond, when nonzero, converts the wall-clock rewrite
+	// time into virtual clock ticks charged to the machine — the
+	// service-interruption window of Figure 8.
+	TicksPerSecond uint64
+}
+
+// Stats reports the cost of one rewrite cycle, matching the segments
+// of Figures 6 and 7 (checkpoint, code update, handler insertion,
+// restore).
+type Stats struct {
+	Checkpoint    time.Duration
+	CodeUpdate    time.Duration
+	InsertHandler time.Duration
+	Restore       time.Duration
+	ImageBytes    int
+	BlocksPatched int
+	PagesUnmapped int
+}
+
+// Total returns the end-to-end service interruption.
+func (s Stats) Total() time.Duration {
+	return s.Checkpoint + s.CodeUpdate + s.InsertHandler + s.Restore
+}
+
+// Customizer errors.
+var (
+	ErrNotDisabled = errors.New("core: feature not currently disabled")
+	ErrDead        = errors.New("core: target process has exited")
+)
+
+// Customizer dynamically customizes one guest program.
+type Customizer struct {
+	machine *kernel.Machine
+	pid     int // current root PID (changes across restores)
+	opts    Options
+
+	handlerLib *delf.File
+	handler    *Handler
+
+	// saved[addr] = original bytes, for re-enabling features.
+	saved map[uint64][]byte
+	// disabled tracks currently-disabled block spans by feature name.
+	disabled map[string][]coverage.AbsBlock
+	// unmapped page ranges (cannot be re-enabled byte-wise).
+	unmapped []pageRange
+
+	verifierCount int
+}
+
+type pageRange struct{ start, end uint64 }
+
+// New creates a Customizer for the process rooted at pid.
+func New(m *kernel.Machine, pid int, opts Options) (*Customizer, error) {
+	lib, err := BuildHandlerLib()
+	if err != nil {
+		return nil, err
+	}
+	return &Customizer{
+		machine:    m,
+		pid:        pid,
+		opts:       opts,
+		handlerLib: lib,
+		saved:      map[uint64][]byte{},
+		disabled:   map[string][]coverage.AbsBlock{},
+	}, nil
+}
+
+// PID returns the current root process ID (it changes after each
+// rewrite, since restore creates fresh processes).
+func (c *Customizer) PID() int { return c.pid }
+
+// Handler returns the injected handler state, if any.
+func (c *Customizer) Handler() *Handler { return c.handler }
+
+// Rewrite runs one full checkpoint → edit → restore cycle, applying
+// edit to the frozen images. It is the paper's core primitive: all
+// customization goes through it, and the target's live TCP
+// connections survive.
+func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stats, error) {
+	var stats Stats
+	p, err := c.machine.Process(c.pid)
+	if err != nil || p.Exited() {
+		return stats, ErrDead
+	}
+
+	t0 := time.Now()
+	set, err := criu.Dump(c.machine, c.pid, criu.DumpOpts{ExecPages: true, Tree: c.opts.Tree})
+	if err != nil {
+		return stats, fmt.Errorf("checkpoint: %w", err)
+	}
+	stats.Checkpoint = time.Since(t0)
+	stats.ImageBytes = set.TotalBytes()
+
+	// Kill the originals: the rewrite happens on the frozen images.
+	for _, pid := range set.PIDs {
+		if err := c.machine.Kill(pid); err != nil {
+			return stats, fmt.Errorf("freeze: %w", err)
+		}
+	}
+
+	ed := crit.NewEditor(set, c.machine)
+
+	// Ensure the handler library is present in the (new) image set:
+	// injection state does not survive re-dumps of restored procs, it
+	// does — the library VMAs were dumped; only re-inject when absent.
+	t1 := time.Now()
+	if err := c.ensureHandler(ed, set.PIDs); err != nil {
+		return stats, err
+	}
+	stats.InsertHandler = time.Since(t1)
+
+	t2 := time.Now()
+	if err := edit(ed, set.PIDs); err != nil {
+		return stats, fmt.Errorf("rewrite: %w", err)
+	}
+	stats.CodeUpdate = time.Since(t2)
+
+	t3 := time.Now()
+	procs, pidMap, err := criu.Restore(c.machine, set)
+	if err != nil {
+		return stats, fmt.Errorf("restore: %w", err)
+	}
+	stats.Restore = time.Since(t3)
+
+	c.pid = pidMap[c.pid]
+	if c.pid == 0 && len(procs) > 0 {
+		c.pid = procs[0].PID()
+	}
+	if c.opts.TicksPerSecond > 0 {
+		ticks := uint64(stats.Total().Seconds() * float64(c.opts.TicksPerSecond))
+		c.machine.AdvanceClock(ticks)
+	}
+	return stats, nil
+}
+
+// ensureHandler injects the signal-handler library into every dumped
+// process that does not already carry it.
+func (c *Customizer) ensureHandler(ed *crit.Editor, pids []int) error {
+	for _, pid := range pids {
+		if _, err := ed.FindModule(pid, HandlerLibName); err == nil {
+			continue
+		}
+		h, err := injectHandler(ed, pid, c.handlerLib, c.opts.RedirectTo)
+		if err != nil {
+			return err
+		}
+		if c.handler == nil {
+			c.handler = h
+		}
+	}
+	return nil
+}
+
+// DisableBlocks disables the named group of basic blocks under the
+// given policy. The original bytes are saved so EnableBlocks can
+// restore them later.
+//
+// The block containing the configured RedirectTo address is never
+// disabled: the trap handler must always be able to land there, or a
+// blocked feature would re-trap forever (the redirect target is, by
+// construction, rarely covered by profiling traces).
+func (c *Customizer) DisableBlocks(name string, blocks []coverage.AbsBlock, policy Policy) (Stats, error) {
+	blocks = c.filterProtected(blocks)
+	if len(blocks) == 0 {
+		return Stats{}, fmt.Errorf("core: no blocks to disable for %q", name)
+	}
+	var applied Stats
+	stats, err := c.Rewrite(func(ed *crit.Editor, pids []int) error {
+		for _, pid := range pids {
+			if err := c.applyPolicy(ed, pid, blocks, policy, &applied); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	stats.BlocksPatched = applied.BlocksPatched
+	stats.PagesUnmapped = applied.PagesUnmapped
+	if err != nil {
+		return stats, err
+	}
+	c.disabled[name] = append([]coverage.AbsBlock(nil), blocks...)
+	return stats, nil
+}
+
+// filterProtected drops blocks that cover the redirect target.
+func (c *Customizer) filterProtected(blocks []coverage.AbsBlock) []coverage.AbsBlock {
+	if c.opts.RedirectTo == 0 {
+		return blocks
+	}
+	out := blocks[:0:0]
+	for _, b := range blocks {
+		if c.opts.RedirectTo >= b.Addr && c.opts.RedirectTo < b.Addr+b.Size {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func (c *Customizer) applyPolicy(ed *crit.Editor, pid int, blocks []coverage.AbsBlock, policy Policy, stats *Stats) error {
+	switch policy {
+	case PolicyBlockEntry:
+		for _, b := range blocks {
+			if err := c.saveAndPatch(ed, pid, b.Addr, 1); err != nil {
+				return err
+			}
+			stats.BlocksPatched++
+		}
+	case PolicyWipeBlocks:
+		for _, b := range blocks {
+			if err := c.saveAndPatch(ed, pid, b.Addr, int(b.Size)); err != nil {
+				return err
+			}
+			stats.BlocksPatched++
+		}
+	case PolicyUnmapPages:
+		full, partial := splitPageCoverage(blocks)
+		for _, pr := range full {
+			if err := ed.UnmapRange(pid, pr.start, pr.end); err != nil {
+				return err
+			}
+			stats.PagesUnmapped += int((pr.end - pr.start) / kernel.PageSize)
+			c.unmapped = append(c.unmapped, pr)
+		}
+		for _, b := range partial {
+			if err := c.saveAndPatch(ed, pid, b.Addr, int(b.Size)); err != nil {
+				return err
+			}
+			stats.BlocksPatched++
+		}
+	default:
+		return fmt.Errorf("core: unknown policy %v", policy)
+	}
+	return nil
+}
+
+// saveAndPatch records the original bytes (once) and overwrites them
+// with INT3. In verifier mode the (addr, original-first-byte) pair is
+// also published to the in-guest table and the page made writable so
+// the handler can self-heal false removals.
+func (c *Customizer) saveAndPatch(ed *crit.Editor, pid int, addr uint64, n int) error {
+	orig, err := ed.ReadMem(pid, addr, n)
+	if err != nil {
+		return err
+	}
+	if _, ok := c.saved[addr]; !ok {
+		c.saved[addr] = orig
+	}
+	fill := make([]byte, n)
+	for i := range fill {
+		fill[i] = 0xCC
+	}
+	if err := ed.WriteMem(pid, addr, fill); err != nil {
+		return err
+	}
+	if c.opts.Verifier && c.handler != nil {
+		if err := addVerifierEntry(ed, pid, c.handler, c.verifierCount, addr, orig[0]); err != nil {
+			return err
+		}
+		c.verifierCount++
+		if err := c.makeTextWritable(ed, pid, addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// makeTextWritable flips the VMA containing addr to RWX in the image
+// (verifier mode only: the in-guest handler restores bytes itself).
+func (c *Customizer) makeTextWritable(ed *crit.Editor, pid int, addr uint64) error {
+	vmas, err := ed.VMAs(pid)
+	if err != nil {
+		return err
+	}
+	for _, v := range vmas {
+		if addr >= v.Start && addr < v.End {
+			if delf.Perm(v.Perm)&delf.PermW != 0 {
+				return nil
+			}
+			return c.setVMAPerm(ed, pid, v.Start, v.Perm|uint8(delf.PermW))
+		}
+	}
+	return fmt.Errorf("core: no VMA at %#x", addr)
+}
+
+func (c *Customizer) setVMAPerm(ed *crit.Editor, pid int, start uint64, perm uint8) error {
+	pi, err := ed.Set().Proc(pid)
+	if err != nil {
+		return err
+	}
+	for i := range pi.MM.VMAs {
+		if pi.MM.VMAs[i].Start == start {
+			pi.MM.VMAs[i].Perm = perm
+			return nil
+		}
+	}
+	return fmt.Errorf("core: VMA at %#x vanished", start)
+}
+
+// EnableBlocks restores a previously disabled feature: the saved
+// original bytes are written back (the paper's bidirectional
+// transformation). Unmapped pages cannot be re-enabled this way.
+func (c *Customizer) EnableBlocks(name string) (Stats, error) {
+	blocks, ok := c.disabled[name]
+	if !ok {
+		return Stats{}, fmt.Errorf("%w: %q", ErrNotDisabled, name)
+	}
+	patched := 0
+	stats, err := c.Rewrite(func(ed *crit.Editor, pids []int) error {
+		for _, pid := range pids {
+			for _, b := range blocks {
+				orig, ok := c.saved[b.Addr]
+				if !ok {
+					return fmt.Errorf("core: no saved bytes for %#x", b.Addr)
+				}
+				if err := ed.WriteMem(pid, b.Addr, orig); err != nil {
+					return err
+				}
+				patched++
+			}
+		}
+		return nil
+	})
+	stats.BlocksPatched = patched
+	if err != nil {
+		return stats, err
+	}
+	for _, b := range blocks {
+		delete(c.saved, b.Addr)
+	}
+	delete(c.disabled, name)
+	return stats, nil
+}
+
+// Disabled reports the currently disabled block groups.
+func (c *Customizer) Disabled() map[string][]coverage.AbsBlock {
+	out := make(map[string][]coverage.AbsBlock, len(c.disabled))
+	for k, v := range c.disabled {
+		out[k] = append([]coverage.AbsBlock(nil), v...)
+	}
+	return out
+}
+
+// DisabledBlockCount returns the total number of disabled blocks.
+func (c *Customizer) DisabledBlockCount() int {
+	n := 0
+	for _, v := range c.disabled {
+		n += len(v)
+	}
+	return n
+}
+
+// DisabledBytes returns the total size of disabled block spans plus
+// unmapped pages.
+func (c *Customizer) DisabledBytes() uint64 {
+	var n uint64
+	for _, blocks := range c.disabled {
+		for _, b := range blocks {
+			n += b.Size
+		}
+	}
+	for _, pr := range c.unmapped {
+		n += pr.end - pr.start
+	}
+	return n
+}
+
+// TrapHits reads the injected handler's hit counter from the live
+// process.
+func (c *Customizer) TrapHits() (uint64, error) {
+	if c.handler == nil {
+		return 0, fmt.Errorf("core: no handler injected")
+	}
+	p, err := c.machine.Process(c.pid)
+	if err != nil {
+		return 0, err
+	}
+	return p.Mem().ReadU64(c.handler.HitsAddr)
+}
+
+// FalseRemovals reads the verifier log: addresses whose removal the
+// handler reverted at run time (§3.2.3).
+func (c *Customizer) FalseRemovals() ([]uint64, error) {
+	if c.handler == nil {
+		return nil, fmt.Errorf("core: no handler injected")
+	}
+	p, err := c.machine.Process(c.pid)
+	if err != nil {
+		return nil, err
+	}
+	n, err := p.Mem().ReadU64(c.handler.FLogLen)
+	if err != nil {
+		return nil, err
+	}
+	if n > 256 {
+		n = 256
+	}
+	out := make([]uint64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		a, err := p.Mem().ReadU64(c.handler.FLog + 8*i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// AdoptFalseRemovals completes the §3.2.3 validation loop: every
+// address the in-guest verifier healed is accepted as wanted code —
+// dropped from the disabled bookkeeping so later EnableBlocks /
+// DisableBlocks cycles treat it as never removed. It returns the
+// adopted addresses.
+func (c *Customizer) AdoptFalseRemovals() ([]uint64, error) {
+	healed, err := c.FalseRemovals()
+	if err != nil {
+		return nil, err
+	}
+	healedSet := make(map[uint64]bool, len(healed))
+	for _, a := range healed {
+		healedSet[a] = true
+	}
+	for name, blocks := range c.disabled {
+		keep := blocks[:0:0]
+		for _, b := range blocks {
+			if healedSet[b.Addr] {
+				delete(c.saved, b.Addr)
+				continue
+			}
+			keep = append(keep, b)
+		}
+		if len(keep) == 0 {
+			delete(c.disabled, name)
+		} else {
+			c.disabled[name] = keep
+		}
+	}
+	return healed, nil
+}
+
+// splitPageCoverage partitions blocks into page ranges fully covered
+// by them (safe to unmap) and leftover blocks (wiped instead).
+func splitPageCoverage(blocks []coverage.AbsBlock) ([]pageRange, []coverage.AbsBlock) {
+	bytesOn := map[uint64]uint64{} // page -> undesired bytes on it
+	for _, b := range blocks {
+		for a := b.Addr; a < b.Addr+b.Size; {
+			pn := a / kernel.PageSize
+			end := (pn + 1) * kernel.PageSize
+			hi := b.Addr + b.Size
+			if hi > end {
+				hi = end
+			}
+			bytesOn[pn] += hi - a
+			a = hi
+		}
+	}
+	var full []pageRange
+	fullSet := map[uint64]bool{}
+	for pn, n := range bytesOn {
+		if n >= kernel.PageSize {
+			fullSet[pn] = true
+		}
+	}
+	// Coalesce adjacent full pages.
+	pns := make([]uint64, 0, len(fullSet))
+	for pn := range fullSet {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	for i := 0; i < len(pns); {
+		j := i
+		for j+1 < len(pns) && pns[j+1] == pns[j]+1 {
+			j++
+		}
+		full = append(full, pageRange{
+			start: pns[i] * kernel.PageSize,
+			end:   (pns[j] + 1) * kernel.PageSize,
+		})
+		i = j + 1
+	}
+	var partial []coverage.AbsBlock
+	for _, b := range blocks {
+		// Keep the sub-spans not inside full pages.
+		for a := b.Addr; a < b.Addr+b.Size; {
+			pn := a / kernel.PageSize
+			end := (pn + 1) * kernel.PageSize
+			hi := b.Addr + b.Size
+			if hi > end {
+				hi = end
+			}
+			if !fullSet[pn] {
+				partial = append(partial, coverage.AbsBlock{Addr: a, Size: hi - a})
+			}
+			a = hi
+		}
+	}
+	return full, partial
+}

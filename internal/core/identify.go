@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/dynacut/dynacut/internal/coverage"
+	"github.com/dynacut/dynacut/internal/disasm"
+)
+
+// Identification helpers (§3.1): pure set arithmetic over coverage
+// graphs, resolved back to absolute target addresses.
+
+// IdentifyFeatureBlocks computes the undesired feature's unique
+// blocks: present in the undesired-request traces, absent from the
+// wanted-request traces, and inside the program module (library
+// blocks are filtered out, Figure 4).
+func IdentifyFeatureBlocks(undesired, wanted *coverage.Graph, program string) []coverage.AbsBlock {
+	d := coverage.Diff(undesired, wanted)
+	d = d.FilterModules(func(m string) bool { return m == program })
+	return d.Absolute()
+}
+
+// IdentifyInitBlocks computes the initialization-only blocks: covered
+// before the nudge, never covered after it.
+func IdentifyInitBlocks(initPhase, serving *coverage.Graph, program string) []coverage.AbsBlock {
+	d := coverage.Diff(initPhase, serving)
+	d = d.FilterModules(func(m string) bool { return m == program })
+	return d.Absolute()
+}
+
+// IdentifyUnexecutedBlocks computes the statically known blocks that
+// no trace ever covered (Figure 2's gray blocks) — what a static
+// debloater removes. Static CFG addresses are the linked absolute
+// addresses of the executable; coverage of the program module is
+// matched byte-wise so dynamic blocks that span several static
+// blocks (fall-through into a function label) still count.
+func IdentifyUnexecutedBlocks(cfg *disasm.CFG, executed *coverage.Graph, program string) []coverage.AbsBlock {
+	base, haveBase := executed.ModuleBase(program)
+	type span struct{ lo, hi uint64 }
+	var covered []span
+	for _, b := range executed.Blocks() {
+		if b.Module != program {
+			continue
+		}
+		covered = append(covered, span{lo: b.Off, hi: b.Off + b.Size})
+	}
+	sort.Slice(covered, func(i, j int) bool { return covered[i].lo < covered[j].lo })
+	isCovered := func(off uint64) bool {
+		for _, s := range covered {
+			if s.lo > off {
+				return false
+			}
+			if off < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	var out []coverage.AbsBlock
+	for _, b := range cfg.Sorted() {
+		rel := b.Addr
+		if haveBase {
+			rel = b.Addr - base
+		}
+		if isCovered(rel) {
+			continue
+		}
+		out = append(out, coverage.AbsBlock{Addr: b.Addr, Size: b.Size})
+	}
+	return out
+}

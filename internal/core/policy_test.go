@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dynacut/dynacut/internal/coverage"
+)
+
+func TestPolicyStrings(t *testing.T) {
+	for p, want := range map[Policy]string{
+		PolicyBlockEntry: "block-entry",
+		PolicyWipeBlocks: "wipe-blocks",
+		PolicyUnmapPages: "unmap-pages",
+		Policy(42):       "Policy(42)",
+	} {
+		if p.String() != want {
+			t.Errorf("%d -> %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestStatsTotal(t *testing.T) {
+	s := Stats{
+		Checkpoint:    time.Millisecond,
+		CodeUpdate:    2 * time.Millisecond,
+		InsertHandler: 3 * time.Millisecond,
+		Restore:       4 * time.Millisecond,
+	}
+	if s.Total() != 10*time.Millisecond {
+		t.Errorf("Total = %v", s.Total())
+	}
+}
+
+func TestFilterProtected(t *testing.T) {
+	c := &Customizer{opts: Options{RedirectTo: 0x400100}}
+	blocks := []coverage.AbsBlock{
+		{Addr: 0x400000, Size: 0x10}, // far away: kept
+		{Addr: 0x4000f8, Size: 0x10}, // covers the redirect target: dropped
+		{Addr: 0x400100, Size: 0x08}, // starts at the target: dropped
+		{Addr: 0x400108, Size: 0x10}, // adjacent, past it: kept
+	}
+	got := c.filterProtected(blocks)
+	if len(got) != 2 {
+		t.Fatalf("filtered = %+v", got)
+	}
+	if got[0].Addr != 0x400000 || got[1].Addr != 0x400108 {
+		t.Errorf("kept = %+v", got)
+	}
+	// No redirect configured: pass-through.
+	c2 := &Customizer{}
+	if len(c2.filterProtected(blocks)) != len(blocks) {
+		t.Error("filter applied without a redirect target")
+	}
+}
+
+func TestSplitPageCoverage(t *testing.T) {
+	// Blocks covering exactly one full page plus a partial tail.
+	blocks := []coverage.AbsBlock{
+		{Addr: 0x1000, Size: 0x1000}, // full page 1
+		{Addr: 0x2000, Size: 0x80},   // partial page 2
+	}
+	full, partial := splitPageCoverage(blocks)
+	if len(full) != 1 || full[0].start != 0x1000 || full[0].end != 0x2000 {
+		t.Fatalf("full = %+v", full)
+	}
+	if len(partial) != 1 || partial[0].Addr != 0x2000 || partial[0].Size != 0x80 {
+		t.Fatalf("partial = %+v", partial)
+	}
+
+	// Many small blocks that together fill a page coalesce into one
+	// unmappable range.
+	var small []coverage.AbsBlock
+	for off := uint64(0); off < 0x1000; off += 0x100 {
+		small = append(small, coverage.AbsBlock{Addr: 0x5000 + off, Size: 0x100})
+	}
+	full, partial = splitPageCoverage(small)
+	if len(full) != 1 || full[0].start != 0x5000 || full[0].end != 0x6000 {
+		t.Fatalf("coalesced full = %+v", full)
+	}
+	if len(partial) != 0 {
+		t.Fatalf("coalesced partial = %+v", partial)
+	}
+
+	// Adjacent full pages merge into one range.
+	two := []coverage.AbsBlock{{Addr: 0x8000, Size: 0x2000}}
+	full, _ = splitPageCoverage(two)
+	if len(full) != 1 || full[0].end-full[0].start != 0x2000 {
+		t.Fatalf("merged range = %+v", full)
+	}
+
+	// A block spanning a page boundary without covering either page
+	// fully is all partial.
+	span := []coverage.AbsBlock{{Addr: 0x1f80, Size: 0x100}}
+	full, partial = splitPageCoverage(span)
+	if len(full) != 0 {
+		t.Fatalf("span full = %+v", full)
+	}
+	var total uint64
+	for _, b := range partial {
+		total += b.Size
+	}
+	if total != 0x100 {
+		t.Fatalf("span partial bytes = %#x", total)
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/apps/webserv"
+	"github.com/dynacut/dynacut/internal/asm"
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/delf/link"
+	"github.com/dynacut/dynacut/internal/kernel"
+)
+
+// TestTemporalSyscallSpecialization installs the post-init allow list
+// on a serving web server: requests keep working, the filter survives
+// dump/restore, and a later removal of the filter restores full
+// capability (the dynamic enable/disable direction of §5).
+func TestTemporalSyscallSpecialization(t *testing.T) {
+	tb := newTestbed(t, webserv.Config{Name: "lighttpd", Port: 8097})
+	c, err := New(tb.m, tb.proc.PID(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RestrictSyscalls(ServingSyscalls); err != nil {
+		t.Fatalf("restrict: %v", err)
+	}
+	// The serving path only uses allowed syscalls.
+	for i := 0; i < 3; i++ {
+		if got := tb.request(t, "GET /\n"); !strings.Contains(got, "200") {
+			t.Fatalf("GET under filter -> %q", got)
+		}
+	}
+	p, err := tb.m.Process(c.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := p.SyscallFilter()
+	if len(filter) != len(ServingSyscalls) {
+		t.Fatalf("live filter = %v", filter)
+	}
+	// Remove the filter again.
+	if _, err := c.RestrictSyscalls(nil); err != nil {
+		t.Fatal(err)
+	}
+	p, err = tb.m.Process(c.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SyscallFilter() != nil {
+		t.Fatal("filter survived removal")
+	}
+	if got := tb.request(t, "GET /\n"); !strings.Contains(got, "200") {
+		t.Fatalf("GET after unfilter -> %q", got)
+	}
+}
+
+// TestSyscallFilterKillsDeniedCall: a guest that calls fork under a
+// filter without fork dies with SIGSYS — even though the fork code
+// itself was never removed.
+func TestSyscallFilterKillsDeniedCall(t *testing.T) {
+	m := kernel.NewMachine()
+	exe := buildTestExe(t, "forker", `
+.text
+.global _start
+_start:
+	mov r8, =go
+spin:
+	load r1, [r8]
+	cmp r1, 0
+	je spin
+	mov r0, 9            ; fork: denied under the filter
+	syscall
+	mov r0, 1
+	mov r1, 0
+	syscall
+.data
+go: .quad 0
+`)
+	p, err := m.Load(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(500)
+	c, err := New(m, p.PID(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RestrictSyscalls(ServingSyscalls); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := m.Process(c.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goSym, err := exe.Symbol("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Mem().WriteU64(goSym.Value, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100000)
+	if rp.KilledBy() != kernel.SIGSYS {
+		t.Fatalf("killed by %v, want SIGSYS", rp.KilledBy())
+	}
+}
+
+// TestSyscallFilterInheritedByFork.
+func TestSyscallFilterInheritedByFork(t *testing.T) {
+	m := kernel.NewMachine()
+	exe := buildTestExe(t, "inherit", `
+.text
+.global _start
+_start:
+	mov r0, 9            ; fork while still unfiltered
+	syscall
+	cmp r0, 0
+	je child
+parent:
+	mov r0, 14
+	syscall
+	jmp parent
+child:
+	mov r8, =go
+cspin:
+	load r1, [r8]
+	cmp r1, 0
+	je cspin
+	mov r0, 4            ; socket: denied post-restriction
+	syscall
+	mov r0, 1
+	mov r1, 0
+	syscall
+.data
+go: .quad 0
+`)
+	p, err := m.Load(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(2000)
+	c, err := New(m, p.PID(), Options{Tree: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RestrictSyscalls(ServingSyscalls); err != nil {
+		t.Fatal(err)
+	}
+	// Find the restored child and poke it.
+	var child *kernel.Process
+	for _, pr := range m.Processes() {
+		if pr.Parent() != 0 {
+			child = pr
+		}
+	}
+	if child == nil {
+		t.Fatal("no child after restore")
+	}
+	goSym, err := exe.Symbol("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Mem().WriteU64(goSym.Value, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100000)
+	if child.KilledBy() != kernel.SIGSYS {
+		t.Fatalf("child killed by %v, want SIGSYS", child.KilledBy())
+	}
+}
+
+// buildTestExe assembles a standalone test program (no libc).
+func buildTestExe(t *testing.T, name, src string) *delf.File {
+	t.Helper()
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	exe, err := link.Executable(name, []*asm.Object{obj})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return exe
+}

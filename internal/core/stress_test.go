@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/apps/webserv"
+	"github.com/dynacut/dynacut/internal/coverage"
+)
+
+// TestStressLargeServerFullLifecycle runs the whole DynaCut lifecycle
+// against a much larger guest: 40 extra features and 300 init
+// routines, repeated enable/disable cycles, init removal, syscall
+// restriction — the kind of sustained churn a long-lived deployment
+// would see.
+func TestStressLargeServerFullLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb := newTestbed(t, webserv.Config{
+		Name: "lighttpd", Port: 8099,
+		ExtraFeatures: 40, InitRoutines: 300,
+	})
+
+	// Drive a broad wanted workload: core methods + half the features.
+	wanted := append([]string{}, wantedReqs...)
+	for i := 0; i < 20; i++ {
+		wanted = append(wanted, fmt.Sprintf("X%d /\n", i))
+	}
+	blocks := tb.profileFeatures(t, wanted, undesiredReqs)
+	if len(blocks) == 0 {
+		t.Fatal("no feature blocks")
+	}
+	serving := tb.snapshotPhase(t, "post-profile")
+	initOnly := IdentifyInitBlocks(coverage.FromLog(tb.initLog), serving, "lighttpd")
+	if len(initOnly) < 250 {
+		t.Fatalf("init blocks = %d, expected the 300-routine chain", len(initOnly))
+	}
+
+	c, err := New(tb.m, tb.proc.PID(), Options{RedirectTo: mustErrAddr(t, tb)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ten disable/enable churn cycles.
+	for cycle := 0; cycle < 10; cycle++ {
+		if _, err := c.DisableBlocks("webdav", blocks, PolicyBlockEntry); err != nil {
+			t.Fatalf("cycle %d disable: %v", cycle, err)
+		}
+		if got := tb.request(t, "PUT /f x\n"); !strings.Contains(got, "403") {
+			t.Fatalf("cycle %d: PUT -> %q", cycle, got)
+		}
+		if got := tb.request(t, fmt.Sprintf("X%d /\n", cycle)); !strings.Contains(got, "210") {
+			t.Fatalf("cycle %d: feature -> %q", cycle, got)
+		}
+		if _, err := c.EnableBlocks("webdav"); err != nil {
+			t.Fatalf("cycle %d enable: %v", cycle, err)
+		}
+		if got := tb.request(t, "PUT /f x\n"); !strings.Contains(got, "201") {
+			t.Fatalf("cycle %d: PUT after enable -> %q", cycle, got)
+		}
+	}
+
+	// Remove the big init chain.
+	stats, err := c.DisableBlocks("init", initOnly, PolicyWipeBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BlocksPatched != len(initOnly) {
+		t.Errorf("wiped %d of %d", stats.BlocksPatched, len(initOnly))
+	}
+
+	// Then lock down the syscall surface.
+	if _, err := c.RestrictSyscalls(ServingSyscalls); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fully customized server still serves everything wanted.
+	for _, r := range wanted {
+		if got := tb.request(t, r); got == "" || strings.Contains(got, "403") {
+			t.Fatalf("post-lockdown %q -> %q", r, got)
+		}
+	}
+	if len(tb.m.Processes()) == 0 {
+		t.Fatal("server died during stress")
+	}
+}
+
+func mustErrAddr(t *testing.T, tb *testbed) uint64 {
+	t.Helper()
+	sym, err := tb.app.Exe.Symbol("resp_403")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sym.Value
+}

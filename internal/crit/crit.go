@@ -1,0 +1,498 @@
+// Package crit implements the image-rewriting layer of DynaCut: the
+// analogue of the paper's extended CRIT (CRiu Image Tool). It edits
+// frozen checkpoint images — never a live process — providing
+// byte-level memory updates (INT3 placement, block wiping, restore),
+// VMA growth/unmap, position-independent shared-library injection
+// with GOT/data relocation against the in-image libc, and signal
+// handler (sigaction) updates in the core image. It also decodes
+// images to JSON and back, like `crit decode/encode`.
+package crit
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/dynacut/dynacut/internal/criu"
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/delf/link"
+	"github.com/dynacut/dynacut/internal/kernel"
+)
+
+// FileStore provides the "on-disk" binaries referenced by the images;
+// *kernel.Machine implements it.
+type FileStore interface {
+	ReadFile(name string) ([]byte, error)
+}
+
+// Editor errors.
+var (
+	ErrNotMapped = errors.New("crit: address not mapped in image")
+	ErrNoModule  = errors.New("crit: module not found in image")
+	ErrAlignment = errors.New("crit: range not page aligned")
+)
+
+// Editor rewrites one ImageSet in place.
+type Editor struct {
+	set   *criu.ImageSet
+	store FileStore
+}
+
+// NewEditor wraps an image set for rewriting. store may be nil if no
+// library injection or symbol resolution is needed.
+func NewEditor(set *criu.ImageSet, store FileStore) *Editor {
+	return &Editor{set: set, store: store}
+}
+
+// Set returns the underlying image set.
+func (e *Editor) Set() *criu.ImageSet { return e.set }
+
+// PIDs returns the dumped process IDs in restore order.
+func (e *Editor) PIDs() []int { return append([]int(nil), e.set.PIDs...) }
+
+func (e *Editor) proc(pid int) (*criu.ProcImage, error) {
+	return e.set.Proc(pid)
+}
+
+// vmaAt finds the VMA entry containing addr.
+func vmaAt(pi *criu.ProcImage, addr uint64) (criu.VMAEntry, bool) {
+	for _, v := range pi.MM.VMAs {
+		if addr >= v.Start && addr < v.End {
+			return v, true
+		}
+	}
+	return criu.VMAEntry{}, false
+}
+
+// ReadMem reads n bytes at addr from the dumped pages.
+func (e *Editor) ReadMem(pid int, addr uint64, n int) ([]byte, error) {
+	pi, err := e.proc(pid)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	for done := 0; done < n; {
+		a := addr + uint64(done)
+		page, err := pi.Page(a / kernel.PageSize)
+		if err != nil {
+			return nil, fmt.Errorf("read %#x: %w", a, err)
+		}
+		done += copy(out[done:], page[a%kernel.PageSize:])
+	}
+	return out, nil
+}
+
+// WriteMem patches bytes at addr in the dumped pages. Writing to a
+// page absent from the image fails with criu.ErrPageAbsent — dump
+// with DumpOpts.ExecPages to make code pages patchable (the paper's
+// CRIU modification).
+func (e *Editor) WriteMem(pid int, addr uint64, b []byte) error {
+	pi, err := e.proc(pid)
+	if err != nil {
+		return err
+	}
+	if _, ok := vmaAt(pi, addr); !ok {
+		return fmt.Errorf("%w: %#x", ErrNotMapped, addr)
+	}
+	for done := 0; done < len(b); {
+		a := addr + uint64(done)
+		pn := a / kernel.PageSize
+		page, err := pi.Page(pn)
+		if err != nil {
+			return fmt.Errorf("write %#x: %w", a, err)
+		}
+		patched := append([]byte(nil), page...)
+		done += copy(patched[a%kernel.PageSize:], b[done:])
+		if err := pi.SetPage(pn, patched); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BlockEntry writes a single INT3 byte at addr: the cheapest feature
+// blocking policy — one byte on the first basic block of the feature.
+func (e *Editor) BlockEntry(pid int, addr uint64) error {
+	return e.WriteMem(pid, addr, []byte{0xCC})
+}
+
+// WipeRange fills [addr, addr+size) with INT3, removing every
+// instruction of a block so mid-block jumps (ROP) trap too — the
+// aggressive policy of §3.2.2.
+func (e *Editor) WipeRange(pid int, addr, size uint64) error {
+	fill := make([]byte, size)
+	for i := range fill {
+		fill[i] = 0xCC
+	}
+	return e.WriteMem(pid, addr, fill)
+}
+
+// UnmapRange removes the page-aligned range from the VMA table and
+// drops its pages: the strongest policy — the memory simply is not
+// there any more.
+func (e *Editor) UnmapRange(pid int, start, end uint64) error {
+	if start%kernel.PageSize != 0 || end%kernel.PageSize != 0 || end <= start {
+		return fmt.Errorf("%w: %#x-%#x", ErrAlignment, start, end)
+	}
+	pi, err := e.proc(pid)
+	if err != nil {
+		return err
+	}
+	var out []criu.VMAEntry
+	touched := false
+	for _, v := range pi.MM.VMAs {
+		if end <= v.Start || v.End <= start {
+			out = append(out, v)
+			continue
+		}
+		touched = true
+		if v.Start < start {
+			left := v
+			left.End = start
+			out = append(out, left)
+		}
+		if end < v.End {
+			right := v
+			right.Start = end
+			out = append(out, right)
+		}
+	}
+	if !touched {
+		return fmt.Errorf("%w: %#x-%#x", ErrNotMapped, start, end)
+	}
+	pi.MM.VMAs = out
+	pi.DropPages(start/kernel.PageSize, end/kernel.PageSize)
+	return nil
+}
+
+// GrowVMA extends the VMA starting at start to newEnd (page aligned),
+// the "enlarge the VMAs" primitive of the paper's CRIT extension —
+// e.g. growing a stack or data region before injecting content.
+func (e *Editor) GrowVMA(pid int, start, newEnd uint64) error {
+	if newEnd%kernel.PageSize != 0 {
+		return fmt.Errorf("%w: new end %#x", ErrAlignment, newEnd)
+	}
+	pi, err := e.proc(pid)
+	if err != nil {
+		return err
+	}
+	idx := -1
+	for i, v := range pi.MM.VMAs {
+		if v.Start == start {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: no VMA starting at %#x", ErrNotMapped, start)
+	}
+	if newEnd <= pi.MM.VMAs[idx].End {
+		return fmt.Errorf("crit: new end %#x does not grow VMA %s", newEnd, pi.MM.VMAs[idx].Name)
+	}
+	for i, v := range pi.MM.VMAs {
+		if i == idx {
+			continue
+		}
+		if v.Start < newEnd && pi.MM.VMAs[idx].End <= v.Start {
+			return fmt.Errorf("crit: growth to %#x collides with %s", newEnd, v.Name)
+		}
+	}
+	pi.MM.VMAs[idx].End = newEnd
+	return nil
+}
+
+// AddVMA installs a new anonymous VMA with the given initial
+// contents (library injection, extra stacks, ...).
+func (e *Editor) AddVMA(pid int, v criu.VMAEntry, data []byte) error {
+	if v.Start%kernel.PageSize != 0 || v.End%kernel.PageSize != 0 || v.End <= v.Start {
+		return fmt.Errorf("%w: %#x-%#x", ErrAlignment, v.Start, v.End)
+	}
+	pi, err := e.proc(pid)
+	if err != nil {
+		return err
+	}
+	for _, old := range pi.MM.VMAs {
+		if v.Start < old.End && old.Start < v.End {
+			return fmt.Errorf("crit: VMA %#x-%#x overlaps %s", v.Start, v.End, old.Name)
+		}
+	}
+	if uint64(len(data)) > v.End-v.Start {
+		return fmt.Errorf("crit: data larger than VMA")
+	}
+	pi.MM.VMAs = append(pi.MM.VMAs, v)
+	// Install page contents.
+	buf := make([]byte, v.End-v.Start)
+	copy(buf, data)
+	for off := uint64(0); off < uint64(len(buf)); off += kernel.PageSize {
+		pn := (v.Start + off) / kernel.PageSize
+		if err := pi.SetPage(pn, buf[off:off+kernel.PageSize]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetSigaction updates (or adds) a signal disposition in the core
+// image — how DynaCut arms its injected SIGTRAP handler.
+func (e *Editor) SetSigaction(pid, signo int, handler, restorer uint64) error {
+	pi, err := e.proc(pid)
+	if err != nil {
+		return err
+	}
+	for i := range pi.Core.Sigs {
+		if pi.Core.Sigs[i].Signo == signo {
+			pi.Core.Sigs[i].Handler = handler
+			pi.Core.Sigs[i].Restorer = restorer
+			return nil
+		}
+	}
+	pi.Core.Sigs = append(pi.Core.Sigs, criu.SigEntry{
+		Signo: signo, Handler: handler, Restorer: restorer,
+	})
+	return nil
+}
+
+// SetSyscallFilter installs a seccomp-style allow list in the core
+// image (§5: dynamically enabling/disabling seccomp filtering via
+// process rewriting). nil removes the filter.
+func (e *Editor) SetSyscallFilter(pid int, allowed []uint64) error {
+	pi, err := e.proc(pid)
+	if err != nil {
+		return err
+	}
+	if allowed == nil {
+		pi.Core.HasFilter = false
+		pi.Core.SysFilter = nil
+		return nil
+	}
+	pi.Core.HasFilter = true
+	pi.Core.SysFilter = append([]uint64(nil), allowed...)
+	return nil
+}
+
+// SyscallFilter reads the allow list from the core image (nil when no
+// filter is installed).
+func (e *Editor) SyscallFilter(pid int) ([]uint64, error) {
+	pi, err := e.proc(pid)
+	if err != nil {
+		return nil, err
+	}
+	if !pi.Core.HasFilter {
+		return nil, nil
+	}
+	return append([]uint64(nil), pi.Core.SysFilter...), nil
+}
+
+// Sigaction reads a signal disposition from the core image.
+func (e *Editor) Sigaction(pid, signo int) (handler, restorer uint64, ok bool) {
+	pi, err := e.proc(pid)
+	if err != nil {
+		return 0, 0, false
+	}
+	for _, sg := range pi.Core.Sigs {
+		if sg.Signo == signo {
+			return sg.Handler, sg.Restorer, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Modules lists the mapped binaries recorded in the mm image.
+func (e *Editor) Modules(pid int) ([]criu.ModuleEntry, error) {
+	pi, err := e.proc(pid)
+	if err != nil {
+		return nil, err
+	}
+	return append([]criu.ModuleEntry(nil), pi.MM.Modules...), nil
+}
+
+// VMAs lists the VMA entries of the mm image.
+func (e *Editor) VMAs(pid int) ([]criu.VMAEntry, error) {
+	pi, err := e.proc(pid)
+	if err != nil {
+		return nil, err
+	}
+	return append([]criu.VMAEntry(nil), pi.MM.VMAs...), nil
+}
+
+// FindModule returns the module entry with the given name.
+func (e *Editor) FindModule(pid int, name string) (criu.ModuleEntry, error) {
+	mods, err := e.Modules(pid)
+	if err != nil {
+		return criu.ModuleEntry{}, err
+	}
+	for _, mod := range mods {
+		if mod.Name == name {
+			return mod, nil
+		}
+	}
+	return criu.ModuleEntry{}, fmt.Errorf("%w: %q", ErrNoModule, name)
+}
+
+// ResolveSymbol finds the runtime address of a symbol exported by any
+// module in the image, consulting the file store for symbol tables
+// (how the paper resolves PLT relocations of the injected library
+// against the mapped libc).
+func (e *Editor) ResolveSymbol(pid int, name string) (uint64, error) {
+	if e.store == nil {
+		return 0, fmt.Errorf("crit: no file store for symbol resolution")
+	}
+	mods, err := e.Modules(pid)
+	if err != nil {
+		return 0, err
+	}
+	for _, mod := range mods {
+		data, err := e.store.ReadFile(mod.Name)
+		if err != nil {
+			continue
+		}
+		file, err := delf.Unmarshal(data)
+		if err != nil {
+			continue
+		}
+		sym, err := file.Symbol(name)
+		if err != nil || !sym.Global {
+			continue
+		}
+		lo, _ := file.ImageSpan()
+		return mod.Lo - lo + sym.Value, nil
+	}
+	return 0, fmt.Errorf("crit: symbol %q not found in any module", name)
+}
+
+// InsertLibrary maps a position-independent shared library at base
+// inside the image: section VMAs and pages are added, the library's
+// dynamic relocations are applied (its own RelAbs64 plus RelGOT64
+// imports resolved against the image's modules), and a module entry
+// is recorded. It returns the absolute addresses of the library's
+// global symbols. base 0 picks an unused, page-aligned address.
+func (e *Editor) InsertLibrary(pid int, lib *delf.File, base uint64) (map[string]uint64, error) {
+	if lib.Type != delf.TypeDyn {
+		return nil, fmt.Errorf("crit: %s is not a shared library", lib.Name)
+	}
+	pi, err := e.proc(pid)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := lib.ImageSpan()
+	span := (hi - lo + kernel.PageSize - 1) / kernel.PageSize * kernel.PageSize
+	if base == 0 {
+		base = e.findFreeRange(pi, span)
+	}
+	if base%kernel.PageSize != 0 {
+		return nil, fmt.Errorf("%w: base %#x", ErrAlignment, base)
+	}
+
+	// Compute relocation patches before mutating the image.
+	patches, err := link.DynamicPatches(lib, base, func(name string) (uint64, bool) {
+		addr, rerr := e.ResolveSymbol(pid, name)
+		return addr, rerr == nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Map sections.
+	for _, sec := range lib.Sections {
+		start := base + sec.Addr
+		end := start + (sec.Size+kernel.PageSize-1)/kernel.PageSize*kernel.PageSize
+		v := criu.VMAEntry{
+			Start: start, End: end, Perm: uint8(sec.Perm),
+			Name: lib.Name + ":" + sec.Name, Anon: true,
+		}
+		var data []byte
+		if len(sec.Data) > 0 {
+			data = sec.Data
+		}
+		if err := e.AddVMA(pid, v, data); err != nil {
+			return nil, fmt.Errorf("inject %s: %w", v.Name, err)
+		}
+	}
+	for _, pt := range patches {
+		if err := e.WriteMem(pid, pt.Addr, pt.Bytes); err != nil {
+			return nil, fmt.Errorf("inject reloc: %w", err)
+		}
+	}
+	pi.MM.Modules = append(pi.MM.Modules, criu.ModuleEntry{
+		Name: lib.Name, Lo: base + lo, Hi: base + hi,
+	})
+
+	exports := map[string]uint64{}
+	for _, sym := range lib.Symbols {
+		if sym.Global {
+			exports[sym.Name] = base + sym.Value
+		}
+	}
+	return exports, nil
+}
+
+// findFreeRange picks a page-aligned hole of the given size, below
+// the stack and above every mapping (default library injection site;
+// the paper randomizes it, we keep it deterministic for tests).
+func (e *Editor) findFreeRange(pi *criu.ProcImage, span uint64) uint64 {
+	const injectBase = 0x7000_0000_0000
+	base := uint64(injectBase)
+	for {
+		conflict := false
+		for _, v := range pi.MM.VMAs {
+			if base < v.End && v.Start < base+span {
+				conflict = true
+				if v.End > base {
+					base = (v.End + kernel.PageSize - 1) / kernel.PageSize * kernel.PageSize
+				}
+				break
+			}
+		}
+		if !conflict {
+			return base
+		}
+	}
+}
+
+// JSON views (the `crit decode` / `crit encode` workflow) -------------
+
+// CoreJSON renders the core image as JSON.
+func (e *Editor) CoreJSON(pid int) ([]byte, error) {
+	pi, err := e.proc(pid)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(&pi.Core, "", "  ")
+}
+
+// SetCoreJSON replaces the core image from JSON.
+func (e *Editor) SetCoreJSON(pid int, data []byte) error {
+	pi, err := e.proc(pid)
+	if err != nil {
+		return err
+	}
+	var c criu.CoreImage
+	if err := json.Unmarshal(data, &c); err != nil {
+		return fmt.Errorf("crit: core json: %w", err)
+	}
+	pi.Core = c
+	return nil
+}
+
+// MMJSON renders the mm image as JSON.
+func (e *Editor) MMJSON(pid int) ([]byte, error) {
+	pi, err := e.proc(pid)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(&pi.MM, "", "  ")
+}
+
+// SetMMJSON replaces the mm image from JSON.
+func (e *Editor) SetMMJSON(pid int, data []byte) error {
+	pi, err := e.proc(pid)
+	if err != nil {
+		return err
+	}
+	var mm criu.MMImage
+	if err := json.Unmarshal(data, &mm); err != nil {
+		return fmt.Errorf("crit: mm json: %w", err)
+	}
+	pi.MM = mm
+	return nil
+}

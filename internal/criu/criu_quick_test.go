@@ -1,0 +1,97 @@
+package criu
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/dynacut/dynacut/internal/kernel"
+)
+
+// Property: SetPage/Page round-trips for arbitrary page numbers and
+// contents, and Marshal/Unmarshal preserves them.
+func TestQuickPageRoundTrip(t *testing.T) {
+	f := func(pages map[uint16][]byte) bool {
+		pi := &ProcImage{Core: CoreImage{Name: "q", PID: 1}}
+		want := map[uint64][]byte{}
+		for pn16, data := range pages {
+			pn := uint64(pn16)
+			page := make([]byte, kernel.PageSize)
+			copy(page, data)
+			if err := pi.SetPage(pn, page); err != nil {
+				return false
+			}
+			want[pn] = page
+		}
+		set := &ImageSet{PIDs: []int{1}, Procs: map[int]*ProcImage{1: pi}}
+		got, err := Unmarshal(set.Marshal())
+		if err != nil {
+			return false
+		}
+		gpi, err := got.Proc(1)
+		if err != nil {
+			return false
+		}
+		for pn, page := range want {
+			gp, err := gpi.Page(pn)
+			if err != nil || !bytes.Equal(gp, page) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: overwriting a page twice keeps the last contents, and
+// DropPages of a disjoint range never disturbs others.
+func TestQuickPageOverwriteAndDrop(t *testing.T) {
+	f := func(pn uint16, a, b byte) bool {
+		pi := &ProcImage{}
+		p1 := bytes.Repeat([]byte{a}, kernel.PageSize)
+		p2 := bytes.Repeat([]byte{b}, kernel.PageSize)
+		if pi.SetPage(uint64(pn), p1) != nil {
+			return false
+		}
+		if pi.SetPage(uint64(pn), p2) != nil {
+			return false
+		}
+		got, err := pi.Page(uint64(pn))
+		if err != nil || got[0] != b {
+			return false
+		}
+		// Dropping a disjoint range leaves the page alone.
+		pi.DropPages(uint64(pn)+10, uint64(pn)+20)
+		if _, err := pi.Page(uint64(pn)); err != nil {
+			return false
+		}
+		// Dropping the page itself removes it.
+		pi.DropPages(uint64(pn), uint64(pn)+1)
+		_, err = pi.Page(uint64(pn))
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImageSetTotalBytes(t *testing.T) {
+	pi := &ProcImage{}
+	if err := pi.SetPage(1, make([]byte, kernel.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	pi.MM.VMAs = append(pi.MM.VMAs, VMAEntry{Start: 0, End: kernel.PageSize})
+	set := &ImageSet{PIDs: []int{1}, Procs: map[int]*ProcImage{1: pi}}
+	if set.TotalBytes() <= kernel.PageSize {
+		t.Errorf("TotalBytes = %d", set.TotalBytes())
+	}
+}
+
+func TestProcMissing(t *testing.T) {
+	set := &ImageSet{Procs: map[int]*ProcImage{}}
+	if _, err := set.Proc(7); err == nil {
+		t.Error("missing pid returned an image")
+	}
+}

@@ -1,0 +1,126 @@
+package criu
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dynacut/dynacut/internal/isa"
+	"github.com/dynacut/dynacut/internal/kernel"
+)
+
+// DumpOpts controls which memory is checkpointed.
+type DumpOpts struct {
+	// ExecPages dumps private file-backed executable (and read-only)
+	// pages in addition to anonymous memory. Vanilla CRIU leaves them
+	// out because the page-fault handler reconstructs file-backed
+	// memory from disk — which would silently revert DynaCut's code
+	// patches on restore. This is the paper's criu/mem.c change.
+	ExecPages bool
+	// Tree also dumps all live descendants of the target (Nginx-style
+	// master/worker applications).
+	Tree bool
+}
+
+// Dump checkpoints a process (or its whole tree) into an ImageSet.
+// The process is left running; callers that want the
+// checkpoint-kill-rewrite-restore flow use Machine.Kill afterwards.
+func Dump(m *kernel.Machine, pid int, opts DumpOpts) (*ImageSet, error) {
+	root, err := m.Process(pid)
+	if err != nil {
+		return nil, err
+	}
+	procs := []*kernel.Process{root}
+	if opts.Tree {
+		procs = append(procs, descendants(m, pid)...)
+	}
+	set := &ImageSet{Procs: map[int]*ProcImage{}}
+	parent := map[int]int{}
+	for _, p := range procs {
+		pi, err := dumpOne(p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("dump pid %d: %w", p.PID(), err)
+		}
+		set.PIDs = append(set.PIDs, p.PID())
+		set.Procs[p.PID()] = pi
+		parent[p.PID()] = p.Parent()
+	}
+	sortPIDsParentFirst(set.PIDs, parent)
+	return set, nil
+}
+
+func descendants(m *kernel.Machine, pid int) []*kernel.Process {
+	var out []*kernel.Process
+	for _, c := range m.Children(pid) {
+		out = append(out, c)
+		out = append(out, descendants(m, c.PID())...)
+	}
+	return out
+}
+
+func dumpOne(p *kernel.Process, opts DumpOpts) (*ProcImage, error) {
+	pi := &ProcImage{}
+
+	// core
+	pi.Core = CoreImage{
+		Name:   p.Name(),
+		PID:    p.PID(),
+		Parent: p.Parent(),
+		RIP:    p.RIP(),
+		Flags:  p.Flags(),
+	}
+	for i := 0; i < isa.NumRegisters; i++ {
+		pi.Core.Regs[i] = p.Reg(isa.Register(i))
+	}
+	for signo, act := range p.Sigactions() {
+		pi.Core.Sigs = append(pi.Core.Sigs, SigEntry{
+			Signo: int(signo), Handler: act.Handler, Restorer: act.Restorer,
+		})
+	}
+	sortSigs(pi.Core.Sigs)
+	if filter := p.SyscallFilter(); filter != nil {
+		pi.Core.HasFilter = true
+		pi.Core.SysFilter = filter
+	}
+
+	// mm
+	vmas := p.Mem().VMAs()
+	for _, v := range vmas {
+		pi.MM.VMAs = append(pi.MM.VMAs, VMAEntry{
+			Start: v.Start, End: v.End, Perm: uint8(v.Perm),
+			Name: v.Name, Backing: v.Backing, BackSection: v.BackSection,
+			Anon: v.Anon,
+		})
+	}
+	for _, mod := range p.Modules() {
+		pi.MM.Modules = append(pi.MM.Modules, ModuleEntry{Name: mod.Name, Lo: mod.Lo, Hi: mod.Hi})
+	}
+
+	// pagemap + pages: anonymous always; file-backed only with
+	// ExecPages.
+	for _, pn := range p.Mem().PopulatedPages() {
+		addr := pn * kernel.PageSize
+		v, ok := p.Mem().VMAAt(addr)
+		if !ok {
+			continue // stale page outside any VMA
+		}
+		if !v.Anon && !opts.ExecPages {
+			continue
+		}
+		data := p.Mem().PageData(pn)
+		pi.PageMap.PageNumbers = append(pi.PageMap.PageNumbers, pn)
+		pi.Pages = append(pi.Pages, data...)
+	}
+
+	// files (including TCP state for repair)
+	for _, fd := range p.FDs() {
+		pi.Files.Files = append(pi.Files.Files, FileEntry{
+			FD: fd.FD, Kind: uint8(fd.Kind), StdNo: fd.StdNo,
+			Port: fd.Port, ConnID: fd.ConnID, SideA: fd.SideA,
+		})
+	}
+	return pi, nil
+}
+
+func sortSigs(sigs []SigEntry) {
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i].Signo < sigs[j].Signo })
+}

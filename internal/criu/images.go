@@ -1,0 +1,544 @@
+// Package criu implements checkpoint/restore in userspace for the
+// simulated kernel, mirroring the CRIU workflow DynaCut builds on:
+// a running process (tree) is frozen into a set of protobuf-encoded
+// images (core, mm, pagemap, pages, files), the images can be
+// rewritten offline (internal/crit), and a process can be restored
+// from them with its TCP connections re-attached (TCP repair).
+//
+// Vanilla CRIU dumps only anonymous memory: file-backed pages are
+// re-materialized from the binaries on disk at restore time. That is
+// fatal for a process rewriter — byte patches to code pages would be
+// silently undone — so, like the paper's modified CRIU, Dump accepts
+// an option to also dump private executable file-backed pages.
+package criu
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/dynacut/dynacut/internal/criu/pbuf"
+	"github.com/dynacut/dynacut/internal/kernel"
+)
+
+// Image file names within an ImageSet, per PID (mirroring CRIU's
+// core-<pid>.img etc.).
+const (
+	CoreImg    = "core"
+	MMImg      = "mm"
+	PageMapImg = "pagemap"
+	PagesImg   = "pages"
+	FilesImg   = "files"
+)
+
+// Package errors.
+var (
+	ErrBadImage   = errors.New("criu: malformed image")
+	ErrNoImage    = errors.New("criu: missing image")
+	ErrPageAbsent = errors.New("criu: page not present in image")
+)
+
+// SigEntry is one registered signal handler in a core image.
+type SigEntry struct {
+	Signo    int    `json:"signo"`
+	Handler  uint64 `json:"handler"`
+	Restorer uint64 `json:"restorer"`
+}
+
+// CoreImage mirrors CRIU's core.img: identity, registers, and signal
+// dispositions.
+type CoreImage struct {
+	Name     string     `json:"name"`
+	PID      int        `json:"pid"`
+	Parent   int        `json:"parent"`
+	RIP      uint64     `json:"rip"`
+	Flags    uint64     `json:"flags"`
+	Regs     [16]uint64 `json:"regs"`
+	Sigs     []SigEntry `json:"sigactions,omitempty"`
+	ExitedOK bool       `json:"exitedOk,omitempty"` // dumped after clean exit (diagnostics only)
+	// SysFilter is the seccomp-style syscall allow list; HasFilter
+	// distinguishes "no filter" from an empty (deny-all) filter.
+	HasFilter bool     `json:"hasFilter,omitempty"`
+	SysFilter []uint64 `json:"sysFilter,omitempty"`
+}
+
+// VMAEntry is one VMA in an mm image.
+type VMAEntry struct {
+	Start       uint64 `json:"start"`
+	End         uint64 `json:"end"`
+	Perm        uint8  `json:"perm"`
+	Name        string `json:"name"`
+	Backing     string `json:"backing,omitempty"`
+	BackSection string `json:"backSection,omitempty"`
+	Anon        bool   `json:"anon"`
+}
+
+// ModuleEntry records a mapped binary (for tracing and rewriting).
+type ModuleEntry struct {
+	Name string `json:"name"`
+	Lo   uint64 `json:"lo"`
+	Hi   uint64 `json:"hi"`
+}
+
+// MMImage mirrors CRIU's mm.img: the full VMA table plus the module
+// list.
+type MMImage struct {
+	VMAs    []VMAEntry    `json:"vmas"`
+	Modules []ModuleEntry `json:"modules"`
+}
+
+// PageMapImage lists which pages are present in the pages image, in
+// order.
+type PageMapImage struct {
+	PageNumbers []uint64
+}
+
+// FileEntry describes one open descriptor.
+type FileEntry struct {
+	FD     int    `json:"fd"`
+	Kind   uint8  `json:"kind"`
+	StdNo  int    `json:"stdNo,omitempty"`
+	Port   uint16 `json:"port,omitempty"`
+	ConnID uint64 `json:"connId,omitempty"`
+	SideA  bool   `json:"sideA,omitempty"`
+}
+
+// FilesImage mirrors CRIU's files.img/tcp images.
+type FilesImage struct {
+	Files []FileEntry
+}
+
+// ProcImage aggregates the images of one process.
+type ProcImage struct {
+	Core    CoreImage
+	MM      MMImage
+	PageMap PageMapImage
+	Pages   []byte // concatenated page data, PageMap order
+	Files   FilesImage
+}
+
+// Page returns the dumped contents of page pn.
+func (pi *ProcImage) Page(pn uint64) ([]byte, error) {
+	for i, n := range pi.PageMap.PageNumbers {
+		if n == pn {
+			off := i * kernel.PageSize
+			if off+kernel.PageSize > len(pi.Pages) {
+				return nil, fmt.Errorf("%w: pages image truncated", ErrBadImage)
+			}
+			return pi.Pages[off : off+kernel.PageSize], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: page %d", ErrPageAbsent, pn)
+}
+
+// SetPage overwrites the dumped contents of page pn, or appends the
+// page if absent.
+func (pi *ProcImage) SetPage(pn uint64, data []byte) error {
+	if len(data) != kernel.PageSize {
+		return fmt.Errorf("%w: page data must be %d bytes", ErrBadImage, kernel.PageSize)
+	}
+	for i, n := range pi.PageMap.PageNumbers {
+		if n == pn {
+			copy(pi.Pages[i*kernel.PageSize:], data)
+			return nil
+		}
+	}
+	pi.PageMap.PageNumbers = append(pi.PageMap.PageNumbers, pn)
+	pi.Pages = append(pi.Pages, data...)
+	return nil
+}
+
+// DropPages removes the dumped pages in [startPN, endPN).
+func (pi *ProcImage) DropPages(startPN, endPN uint64) {
+	var keepNums []uint64
+	var keepData []byte
+	for i, n := range pi.PageMap.PageNumbers {
+		if n >= startPN && n < endPN {
+			continue
+		}
+		keepNums = append(keepNums, n)
+		keepData = append(keepData, pi.Pages[i*kernel.PageSize:(i+1)*kernel.PageSize]...)
+	}
+	pi.PageMap.PageNumbers = keepNums
+	pi.Pages = keepData
+}
+
+// ImageSet is a dumped process tree: one ProcImage per PID, plus the
+// inventory order (parents before children).
+type ImageSet struct {
+	PIDs  []int
+	Procs map[int]*ProcImage
+}
+
+// Proc returns the image of one PID.
+func (s *ImageSet) Proc(pid int) (*ProcImage, error) {
+	pi, ok := s.Procs[pid]
+	if !ok {
+		return nil, fmt.Errorf("%w: pid %d", ErrNoImage, pid)
+	}
+	return pi, nil
+}
+
+// TotalBytes reports the aggregate image size — the "image size" rows
+// of Figure 7.
+func (s *ImageSet) TotalBytes() int {
+	n := 0
+	for _, pi := range s.Procs {
+		n += len(pi.Pages)
+		n += 64 * len(pi.MM.VMAs)
+		n += 8 * len(pi.PageMap.PageNumbers)
+	}
+	return n
+}
+
+// Serialization -----------------------------------------------------
+
+// Marshal encodes the image set into a single blob (the "tmpfs
+// directory" of the paper's setup).
+func (s *ImageSet) Marshal() []byte {
+	var e pbuf.Encoder
+	for _, pid := range s.PIDs {
+		pi := s.Procs[pid]
+		e.Msg(1, func(pe *pbuf.Encoder) {
+			pe.Uint(1, uint64(pid))
+			pe.Bytes(2, marshalCore(&pi.Core))
+			pe.Bytes(3, marshalMM(&pi.MM))
+			pe.Bytes(4, marshalPageMap(&pi.PageMap))
+			pe.Bytes(5, pi.Pages)
+			pe.Bytes(6, marshalFiles(&pi.Files))
+		})
+	}
+	return e.Finish()
+}
+
+// Unmarshal decodes an image set blob.
+func Unmarshal(data []byte) (*ImageSet, error) {
+	s := &ImageSet{Procs: map[int]*ProcImage{}}
+	d := pbuf.NewDecoder(data)
+	for d.Next() {
+		if d.Field() != 1 {
+			d.Skip()
+			continue
+		}
+		pi := &ProcImage{}
+		pid := -1
+		d.Msg(func(pd *pbuf.Decoder) error {
+			for pd.Next() {
+				switch pd.Field() {
+				case 1:
+					pid = int(pd.Uint())
+				case 2:
+					c, err := unmarshalCore(pd.Bytes())
+					if err != nil {
+						return err
+					}
+					pi.Core = *c
+				case 3:
+					mm, err := unmarshalMM(pd.Bytes())
+					if err != nil {
+						return err
+					}
+					pi.MM = *mm
+				case 4:
+					pm, err := unmarshalPageMap(pd.Bytes())
+					if err != nil {
+						return err
+					}
+					pi.PageMap = *pm
+				case 5:
+					pi.Pages = append([]byte(nil), pd.Bytes()...)
+				case 6:
+					f, err := unmarshalFiles(pd.Bytes())
+					if err != nil {
+						return err
+					}
+					pi.Files = *f
+				default:
+					pd.Skip()
+				}
+			}
+			return pd.Err()
+		})
+		if d.Err() != nil {
+			break
+		}
+		if pid < 0 {
+			return nil, fmt.Errorf("%w: proc entry without pid", ErrBadImage)
+		}
+		if len(pi.Pages) != kernel.PageSize*len(pi.PageMap.PageNumbers) {
+			return nil, fmt.Errorf("%w: pages/pagemap size mismatch for pid %d", ErrBadImage, pid)
+		}
+		s.PIDs = append(s.PIDs, pid)
+		s.Procs[pid] = pi
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	if len(s.PIDs) == 0 {
+		return nil, fmt.Errorf("%w: empty image set", ErrBadImage)
+	}
+	return s, nil
+}
+
+func marshalCore(c *CoreImage) []byte {
+	var e pbuf.Encoder
+	e.String(1, c.Name)
+	e.Uint(2, uint64(c.PID))
+	e.Uint(3, uint64(c.Parent))
+	e.Fixed64(4, c.RIP)
+	e.Uint(5, c.Flags)
+	for _, r := range c.Regs {
+		e.Fixed64(6, r)
+	}
+	for _, sg := range c.Sigs {
+		e.Msg(7, func(se *pbuf.Encoder) {
+			se.Uint(1, uint64(sg.Signo))
+			se.Fixed64(2, sg.Handler)
+			se.Fixed64(3, sg.Restorer)
+		})
+	}
+	e.Bool(8, c.ExitedOK)
+	e.Bool(9, c.HasFilter)
+	for _, nr := range c.SysFilter {
+		e.Uint(10, nr)
+	}
+	return e.Finish()
+}
+
+func unmarshalCore(data []byte) (*CoreImage, error) {
+	c := &CoreImage{}
+	d := pbuf.NewDecoder(data)
+	regIdx := 0
+	for d.Next() {
+		switch d.Field() {
+		case 1:
+			c.Name = d.String()
+		case 2:
+			c.PID = int(d.Uint())
+		case 3:
+			c.Parent = int(d.Uint())
+		case 4:
+			c.RIP = d.Fixed64()
+		case 5:
+			c.Flags = d.Uint()
+		case 6:
+			if regIdx >= len(c.Regs) {
+				return nil, fmt.Errorf("%w: too many registers", ErrBadImage)
+			}
+			c.Regs[regIdx] = d.Fixed64()
+			regIdx++
+		case 7:
+			var sg SigEntry
+			d.Msg(func(sd *pbuf.Decoder) error {
+				for sd.Next() {
+					switch sd.Field() {
+					case 1:
+						sg.Signo = int(sd.Uint())
+					case 2:
+						sg.Handler = sd.Fixed64()
+					case 3:
+						sg.Restorer = sd.Fixed64()
+					default:
+						sd.Skip()
+					}
+				}
+				return nil
+			})
+			c.Sigs = append(c.Sigs, sg)
+		case 8:
+			c.ExitedOK = d.Bool()
+		case 9:
+			c.HasFilter = d.Bool()
+		case 10:
+			c.SysFilter = append(c.SysFilter, d.Uint())
+		default:
+			d.Skip()
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: core: %v", ErrBadImage, err)
+	}
+	return c, nil
+}
+
+func marshalMM(mm *MMImage) []byte {
+	var e pbuf.Encoder
+	for _, v := range mm.VMAs {
+		e.Msg(1, func(ve *pbuf.Encoder) {
+			ve.Fixed64(1, v.Start)
+			ve.Fixed64(2, v.End)
+			ve.Uint(3, uint64(v.Perm))
+			ve.String(4, v.Name)
+			ve.String(5, v.Backing)
+			ve.String(6, v.BackSection)
+			ve.Bool(7, v.Anon)
+		})
+	}
+	for _, mod := range mm.Modules {
+		e.Msg(2, func(me *pbuf.Encoder) {
+			me.String(1, mod.Name)
+			me.Fixed64(2, mod.Lo)
+			me.Fixed64(3, mod.Hi)
+		})
+	}
+	return e.Finish()
+}
+
+func unmarshalMM(data []byte) (*MMImage, error) {
+	mm := &MMImage{}
+	d := pbuf.NewDecoder(data)
+	for d.Next() {
+		switch d.Field() {
+		case 1:
+			var v VMAEntry
+			d.Msg(func(vd *pbuf.Decoder) error {
+				for vd.Next() {
+					switch vd.Field() {
+					case 1:
+						v.Start = vd.Fixed64()
+					case 2:
+						v.End = vd.Fixed64()
+					case 3:
+						v.Perm = uint8(vd.Uint())
+					case 4:
+						v.Name = vd.String()
+					case 5:
+						v.Backing = vd.String()
+					case 6:
+						v.BackSection = vd.String()
+					case 7:
+						v.Anon = vd.Bool()
+					default:
+						vd.Skip()
+					}
+				}
+				return nil
+			})
+			mm.VMAs = append(mm.VMAs, v)
+		case 2:
+			var mod ModuleEntry
+			d.Msg(func(md *pbuf.Decoder) error {
+				for md.Next() {
+					switch md.Field() {
+					case 1:
+						mod.Name = md.String()
+					case 2:
+						mod.Lo = md.Fixed64()
+					case 3:
+						mod.Hi = md.Fixed64()
+					default:
+						md.Skip()
+					}
+				}
+				return nil
+			})
+			mm.Modules = append(mm.Modules, mod)
+		default:
+			d.Skip()
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: mm: %v", ErrBadImage, err)
+	}
+	return mm, nil
+}
+
+func marshalPageMap(pm *PageMapImage) []byte {
+	var e pbuf.Encoder
+	for _, pn := range pm.PageNumbers {
+		e.Uint(1, pn)
+	}
+	return e.Finish()
+}
+
+func unmarshalPageMap(data []byte) (*PageMapImage, error) {
+	pm := &PageMapImage{}
+	d := pbuf.NewDecoder(data)
+	for d.Next() {
+		if d.Field() == 1 {
+			pm.PageNumbers = append(pm.PageNumbers, d.Uint())
+		} else {
+			d.Skip()
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: pagemap: %v", ErrBadImage, err)
+	}
+	return pm, nil
+}
+
+func marshalFiles(f *FilesImage) []byte {
+	var e pbuf.Encoder
+	for _, fe := range f.Files {
+		e.Msg(1, func(fe2 *pbuf.Encoder) {
+			fe2.Uint(1, uint64(fe.FD))
+			fe2.Uint(2, uint64(fe.Kind))
+			fe2.Uint(3, uint64(fe.StdNo))
+			fe2.Uint(4, uint64(fe.Port))
+			fe2.Uint(5, fe.ConnID)
+			fe2.Bool(6, fe.SideA)
+		})
+	}
+	return e.Finish()
+}
+
+func unmarshalFiles(data []byte) (*FilesImage, error) {
+	f := &FilesImage{}
+	d := pbuf.NewDecoder(data)
+	for d.Next() {
+		if d.Field() != 1 {
+			d.Skip()
+			continue
+		}
+		var fe FileEntry
+		d.Msg(func(fd *pbuf.Decoder) error {
+			for fd.Next() {
+				switch fd.Field() {
+				case 1:
+					fe.FD = int(fd.Uint())
+				case 2:
+					fe.Kind = uint8(fd.Uint())
+				case 3:
+					fe.StdNo = int(fd.Uint())
+				case 4:
+					fe.Port = uint16(fd.Uint())
+				case 5:
+					fe.ConnID = fd.Uint()
+				case 6:
+					fe.SideA = fd.Bool()
+				default:
+					fd.Skip()
+				}
+			}
+			return nil
+		})
+		f.Files = append(f.Files, fe)
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: files: %v", ErrBadImage, err)
+	}
+	return f, nil
+}
+
+// sortPIDsParentFirst orders pids so that parents restore before
+// children.
+func sortPIDsParentFirst(pids []int, parent map[int]int) {
+	sort.Slice(pids, func(i, j int) bool {
+		// Walk ancestry depth.
+		depth := func(pid int) int {
+			d := 0
+			for p := parent[pid]; p != 0; p = parent[p] {
+				d++
+				if d > len(pids) {
+					break
+				}
+			}
+			return d
+		}
+		di, dj := depth(pids[i]), depth(pids[j])
+		if di != dj {
+			return di < dj
+		}
+		return pids[i] < pids[j]
+	})
+}

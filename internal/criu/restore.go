@@ -1,0 +1,160 @@
+package criu
+
+import (
+	"fmt"
+
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/isa"
+	"github.com/dynacut/dynacut/internal/kernel"
+)
+
+// Restore materializes the image set into fresh processes on m and
+// returns them in image order (parents first), plus the old→new PID
+// mapping. Listener ports must be free (kill the original processes
+// before restoring); established connections are re-attached by ID so
+// live host clients continue transparently (TCP repair).
+//
+// File-backed pages absent from the image are re-read from the
+// machine's disk, faithfully reproducing vanilla CRIU's page-fault
+// reconstruction — and therefore reverting any code patches unless
+// the dump used ExecPages.
+func Restore(m *kernel.Machine, set *ImageSet) ([]*kernel.Process, map[int]int, error) {
+	pidMap := map[int]int{}
+	var out []*kernel.Process
+	boundHere := map[uint16]bool{} // listeners (re)bound by this restore
+	for _, oldPID := range set.PIDs {
+		pi := set.Procs[oldPID]
+		parent := pidMap[pi.Core.Parent] // 0 when the parent wasn't dumped
+		p := m.NewRawProcess(pi.Core.Name, parent)
+		if err := restoreOne(m, p, pi, boundHere); err != nil {
+			m.Remove(p.PID())
+			return nil, nil, fmt.Errorf("restore pid %d: %w", oldPID, err)
+		}
+		pidMap[oldPID] = p.PID()
+		out = append(out, p)
+	}
+	return out, pidMap, nil
+}
+
+func restoreOne(m *kernel.Machine, p *kernel.Process, pi *ProcImage, boundHere map[uint16]bool) error {
+	// VMAs.
+	for _, v := range pi.MM.VMAs {
+		if err := p.Mem().Map(kernel.VMA{
+			Start: v.Start, End: v.End, Perm: delf.Perm(v.Perm),
+			Name: v.Name, Backing: v.Backing, BackSection: v.BackSection,
+			Anon: v.Anon,
+		}); err != nil {
+			return err
+		}
+	}
+
+	// File-backed contents from disk first (vanilla CRIU page-fault
+	// reconstruction), then dumped pages on top (they take priority).
+	// A VMA may be a fragment of its section (the rewriter unmaps
+	// pages), so only the slice the VMA still covers is written.
+	for _, v := range pi.MM.VMAs {
+		if v.Anon || v.Backing == "" || v.BackSection == "" {
+			continue
+		}
+		data, err := m.ReadFile(v.Backing)
+		if err != nil {
+			return fmt.Errorf("rematerialize %s: %w", v.Name, err)
+		}
+		file, err := delf.Unmarshal(data)
+		if err != nil {
+			return fmt.Errorf("rematerialize %s: %w", v.Name, err)
+		}
+		sec, err := file.Section(v.BackSection)
+		if err != nil {
+			return fmt.Errorf("rematerialize %s: %w", v.Name, err)
+		}
+		secStart, ok := sectionStart(pi, v.Backing, file, sec.Addr)
+		if !ok || v.Start < secStart {
+			continue
+		}
+		off := v.Start - secStart
+		if off >= uint64(len(sec.Data)) {
+			continue
+		}
+		slice := sec.Data[off:]
+		if max := v.End - v.Start; uint64(len(slice)) > max {
+			slice = slice[:max]
+		}
+		if len(slice) > 0 {
+			if err := p.Mem().Write(v.Start, slice); err != nil {
+				return fmt.Errorf("rematerialize %s: %w", v.Name, err)
+			}
+		}
+	}
+	for i, pn := range pi.PageMap.PageNumbers {
+		page := pi.Pages[i*kernel.PageSize : (i+1)*kernel.PageSize]
+		if err := p.Mem().SetPage(pn, page); err != nil {
+			return err
+		}
+	}
+
+	// Registers, flags, signal dispositions.
+	for i := 0; i < isa.NumRegisters; i++ {
+		p.SetReg(isa.Register(i), pi.Core.Regs[i])
+	}
+	p.SetFlags(pi.Core.Flags)
+	p.SetRIP(pi.Core.RIP)
+	for _, sg := range pi.Core.Sigs {
+		p.SetSigaction(kernel.Signal(sg.Signo), kernel.Sigaction{
+			Handler: sg.Handler, Restorer: sg.Restorer,
+		})
+	}
+	if pi.Core.HasFilter {
+		filter := pi.Core.SysFilter
+		if filter == nil {
+			filter = []uint64{} // deny-all
+		}
+		p.SetSyscallFilter(filter)
+	}
+
+	// Modules.
+	for _, mod := range pi.MM.Modules {
+		p.AddModule(kernel.Module{Name: mod.Name, Lo: mod.Lo, Hi: mod.Hi})
+	}
+
+	// Descriptors.
+	for _, fe := range pi.Files.Files {
+		switch kernel.FDKind(fe.Kind) {
+		case kernel.FDStdio:
+			m.AttachStdio(p, fe.FD, fe.StdNo)
+		case kernel.FDListener:
+			if fe.Port == 0 {
+				continue // socket dumped before bind: nothing to re-attach
+			}
+			if boundHere[fe.Port] {
+				// Shared across fork within this restored tree.
+				if err := m.ShareListener(p, fe.FD, fe.Port); err != nil {
+					return fmt.Errorf("share port %d: %w", fe.Port, err)
+				}
+				continue
+			}
+			if err := m.AttachListener(p, fe.FD, fe.Port); err != nil {
+				return fmt.Errorf("rebind port %d: %w", fe.Port, err)
+			}
+			boundHere[fe.Port] = true
+		case kernel.FDConn:
+			m.AttachConn(p, fe.FD, fe.ConnID, fe.Port, fe.SideA)
+		default:
+			return fmt.Errorf("%w: fd %d has unknown kind %d", ErrBadImage, fe.FD, fe.Kind)
+		}
+	}
+	return nil
+}
+
+// sectionStart computes the runtime start address of a section of the
+// named module within the dumped process: the module's recorded load
+// range pins its base.
+func sectionStart(pi *ProcImage, moduleName string, file *delf.File, secAddr uint64) (uint64, bool) {
+	fileLo, _ := file.ImageSpan()
+	for _, mod := range pi.MM.Modules {
+		if mod.Name == moduleName {
+			return mod.Lo - fileLo + secAddr, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,61 @@
+package delf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Property: arbitrary files survive a Marshal/Unmarshal round trip.
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(name string, entry uint64, secData []byte, symName string, symVal uint64, needed string) bool {
+		in := &File{
+			Type:  TypeDyn,
+			Name:  name,
+			Entry: entry,
+			Sections: []*Section{{
+				Name: SecText, Addr: 0, Size: uint64(len(secData)),
+				Perm: PermR | PermX, Data: secData,
+			}},
+			Symbols: []Symbol{{Name: symName, Value: symVal, Kind: SymFunc, Global: true}},
+			Relocs:  []Reloc{{Off: symVal, Kind: RelGOT64, Symbol: symName, Addend: -int64(entry)}},
+			Needed:  []string{needed},
+		}
+		out, err := Unmarshal(in.Marshal())
+		if err != nil {
+			return false
+		}
+		if out.Name != in.Name || out.Entry != in.Entry || out.Type != in.Type {
+			return false
+		}
+		if len(out.Sections) != 1 || !bytes.Equal(out.Sections[0].Data, secData) {
+			return false
+		}
+		if len(out.Symbols) != 1 || out.Symbols[0] != in.Symbols[0] {
+			return false
+		}
+		if len(out.Relocs) != 1 || out.Relocs[0] != in.Relocs[0] {
+			return false
+		}
+		return len(out.Needed) == 1 && out.Needed[0] == needed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flipping any single byte of a marshaled file either fails
+// to parse or parses without panicking — never corrupts silently into
+// a panic.
+func TestQuickBitFlipRobust(t *testing.T) {
+	base := sampleFile().Marshal()
+	f := func(pos uint16, val byte) bool {
+		mut := append([]byte(nil), base...)
+		mut[int(pos)%len(mut)] ^= val | 1
+		_, _ = Unmarshal(mut) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,380 @@
+// Package link turns assembler objects into DELF executables and
+// position-independent shared libraries, synthesizing PLT/GOT
+// trampolines for cross-library calls, and computes the dynamic
+// relocation patches a loader (or DynaCut's library injector) must
+// apply when mapping a DYN file at a chosen base address.
+package link
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/dynacut/dynacut/internal/asm"
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/isa"
+)
+
+// PageSize is the layout/alignment granularity, matching the kernel's
+// page size.
+const PageSize = 4096
+
+// DefaultExecBase is where executables are linked, mirroring the
+// traditional 0x400000 of x86-64 ELF.
+const DefaultExecBase uint64 = 0x400000
+
+// PLTEntrySize is the byte size of one synthesized PLT trampoline:
+// lea r13, gotslot (6) + load r13,[r13+0] (7) + jmp r13 (2).
+const PLTEntrySize = 15
+
+// PLTSuffix names PLT entry symbols ("write@plt").
+const PLTSuffix = "@plt"
+
+// Link errors.
+var (
+	ErrUndefined  = errors.New("link: undefined symbol")
+	ErrDuplicate  = errors.New("link: duplicate symbol")
+	ErrNoEntry    = errors.New("link: no _start symbol")
+	ErrUnresolved = errors.New("link: unresolvable relocation")
+	ErrBadBase    = errors.New("link: base address not page aligned")
+	ErrNotDyn     = errors.New("link: not a shared library")
+)
+
+// sectionOrder fixes the image layout.
+var sectionOrder = []struct {
+	name string
+	perm delf.Perm
+}{
+	{delf.SecText, delf.PermR | delf.PermX},
+	{delf.SecPLT, delf.PermR | delf.PermX},
+	{delf.SecROData, delf.PermR},
+	{delf.SecData, delf.PermR | delf.PermW},
+	{delf.SecGOT, delf.PermR | delf.PermW},
+	{delf.SecBSS, delf.PermR | delf.PermW},
+}
+
+// Executable links objects against the exported symbols of libs into a
+// DELF executable based at DefaultExecBase. Calls written as
+// `call name@plt` become PLT trampolines whose GOT slots the loader
+// fills with the library symbol's runtime address (recorded as
+// RelGOT64 entries in the output's Relocs).
+func Executable(name string, objs []*asm.Object, libs ...*delf.File) (*delf.File, error) {
+	return linkImage(name, delf.TypeExec, DefaultExecBase, objs, libs)
+}
+
+// Library links objects into a position-independent shared library
+// based at 0. Remaining RelAbs64 relocations (against the library's
+// own symbols) and RelGOT64 relocations (imports) stay in Relocs for
+// the loader/injector.
+func Library(name string, objs []*asm.Object, deps ...*delf.File) (*delf.File, error) {
+	return linkImage(name, delf.TypeDyn, 0, objs, deps)
+}
+
+type symAddr struct {
+	addr   uint64
+	size   uint64
+	kind   delf.SymKind
+	global bool
+}
+
+func linkImage(name string, typ delf.Type, base uint64, objs []*asm.Object, libs []*delf.File) (*delf.File, error) {
+	if base%PageSize != 0 {
+		return nil, fmt.Errorf("%w: %#x", ErrBadBase, base)
+	}
+
+	// Gather PLT imports in first-use order.
+	var pltNames []string
+	pltIndex := map[string]int{}
+	for _, obj := range objs {
+		for _, rel := range obj.Relocs {
+			if rel.Kind == delf.RelPLT32 {
+				if _, ok := pltIndex[rel.Symbol]; !ok {
+					pltIndex[rel.Symbol] = len(pltNames)
+					pltNames = append(pltNames, rel.Symbol)
+				}
+			}
+		}
+	}
+
+	// Verify imports resolve against the provided libraries.
+	libExports := map[string]string{} // symbol -> soname
+	for _, lib := range libs {
+		if lib.Type != delf.TypeDyn {
+			return nil, fmt.Errorf("%w: %s", ErrNotDyn, lib.Name)
+		}
+		for _, sym := range lib.Symbols {
+			if sym.Global {
+				if _, dup := libExports[sym.Name]; !dup {
+					libExports[sym.Name] = lib.Name
+				}
+			}
+		}
+	}
+	neededSet := map[string]bool{}
+	for _, imp := range pltNames {
+		so, ok := libExports[imp]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q (imported via @plt)", ErrUndefined, imp)
+		}
+		neededSet[so] = true
+	}
+
+	// Merge object sections, tracking (obj, section) -> merged offset.
+	type key struct {
+		obj int
+		sec string
+	}
+	offsets := map[key]uint64{}
+	merged := map[string]*asm.Section{}
+	for _, so := range sectionOrder {
+		merged[so.name] = &asm.Section{Name: so.name}
+	}
+	for i, obj := range objs {
+		for secName, sec := range obj.Sections {
+			m, ok := merged[secName]
+			if !ok {
+				return nil, fmt.Errorf("link: unknown section %q", secName)
+			}
+			// Keep every symbol 8-aligned across object boundaries.
+			pad := (8 - m.Size%8) % 8
+			if secName != delf.SecBSS {
+				m.Data = append(m.Data, make([]byte, pad)...)
+			}
+			m.Size += pad
+			offsets[key{i, secName}] = m.Size
+			if secName == delf.SecBSS {
+				m.Size += sec.Size
+			} else {
+				m.Data = append(m.Data, sec.Data...)
+				m.Size = uint64(len(m.Data))
+			}
+		}
+	}
+
+	// Synthesize PLT and GOT section contents (placeholders; code is
+	// patched once addresses are known).
+	plt := merged[delf.SecPLT]
+	got := merged[delf.SecGOT]
+	plt.Data = make([]byte, PLTEntrySize*len(pltNames))
+	plt.Size = uint64(len(plt.Data))
+	got.Data = make([]byte, 8*len(pltNames))
+	got.Size = uint64(len(got.Data))
+
+	// Assign section addresses.
+	out := &delf.File{Type: typ, Name: name}
+	addr := base
+	secAddr := map[string]uint64{}
+	for _, so := range sectionOrder {
+		m := merged[so.name]
+		if m.Size == 0 {
+			continue
+		}
+		secAddr[so.name] = addr
+		s := &delf.Section{Name: so.name, Addr: addr, Size: m.Size, Perm: so.perm}
+		if so.name != delf.SecBSS {
+			s.Data = m.Data
+		}
+		out.Sections = append(out.Sections, s)
+		addr += (m.Size + PageSize - 1) / PageSize * PageSize
+	}
+
+	// Resolve symbol addresses.
+	syms := map[string]symAddr{}
+	for i, obj := range objs {
+		for _, def := range obj.Symbols {
+			secBase, ok := secAddr[def.Section]
+			if !ok {
+				return nil, fmt.Errorf("link: symbol %q in empty section %q", def.Name, def.Section)
+			}
+			a := secBase + offsets[key{i, def.Section}] + def.Off
+			if _, dup := syms[def.Name]; dup {
+				return nil, fmt.Errorf("%w: %q", ErrDuplicate, def.Name)
+			}
+			syms[def.Name] = symAddr{addr: a, size: def.Size, kind: def.Kind, global: def.Global}
+		}
+	}
+
+	// Emit PLT entries and record GOT import relocations.
+	if len(pltNames) > 0 {
+		pltBase := secAddr[delf.SecPLT]
+		gotBase := secAddr[delf.SecGOT]
+		pltSec, _ := out.Section(delf.SecPLT)
+		for i, imp := range pltNames {
+			entryAddr := pltBase + uint64(i)*PLTEntrySize
+			slotAddr := gotBase + uint64(i)*8
+			code := encodePLTEntry(entryAddr, slotAddr)
+			copy(pltSec.Data[i*PLTEntrySize:], code)
+			syms[imp+PLTSuffix] = symAddr{
+				addr: entryAddr, size: PLTEntrySize, kind: delf.SymFunc, global: true,
+			}
+			out.Relocs = append(out.Relocs, delf.Reloc{
+				Off: slotAddr, Kind: delf.RelGOT64, Symbol: imp,
+			})
+		}
+	}
+
+	// Apply relocations from the objects.
+	for i, obj := range objs {
+		for _, rel := range obj.Relocs {
+			secBase, ok := secAddr[rel.Section]
+			if !ok {
+				return nil, fmt.Errorf("link: relocation in empty section %q", rel.Section)
+			}
+			fieldAddr := secBase + offsets[key{i, rel.Section}] + rel.Off
+			sec, err := out.SectionAt(fieldAddr)
+			if err != nil {
+				return nil, err
+			}
+			fieldOff := fieldAddr - sec.Addr
+			switch rel.Kind {
+			case delf.RelPC32:
+				target, ok := syms[rel.Symbol]
+				if !ok {
+					return nil, fmt.Errorf("%w: %q", ErrUndefined, rel.Symbol)
+				}
+				// rel32 is relative to the end of the 4-byte field.
+				delta := int64(target.addr) + rel.Addend - int64(fieldAddr+4)
+				if delta < -(1<<31) || delta >= 1<<31 {
+					return nil, fmt.Errorf("%w: PC32 overflow to %q", ErrUnresolved, rel.Symbol)
+				}
+				putU32(sec.Data[fieldOff:], uint32(int32(delta)))
+			case delf.RelPLT32:
+				target, ok := syms[rel.Symbol+PLTSuffix]
+				if !ok {
+					return nil, fmt.Errorf("%w: no PLT entry for %q", ErrUnresolved, rel.Symbol)
+				}
+				delta := int64(target.addr) + rel.Addend - int64(fieldAddr+4)
+				putU32(sec.Data[fieldOff:], uint32(int32(delta)))
+			case delf.RelAbs64:
+				target, ok := syms[rel.Symbol]
+				if !ok {
+					return nil, fmt.Errorf("%w: %q", ErrUndefined, rel.Symbol)
+				}
+				if typ == delf.TypeDyn {
+					// Value depends on the load base: defer to load time.
+					out.Relocs = append(out.Relocs, delf.Reloc{
+						Off: fieldAddr, Kind: delf.RelAbs64,
+						Symbol: rel.Symbol, Addend: rel.Addend,
+					})
+					continue
+				}
+				putU64(sec.Data[fieldOff:], uint64(int64(target.addr)+rel.Addend))
+			default:
+				return nil, fmt.Errorf("%w: kind %v", ErrUnresolved, rel.Kind)
+			}
+		}
+	}
+
+	// Build the output symbol table (sorted for determinism).
+	for n, sa := range syms {
+		out.Symbols = append(out.Symbols, delf.Symbol{
+			Name: n, Value: sa.addr, Size: sa.size, Kind: sa.kind, Global: sa.global,
+		})
+	}
+	sort.Slice(out.Symbols, func(i, j int) bool {
+		if out.Symbols[i].Value != out.Symbols[j].Value {
+			return out.Symbols[i].Value < out.Symbols[j].Value
+		}
+		return out.Symbols[i].Name < out.Symbols[j].Name
+	})
+	for so := range neededSet {
+		out.Needed = append(out.Needed, so)
+	}
+	sort.Strings(out.Needed)
+
+	if typ == delf.TypeExec {
+		start, ok := syms["_start"]
+		if !ok {
+			return nil, ErrNoEntry
+		}
+		out.Entry = start.addr
+	}
+	return out, nil
+}
+
+// encodePLTEntry builds one PLT trampoline at entryAddr jumping
+// through the GOT slot at slotAddr.
+func encodePLTEntry(entryAddr, slotAddr uint64) []byte {
+	var code []byte
+	// lea r13, slot  (rel32 relative to next instruction = entry+6)
+	rel := int64(slotAddr) - int64(entryAddr+6)
+	code = isa.MustEncode(code, isa.Inst{Op: isa.OpLEA, A: 13, Imm: rel})
+	code = isa.MustEncode(code, isa.Inst{Op: isa.OpLOAD, A: 13, B: 13, Imm: 0})
+	code = isa.MustEncode(code, isa.Inst{Op: isa.OpJMPr, A: 13})
+	return code
+}
+
+// Patch is a byte write the loader applies after mapping an image.
+type Patch struct {
+	Addr  uint64
+	Bytes []byte
+}
+
+// DynamicPatches computes the load-time patches for mapping file at
+// base. resolve must return the absolute runtime address of an
+// imported symbol (for RelGOT64) and is also consulted for RelAbs64
+// symbols not defined by the file itself. The file's own symbols
+// resolve to base+value.
+func DynamicPatches(file *delf.File, base uint64, resolve func(string) (uint64, bool)) ([]Patch, error) {
+	if file.Type == delf.TypeDyn && base%PageSize != 0 {
+		return nil, fmt.Errorf("%w: %#x", ErrBadBase, base)
+	}
+	own := map[string]uint64{}
+	for _, sym := range file.Symbols {
+		own[sym.Name] = base + sym.Value
+	}
+	lookup := func(name string) (uint64, bool) {
+		if a, ok := own[name]; ok {
+			return a, true
+		}
+		if resolve != nil {
+			return resolve(name)
+		}
+		return 0, false
+	}
+	var patches []Patch
+	for _, rel := range file.Relocs {
+		switch rel.Kind {
+		case delf.RelAbs64, delf.RelGOT64:
+			target, ok := lookup(rel.Symbol)
+			if !ok {
+				return nil, fmt.Errorf("%w: %q in %s", ErrUndefined, rel.Symbol, file.Name)
+			}
+			b := make([]byte, 8)
+			putU64(b, uint64(int64(target)+rel.Addend))
+			patches = append(patches, Patch{Addr: base + rel.Off, Bytes: b})
+		default:
+			return nil, fmt.Errorf("%w: dynamic %v in %s", ErrUnresolved, rel.Kind, file.Name)
+		}
+	}
+	return patches, nil
+}
+
+// PLTEntries lists the (symbol, entry address) pairs of an
+// executable's PLT, sorted by address. The suffixed "@plt" is
+// stripped from the names.
+func PLTEntries(file *delf.File) []delf.Symbol {
+	var out []delf.Symbol
+	for _, sym := range file.Symbols {
+		if len(sym.Name) > len(PLTSuffix) && sym.Name[len(sym.Name)-len(PLTSuffix):] == PLTSuffix {
+			s := sym
+			s.Name = sym.Name[:len(sym.Name)-len(PLTSuffix)]
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,132 @@
+package link
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/asm"
+	"github.com/dynacut/dynacut/internal/delf"
+)
+
+func TestLinkRejectsExecAsLibraryDep(t *testing.T) {
+	exeObj := mustObj(t, ".text\n.global _start\n_start: ret\n")
+	fakeLib, err := Executable("not-a-lib", []*asm.Object{exeObj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	userObj := mustObj(t, `
+.text
+.global _start
+_start:
+	call something@plt
+	ret
+`)
+	if _, err := Executable("p", []*asm.Object{userObj}, fakeLib); err == nil ||
+		!strings.Contains(err.Error(), "not a shared library") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLinkBadBase(t *testing.T) {
+	obj := mustObj(t, ".text\n.global _start\n_start: ret\n")
+	if _, err := linkImage("p", delf.TypeExec, 0x400001, []*asm.Object{obj}, nil); err == nil {
+		t.Fatal("unaligned base accepted")
+	}
+}
+
+func TestLinkSymbolInUnknownSection(t *testing.T) {
+	obj := &asm.Object{
+		Sections: map[string]*asm.Section{
+			".weird": {Name: ".weird", Data: []byte{1}, Size: 1},
+		},
+	}
+	if _, err := Executable("p", []*asm.Object{obj}); err == nil {
+		t.Fatal("unknown section accepted")
+	}
+}
+
+func TestLinkBSSOnlyObjectsMerge(t *testing.T) {
+	a := mustObj(t, ".text\n.global _start\n_start:\n\tmov r1, =buf_a\n\tmov r2, =buf_b\n\tret\n.bss\nbuf_a: .space 100\n")
+	b := mustObj(t, ".bss\nbuf_b: .space 200\n")
+	exe, err := Executable("p", []*asm.Object{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	symA, err := exe.Symbol("buf_a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	symB, err := exe.Symbol("buf_b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if symA.Value == symB.Value {
+		t.Error("bss symbols collide")
+	}
+	bss, err := exe.Section(delf.SecBSS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bss.Contains(symA.Value) || !bss.Contains(symB.Value) {
+		t.Errorf("bss symbols outside section: %#x %#x vs %v", symA.Value, symB.Value, bss)
+	}
+	if bss.Size < 300 {
+		t.Errorf("bss size = %d", bss.Size)
+	}
+	if len(bss.Data) != 0 {
+		t.Error("bss carries data")
+	}
+}
+
+func TestLinkSymbolAlignmentAcrossObjects(t *testing.T) {
+	// Object A's data ends at an odd size; object B's quad must still
+	// land 8-aligned.
+	a := mustObj(t, ".text\n.global _start\n_start: ret\n.data\nodd: .byte 1, 2, 3\n")
+	b := mustObj(t, ".data\naligned: .quad 42\n")
+	exe, err := Executable("p", []*asm.Object{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := exe.Symbol("aligned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Value%8 != 0 {
+		t.Errorf("cross-object quad at %#x not 8-aligned", sym.Value)
+	}
+}
+
+func TestPLTEntriesEmptyWithoutImports(t *testing.T) {
+	exe, err := Executable("p", []*asm.Object{mustObj(t, ".text\n.global _start\n_start: ret\n")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PLTEntries(exe); len(got) != 0 {
+		t.Errorf("PLT entries = %v", got)
+	}
+	if _, err := exe.Section(delf.SecPLT); err == nil {
+		t.Error("empty PLT section emitted")
+	}
+}
+
+func TestLibraryExportsOnlyGlobals(t *testing.T) {
+	lib := buildLib(t)
+	sym, err := lib.Symbol("internal_helper")
+	if err != nil {
+		t.Fatal("local symbol missing from table entirely")
+	}
+	if sym.Global {
+		t.Error("local symbol marked global")
+	}
+	// An executable cannot import it.
+	obj := mustObj(t, `
+.text
+.global _start
+_start:
+	call internal_helper@plt
+	ret
+`)
+	if _, err := Executable("p", []*asm.Object{obj}, lib); err == nil {
+		t.Fatal("local symbol importable through PLT")
+	}
+}

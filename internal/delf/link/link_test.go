@@ -1,0 +1,312 @@
+package link
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/asm"
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/isa"
+)
+
+func mustObj(t *testing.T, src string) *asm.Object {
+	t.Helper()
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return obj
+}
+
+const tinyLibSrc = `
+.text
+.global write
+write:
+	mov r0, 1
+	syscall
+	ret
+.global strcmp
+strcmp:
+	mov r0, 0
+	ret
+internal_helper:
+	ret
+.data
+libdata: .quad write
+`
+
+func buildLib(t *testing.T) *delf.File {
+	t.Helper()
+	lib, err := Library("libc.so", []*asm.Object{mustObj(t, tinyLibSrc)})
+	if err != nil {
+		t.Fatalf("Library: %v", err)
+	}
+	return lib
+}
+
+func TestLinkExecutableBasics(t *testing.T) {
+	exe, err := Executable("prog", []*asm.Object{mustObj(t, `
+.text
+.global _start
+_start:
+	call helper
+	mov r0, 60
+	syscall
+helper:
+	ret
+.data
+v: .quad 42
+`)})
+	if err != nil {
+		t.Fatalf("Executable: %v", err)
+	}
+	if exe.Type != delf.TypeExec || exe.Entry != DefaultExecBase {
+		t.Errorf("type/entry = %v/%#x", exe.Type, exe.Entry)
+	}
+	text, err := exe.Section(delf.SecText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The call's rel32 should reach helper.
+	in, err := isa.Decode(text.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, ok := in.Target(text.Addr)
+	if !ok {
+		t.Fatal("call has no target")
+	}
+	sym, err := exe.Symbol("helper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt != sym.Value {
+		t.Errorf("call target %#x, helper at %#x", tgt, sym.Value)
+	}
+	// Sections page-aligned and ordered.
+	var prevEnd uint64
+	for _, s := range exe.Sections {
+		if s.Addr%PageSize != 0 {
+			t.Errorf("section %s at unaligned %#x", s.Name, s.Addr)
+		}
+		if s.Addr < prevEnd {
+			t.Errorf("section %s overlaps previous", s.Name)
+		}
+		prevEnd = s.End()
+	}
+	if len(exe.Relocs) != 0 {
+		t.Errorf("executable without imports has relocs: %+v", exe.Relocs)
+	}
+}
+
+func TestLinkMissingStart(t *testing.T) {
+	_, err := Executable("p", []*asm.Object{mustObj(t, ".text\nf: ret\n")})
+	if err == nil || !strings.Contains(err.Error(), "_start") {
+		t.Fatalf("err = %v, want no _start", err)
+	}
+}
+
+func TestLinkUndefinedSymbol(t *testing.T) {
+	_, err := Executable("p", []*asm.Object{mustObj(t, `
+.text
+.global _start
+_start:
+	call nowhere
+	ret
+`)})
+	if err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("err = %v, want undefined nowhere", err)
+	}
+}
+
+func TestLinkDuplicateSymbol(t *testing.T) {
+	a := mustObj(t, ".text\n.global _start\n_start: ret\n")
+	b := mustObj(t, ".text\n_start: ret\n")
+	if _, err := Executable("p", []*asm.Object{a, b}); err == nil {
+		t.Fatal("duplicate _start accepted")
+	}
+}
+
+func TestLinkAgainstLibraryPLT(t *testing.T) {
+	lib := buildLib(t)
+	exe, err := Executable("prog", []*asm.Object{mustObj(t, `
+.text
+.global _start
+_start:
+	call write@plt
+	call strcmp@plt
+	call write@plt       ; reuses the same PLT entry
+	mov r0, 60
+	syscall
+`)}, lib)
+	if err != nil {
+		t.Fatalf("Executable: %v", err)
+	}
+	if len(exe.Needed) != 1 || exe.Needed[0] != "libc.so" {
+		t.Errorf("Needed = %v", exe.Needed)
+	}
+	plt := PLTEntries(exe)
+	if len(plt) != 2 {
+		t.Fatalf("PLT entries = %+v, want 2", plt)
+	}
+	names := map[string]bool{}
+	for _, p := range plt {
+		names[p.Name] = true
+		if p.Size != PLTEntrySize {
+			t.Errorf("PLT entry %s size %d", p.Name, p.Size)
+		}
+	}
+	if !names["write"] || !names["strcmp"] {
+		t.Errorf("PLT names = %v", names)
+	}
+	// Two GOT import relocations recorded.
+	var gots int
+	for _, r := range exe.Relocs {
+		if r.Kind == delf.RelGOT64 {
+			gots++
+		}
+	}
+	if gots != 2 {
+		t.Errorf("GOT relocs = %d, want 2", gots)
+	}
+	// PLT section decodes to valid trampolines.
+	pltSec, err := exe.Section(delf.SecPLT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, _ := isa.Disassemble(pltSec.Data[:PLTEntrySize], pltSec.Addr)
+	if len(insts) != 3 || insts[0].Op != isa.OpLEA ||
+		insts[1].Op != isa.OpLOAD || insts[2].Op != isa.OpJMPr {
+		t.Errorf("PLT entry decodes to %v", insts)
+	}
+	// The LEA in entry 0 must point at GOT slot 0.
+	got, err := exe.Section(delf.SecGOT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaTarget := pltSec.Addr + uint64(insts[0].Size) + uint64(insts[0].Imm)
+	if leaTarget != got.Addr {
+		t.Errorf("PLT[0] LEA -> %#x, GOT at %#x", leaTarget, got.Addr)
+	}
+}
+
+func TestLinkImportNotInLibs(t *testing.T) {
+	lib := buildLib(t)
+	_, err := Executable("p", []*asm.Object{mustObj(t, `
+.text
+.global _start
+_start:
+	call missing_func@plt
+	ret
+`)}, lib)
+	if err == nil || !strings.Contains(err.Error(), "missing_func") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLibraryPositionIndependence(t *testing.T) {
+	lib := buildLib(t)
+	if lib.Type != delf.TypeDyn {
+		t.Fatal("not DYN")
+	}
+	// The .quad write data reloc must remain dynamic.
+	if len(lib.Relocs) != 1 || lib.Relocs[0].Kind != delf.RelAbs64 ||
+		lib.Relocs[0].Symbol != "write" {
+		t.Fatalf("lib relocs = %+v", lib.Relocs)
+	}
+	// Patches at two different bases differ by the base delta.
+	p1, err := DynamicPatches(lib, 0x10000000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := DynamicPatches(lib, 0x20000000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != 1 || len(p2) != 1 {
+		t.Fatalf("patches = %d/%d", len(p1), len(p2))
+	}
+	v1 := leU64(p1[0].Bytes)
+	v2 := leU64(p2[0].Bytes)
+	if v2-v1 != 0x10000000 {
+		t.Errorf("patch values %#x/%#x not base-shifted", v1, v2)
+	}
+	if p2[0].Addr-p1[0].Addr != 0x10000000 {
+		t.Errorf("patch addrs %#x/%#x not base-shifted", p1[0].Addr, p2[0].Addr)
+	}
+}
+
+func TestDynamicPatchesResolveImports(t *testing.T) {
+	lib := buildLib(t)
+	exe, err := Executable("prog", []*asm.Object{mustObj(t, `
+.text
+.global _start
+_start:
+	call write@plt
+	ret
+`)}, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libBase := uint64(0x10000000)
+	writeSym, err := lib.Symbol("write")
+	if err != nil {
+		t.Fatal(err)
+	}
+	patches, err := DynamicPatches(exe, 0, func(name string) (uint64, bool) {
+		if name == "write" {
+			return libBase + writeSym.Value, true
+		}
+		return 0, false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patches) != 1 {
+		t.Fatalf("patches = %+v", patches)
+	}
+	if leU64(patches[0].Bytes) != libBase+writeSym.Value {
+		t.Errorf("GOT slot value %#x", leU64(patches[0].Bytes))
+	}
+	// Unresolvable import errors out.
+	if _, err := DynamicPatches(exe, 0, nil); err == nil {
+		t.Error("DynamicPatches with nil resolver succeeded")
+	}
+}
+
+func TestDynamicPatchesBadBase(t *testing.T) {
+	lib := buildLib(t)
+	if _, err := DynamicPatches(lib, 12345, nil); err == nil {
+		t.Error("unaligned base accepted")
+	}
+}
+
+func TestLinkMergesMultipleObjects(t *testing.T) {
+	a := mustObj(t, ".text\n.global _start\n_start:\n\tcall other\n\tret\n")
+	b := mustObj(t, ".text\n.global other\nother: ret\n.data\nx: .quad 9\n")
+	exe, err := Executable("p", []*asm.Object{a, b})
+	if err != nil {
+		t.Fatalf("Executable: %v", err)
+	}
+	text, _ := exe.Section(delf.SecText)
+	in, err := isa.Decode(text.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, _ := in.Target(text.Addr)
+	other, err := exe.Symbol("other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt != other.Value {
+		t.Errorf("cross-object call -> %#x, other at %#x", tgt, other.Value)
+	}
+}
+
+func leU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

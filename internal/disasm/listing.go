@@ -1,0 +1,75 @@
+package disasm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/isa"
+)
+
+// Listing renders an objdump-style disassembly of the binary's
+// executable sections: function symbols as headers, one instruction
+// per line with address, raw bytes and mnemonic. Undecodable bytes
+// (e.g. after DynaCut wiped a block with INT3 the stream stays
+// decodable, but arbitrary corruption may not) are rendered as .byte
+// lines and decoding resumes at the next symbol.
+func Listing(file *delf.File) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\tfile format delf-%s\n", file.Name, strings.ToLower(file.Type.String()))
+
+	// Symbol lookup by address for headers.
+	funcAt := map[uint64]string{}
+	for _, sym := range file.Symbols {
+		if sym.Kind == delf.SymFunc {
+			funcAt[sym.Value] = sym.Name
+		}
+	}
+
+	var secs []*delf.Section
+	for _, sec := range file.Sections {
+		if sec.Perm&delf.PermX != 0 && len(sec.Data) > 0 {
+			secs = append(secs, sec)
+		}
+	}
+	sort.Slice(secs, func(i, j int) bool { return secs[i].Addr < secs[j].Addr })
+
+	for _, sec := range secs {
+		fmt.Fprintf(&b, "\nDisassembly of section %s:\n", sec.Name)
+		off := 0
+		for off < len(sec.Data) {
+			addr := sec.Addr + uint64(off)
+			if name, ok := funcAt[addr]; ok {
+				fmt.Fprintf(&b, "\n%016x <%s>:\n", addr, name)
+			}
+			in, err := isa.Decode(sec.Data[off:])
+			if err != nil {
+				fmt.Fprintf(&b, "%12x:\t%-24s\t.byte 0x%02x\n",
+					addr, hexBytes(sec.Data[off:off+1]), sec.Data[off])
+				off++
+				continue
+			}
+			raw := sec.Data[off : off+in.Size]
+			mnem := in.String()
+			if tgt, ok := in.Target(addr); ok {
+				if name, ok := funcAt[tgt]; ok {
+					mnem += fmt.Sprintf("\t<%s>", name)
+				} else {
+					mnem += fmt.Sprintf("\t<%#x>", tgt)
+				}
+			}
+			fmt.Fprintf(&b, "%12x:\t%-24s\t%s\n", addr, hexBytes(raw), mnem)
+			off += in.Size
+		}
+	}
+	return b.String()
+}
+
+func hexBytes(raw []byte) string {
+	parts := make([]string, len(raw))
+	for i, v := range raw {
+		parts[i] = fmt.Sprintf("%02x", v)
+	}
+	return strings.Join(parts, " ")
+}

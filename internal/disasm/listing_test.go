@@ -1,0 +1,78 @@
+package disasm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListingRendersFunctionsAndTargets(t *testing.T) {
+	exe := build(t, `
+.text
+.global _start
+_start:
+	mov r1, 7
+	call helper
+	mov r0, 1
+	syscall
+helper:
+	add r1, 1
+	ret
+`)
+	out := Listing(exe)
+	for _, want := range []string{
+		"Disassembly of section .text",
+		"<_start>:",
+		"<helper>:",
+		"mov r1, 7",
+		"call",
+		"ret",
+		"file format delf-exec",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+	// The call should resolve its target symbolically.
+	callLine := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "\tcall") {
+			callLine = line
+		}
+	}
+	if !strings.Contains(callLine, "<helper>") {
+		t.Errorf("call target not symbolized: %q", callLine)
+	}
+}
+
+func TestListingHandlesUndecodableBytes(t *testing.T) {
+	exe := build(t, ".text\n.global _start\n_start:\n\tret\n")
+	text, err := exe.Section(".text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text.Data = append(text.Data, 0xFF, 0xEE) // junk after the ret
+	text.Size = uint64(len(text.Data))
+	out := Listing(exe)
+	if !strings.Contains(out, ".byte 0xff") || !strings.Contains(out, ".byte 0xee") {
+		t.Errorf("junk bytes not rendered:\n%s", out)
+	}
+}
+
+func TestListingShowsINT3Patches(t *testing.T) {
+	exe := build(t, `
+.text
+.global _start
+_start:
+	mov r1, 7
+	ret
+`)
+	text, err := exe.Section(".text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text.Data[0] = 0xCC // DynaCut-style entry patch
+	out := Listing(exe)
+	if !strings.Contains(out, "int3") {
+		t.Errorf("patched int3 not visible:\n%s", out)
+	}
+}

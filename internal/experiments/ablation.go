@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/dynacut/dynacut"
+)
+
+// Trace-quality ablation (§5's caveat, measured): trace-based
+// debloating is only as good as its profiling inputs. We profile the
+// web server with increasingly complete wanted workloads, each time
+// removing everything the profile did not cover, then replay the full
+// workload under verifier mode and count how many removed blocks had
+// to be healed back (false removals). Richer profiles → fewer
+// removals undone, at the cost of removing less.
+
+// AblationRow is one profiling-quality data point.
+type AblationRow struct {
+	// ProfileRequests is the number of distinct wanted request types
+	// used for profiling.
+	ProfileRequests int
+	// BlocksRemoved is the size of the unexecuted set under that
+	// profile.
+	BlocksRemoved int
+	// FalseRemovals is how many removed blocks the verifier restored
+	// when the full workload replayed.
+	FalseRemovals int
+	// Broken records requests that failed even under the verifier.
+	Broken int
+}
+
+// AblationTraceQuality runs the sweep. Profiles are prefixes of the
+// full wanted workload.
+func AblationTraceQuality() ([]AblationRow, error) {
+	fullWorkload := append(append([]string{}, WantedWeb...), UndesiredWeb...)
+	var rows []AblationRow
+	for n := 1; n <= len(fullWorkload); n += 2 {
+		row, err := ablationPoint(fullWorkload[:n], fullWorkload)
+		if err != nil {
+			return nil, fmt.Errorf("profile size %d: %w", n, err)
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func ablationPoint(profile, replay []string) (*AblationRow, error) {
+	sess, app, err := webSession(dynacut.WebServerConfig{Name: "lighttpd", Port: 8080})
+	if err != nil {
+		return nil, err
+	}
+	// Profile with the reduced workload only.
+	for _, r := range profile {
+		if _, err := sess.Request(r); err != nil {
+			return nil, err
+		}
+	}
+	covered, err := sess.SnapshotPhase("profile")
+	if err != nil {
+		return nil, err
+	}
+	full := dynacut.MergeGraphs(sess.InitGraph(), covered)
+	cfg := dynacut.AnalyzeCFG(app.Exe)
+	unexec := dynacut.IdentifyUnexecutedBlocks(cfg, full, app.Config.Name)
+
+	errAddr, err := sess.SymbolAddr("resp_403")
+	if err != nil {
+		return nil, err
+	}
+	cust, err := dynacut.NewCustomizer(sess.Machine, sess.PID(), dynacut.CustomizerOptions{
+		RedirectTo: errAddr,
+		Verifier:   true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cust.DisableBlocks("unexecuted", unexec, dynacut.PolicyBlockEntry); err != nil {
+		return nil, err
+	}
+
+	row := &AblationRow{ProfileRequests: len(profile), BlocksRemoved: len(unexec)}
+	for _, r := range replay {
+		resp, err := sess.Request(r)
+		if err != nil || resp == "" {
+			row.Broken++
+		}
+	}
+	falseRm, err := cust.FalseRemovals()
+	if err != nil {
+		return nil, err
+	}
+	row.FalseRemovals = len(falseRm)
+	return row, nil
+}
+
+// FormatAblation renders the sweep.
+func FormatAblation(rows []AblationRow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			strconv.Itoa(r.ProfileRequests),
+			strconv.Itoa(r.BlocksRemoved),
+			strconv.Itoa(r.FalseRemovals),
+			strconv.Itoa(r.Broken),
+		})
+	}
+	return table([]string{"profile reqs", "blocks removed", "false removals", "broken"}, out)
+}

@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests assert the paper's qualitative results (the
+// "shape": who wins, what stays alive, which direction effects go),
+// not its absolute laptop numbers.
+
+func TestFigure2Liveness(t *testing.T) {
+	rows, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, lv := range rows {
+		if lv.TotalBlocks == 0 || lv.ExecutedBlocks == 0 {
+			t.Errorf("%s: empty liveness", lv.Program)
+		}
+		// Figure 2's point: a significant share of blocks is never
+		// executed, and some executed blocks are init-only.
+		if lv.UnusedBlocks == 0 {
+			t.Errorf("%s: no unused blocks — bloat missing", lv.Program)
+		}
+		if lv.InitOnlyBlocks == 0 {
+			t.Errorf("%s: no init-only blocks", lv.Program)
+		}
+		if lv.ExecutedBlocks+lv.UnusedBlocks != lv.TotalBlocks {
+			t.Errorf("%s: categories don't partition: %d+%d != %d",
+				lv.Program, lv.ExecutedBlocks, lv.UnusedBlocks, lv.TotalBlocks)
+		}
+		if !strings.ContainsAny(lv.Map, ".#") {
+			t.Errorf("%s: map rendering empty", lv.Program)
+		}
+	}
+}
+
+func TestFigure6FeatureRemovalOverhead(t *testing.T) {
+	rows, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want lighttpd/nginx/kvstore", len(rows))
+	}
+	var nginx, lighttpd F6Row
+	for _, r := range rows {
+		if r.Total() <= 0 {
+			t.Errorf("%s: zero total time", r.App)
+		}
+		if r.ImageBytes == 0 {
+			t.Errorf("%s: empty image", r.App)
+		}
+		switch r.App {
+		case "nginx":
+			nginx = r
+		case "lighttpd":
+			lighttpd = r
+		}
+	}
+	// Nginx snapshots two processes: larger image than Lighttpd.
+	if nginx.Processes != 2 || lighttpd.Processes != 1 {
+		t.Errorf("process counts: nginx=%d lighttpd=%d", nginx.Processes, lighttpd.Processes)
+	}
+	if nginx.ImageBytes <= lighttpd.ImageBytes {
+		t.Errorf("nginx image %d <= lighttpd %d", nginx.ImageBytes, lighttpd.ImageBytes)
+	}
+}
+
+func TestFigure6RepeatedStats(t *testing.T) {
+	stats, err := Figure6Repeated(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("stats = %d apps", len(stats))
+	}
+	for _, s := range stats {
+		if s.Reps != 3 || s.MeanTotal <= 0 {
+			t.Errorf("%s: %+v", s.App, s)
+		}
+		// Variance across runs exists but stays well below the mean
+		// (the paper: 17 ms σ on ~300-560 ms totals).
+		if s.StdDev > s.MeanTotal*2 {
+			t.Errorf("%s: stddev %v vs mean %v", s.App, s.StdDev, s.MeanTotal)
+		}
+	}
+	if _, err := Figure6Repeated(1); err == nil {
+		t.Error("single-rep stats accepted")
+	}
+}
+
+func TestFigure7InitRemoval(t *testing.T) {
+	rows, err := Figure7(false) // servers only; SPEC covered by the bench
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.InitBlocks == 0 {
+			t.Errorf("%s: no init blocks removed", r.App)
+		}
+		if r.CheckpointRestore <= 0 || r.CodeUpdate <= 0 {
+			t.Errorf("%s: zero durations", r.App)
+		}
+	}
+}
+
+func TestFigure7SpecCostScalesWithBlockList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// The paper: perlbench (10808 init BBs) takes ~50% longer than
+	// xalancbmk (6497) — cost is proportional to the init-block list.
+	perl, ok := profileByName("600.perlbench_s")
+	if !ok {
+		t.Fatal("no perlbench profile")
+	}
+	mcf, ok := profileByName("605.mcf_s")
+	if !ok {
+		t.Fatal("no mcf profile")
+	}
+	perlRow, err := figure7Spec(perl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfRow, err := figure7Spec(mcf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perlRow.InitBlocks <= mcfRow.InitBlocks {
+		t.Errorf("perlbench init blocks %d <= mcf %d", perlRow.InitBlocks, mcfRow.InitBlocks)
+	}
+	// mcf is the smallest benchmark; its rewrite must be cheaper.
+	if perlRow.CodeUpdate <= mcfRow.CodeUpdate {
+		t.Errorf("perlbench code update %v <= mcf %v", perlRow.CodeUpdate, mcfRow.CodeUpdate)
+	}
+}
+
+func TestFigure8ServiceInterruption(t *testing.T) {
+	res, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ServerSurvived {
+		t.Fatal("server did not survive the rewrites")
+	}
+	if len(res.WithDynaCut) != figure8Buckets || len(res.Baseline) != figure8Buckets {
+		t.Fatalf("series lengths %d/%d", len(res.WithDynaCut), len(res.Baseline))
+	}
+	// Throughput before, between and after the rewrites is nonzero.
+	sum := func(pts []F8Point, lo, hi int) float64 {
+		var s float64
+		for _, p := range pts {
+			if p.Bucket >= lo && p.Bucket < hi {
+				s += p.Throughput
+			}
+		}
+		return s
+	}
+	if sum(res.WithDynaCut, 0, res.DisableAt) == 0 {
+		t.Error("no throughput before disable")
+	}
+	if sum(res.WithDynaCut, res.DisableAt+2, res.EnableAt) == 0 {
+		t.Error("no throughput while SET disabled")
+	}
+	if sum(res.WithDynaCut, res.EnableAt+2, figure8Buckets) == 0 {
+		t.Error("no throughput after re-enable")
+	}
+	// "No observable overall performance overhead": once restored,
+	// per-request cost matches the baseline closely.
+	if res.MeanLatencyWith == 0 || res.MeanLatencyBaseline == 0 {
+		t.Fatal("latency data missing")
+	}
+	ratio := res.MeanLatencyWith / res.MeanLatencyBaseline
+	if ratio > 1.2 || ratio < 0.8 {
+		t.Errorf("steady-state latency changed by %.0f%%", (ratio-1)*100)
+	}
+}
+
+func TestFigure9InitBlocks(t *testing.T) {
+	rows, err := Figure9(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ExecutedBB == 0 || r.TotalBB < r.ExecutedBB {
+			t.Errorf("%s: executed %d of %d", r.App, r.ExecutedBB, r.TotalBB)
+		}
+		if r.RemovedBB == 0 || r.RemovedBB > r.ExecutedBB {
+			t.Errorf("%s: removed %d of executed %d", r.App, r.RemovedBB, r.ExecutedBB)
+		}
+		// The paper's headline: servers remove a large share (46-56%)
+		// of executed blocks. Require at least 20% here.
+		if r.RemovedPct < 0.20 {
+			t.Errorf("%s: removal pct %.1f%% too low", r.App, r.RemovedPct*100)
+		}
+		if r.InitCodeRemoved == 0 {
+			t.Errorf("%s: zero init code size", r.App)
+		}
+	}
+}
+
+func TestFigure10LiveBlocks(t *testing.T) {
+	res, err := Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) < 10 {
+		t.Fatalf("phases = %d", len(res.Phases))
+	}
+	if res.Phases[0].LivePct != 1.0 {
+		t.Errorf("vanilla boot live = %.2f, want 1.0", res.Phases[0].LivePct)
+	}
+	// Monotone story: deploy < vanilla; init-removed < deployed;
+	// window slightly above the closed state.
+	deployed := res.Phases[1].LivePct
+	initRemoved := res.Phases[2].LivePct
+	if !(deployed < 1.0 && initRemoved < deployed) {
+		t.Errorf("live sequence wrong: deployed=%.3f initRemoved=%.3f", deployed, initRemoved)
+	}
+	var window, closed float64
+	for _, ph := range res.Phases {
+		switch ph.Label {
+		case "PUT/DELETE window":
+			window = ph.LivePct
+		case "window closed":
+			closed = ph.LivePct
+		}
+	}
+	if !(window > closed) {
+		t.Errorf("window %.4f not above closed %.4f", window, closed)
+	}
+	// DynaCut beats both static baselines at every post-deploy point.
+	if res.MaxPct >= res.ChiselPct || res.MaxPct >= res.RazorPct {
+		t.Errorf("DynaCut max %.3f not below chisel %.3f / razor %.3f",
+			res.MaxPct, res.ChiselPct, res.RazorPct)
+	}
+	if res.ChiselPct >= res.RazorPct {
+		t.Errorf("chisel %.3f >= razor %.3f", res.ChiselPct, res.RazorPct)
+	}
+	if FormatF10(res) == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestTable1CVEMitigation(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(CVECases) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.VanillaCompromised {
+			t.Errorf("%s: exploit did not fire on the vanilla server", r.CVE)
+		}
+		if !r.BlockedMitigated {
+			t.Errorf("%s: DynaCut did not mitigate", r.CVE)
+		}
+		if !r.ServerAlive {
+			t.Errorf("%s: protected server died", r.CVE)
+		}
+	}
+}
+
+func TestSecurityPLTRemoval(t *testing.T) {
+	results, err := SecurityPLT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.TotalPLT == 0 || r.ExecutedPLT == 0 {
+			t.Errorf("%s: no PLT entries (%+v)", r.App, r)
+		}
+		// The paper removes a majority of executed entries (43/56 and
+		// 33/57). Require a meaningful share here.
+		if r.RemovedPLT == 0 {
+			t.Errorf("%s: no PLT entries removed", r.App)
+		}
+		if r.RemovedPLT >= r.ExecutedPLT {
+			t.Errorf("%s: removed %d >= executed %d", r.App, r.RemovedPLT, r.ExecutedPLT)
+		}
+		if r.App == "nginx" && !r.ForkRemoved {
+			t.Errorf("nginx: fork PLT entry not classified init-only: removed=%v", r.RemovedNames)
+		}
+	}
+}
+
+func TestAblationTraceQuality(t *testing.T) {
+	rows, err := AblationTraceQuality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// Poorer profiles remove more blocks…
+	if first.BlocksRemoved <= last.BlocksRemoved {
+		t.Errorf("removal counts not decreasing: %d -> %d",
+			first.BlocksRemoved, last.BlocksRemoved)
+	}
+	// …and produce more false removals under replay.
+	if first.FalseRemovals <= last.FalseRemovals {
+		t.Errorf("false removals not decreasing: %d -> %d",
+			first.FalseRemovals, last.FalseRemovals)
+	}
+	// The verifier keeps every replayed request working regardless of
+	// profile quality — the paper's usability argument.
+	for _, r := range rows {
+		if r.Broken != 0 {
+			t.Errorf("profile %d: %d broken requests under verifier",
+				r.ProfileRequests, r.Broken)
+		}
+	}
+	if FormatAblation(rows) == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestSecuritySeccomp(t *testing.T) {
+	res, err := SecuritySeccomp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GETsServedUnderFilter != 5 {
+		t.Errorf("GETs under filter = %d", res.GETsServedUnderFilter)
+	}
+	if !res.DeniedCallFatal {
+		t.Error("denied fork was not fatal")
+	}
+	if FormatSeccomp(res) == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestSecurityBROP(t *testing.T) {
+	res, err := SecurityBROP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vanilla: the respawn loop feeds the brute force.
+	if res.VanillaRounds < 3 {
+		t.Errorf("vanilla attack rounds = %d, want >= 3", res.VanillaRounds)
+	}
+	if res.VanillaRespawns == 0 {
+		t.Error("no respawns observed on vanilla server")
+	}
+	// Protected: the attack dies immediately.
+	if res.ProtectedRounds != 0 {
+		t.Errorf("protected attack rounds = %d, want 0", res.ProtectedRounds)
+	}
+}

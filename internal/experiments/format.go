@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// FormatF2 renders the liveness summaries (maps elided to counts).
+func FormatF2(rows []Liveness) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Program,
+			strconv.Itoa(r.TotalBlocks),
+			strconv.Itoa(r.ExecutedBlocks),
+			strconv.Itoa(r.InitOnlyBlocks),
+			strconv.Itoa(r.UnusedBlocks),
+			fmt.Sprintf("%.1f%%", 100*float64(r.UnusedBlocks)/float64(r.TotalBlocks)),
+		})
+	}
+	return table([]string{"program", "totalBB", "executed", "init-only", "unused", "unused%"}, out)
+}
+
+// FormatF6 renders the feature-removal overhead breakdown.
+func FormatF6(rows []F6Row) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App,
+			strconv.Itoa(r.Processes),
+			fmtKB(uint64(r.ImageBytes)),
+			fmtDur(r.InsertHandler),
+			fmtDur(r.DisableInt3),
+			fmtDur(r.Checkpoint),
+			fmtDur(r.Restore),
+			fmtDur(r.Total()),
+		})
+	}
+	return table([]string{"app", "procs", "image", "sighandler", "int3", "checkpoint", "restore", "total"}, out)
+}
+
+// FormatF7 renders the init-removal costs.
+func FormatF7(rows []F7Row) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App,
+			fmtKB(r.CodeSize),
+			fmtKB(uint64(r.ImageBytes)),
+			strconv.Itoa(r.InitBlocks),
+			fmtDur(r.CheckpointRestore),
+			fmtDur(r.CodeUpdate),
+		})
+	}
+	return table([]string{"app", "code", "image", "initBBs", "ckpt+restore", "code update"}, out)
+}
+
+// FormatF8 renders the throughput timeline as a sparkline table.
+func FormatF8(r *F8Result) string {
+	var b strings.Builder
+	max := 0.0
+	for _, p := range r.Baseline {
+		if p.Throughput > max {
+			max = p.Throughput
+		}
+	}
+	for _, p := range r.WithDynaCut {
+		if p.Throughput > max {
+			max = p.Throughput
+		}
+	}
+	spark := func(pts []F8Point) string {
+		levels := []byte(" .:-=+*#%@")
+		var s strings.Builder
+		for _, p := range pts {
+			idx := 0
+			if max > 0 {
+				idx = int(p.Throughput / max * float64(len(levels)-1))
+			}
+			s.WriteByte(levels[idx])
+		}
+		return s.String()
+	}
+	fmt.Fprintf(&b, "w/ DynaCut : [%s]\n", spark(r.WithDynaCut))
+	fmt.Fprintf(&b, "w/o DynaCut: [%s]\n", spark(r.Baseline))
+	fmt.Fprintf(&b, "disable SET @ bucket %d, re-enable @ bucket %d; server survived: %v\n",
+		r.DisableAt, r.EnableAt, r.ServerSurvived)
+	fmt.Fprintf(&b, "mean latency: %.0f instr (with) vs %.0f instr (baseline); p99 %d vs %d\n",
+		r.MeanLatencyWith, r.MeanLatencyBaseline, r.P99LatencyWith, r.P99LatencyBaseline)
+	return b.String()
+}
+
+// FormatF9 renders the removed-block counts.
+func FormatF9(rows []F9Row) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App,
+			strconv.Itoa(r.TotalBB),
+			strconv.Itoa(r.ExecutedBB),
+			strconv.Itoa(r.RemovedBB),
+			fmt.Sprintf("%.1f%%", r.RemovedPct*100),
+			fmtKB(r.CodeSize),
+			fmtKB(r.InitCodeRemoved),
+		})
+	}
+	return table([]string{"app", "totalBB", "executedBB", "removedBB", "removed%", "code", "init rm"}, out)
+}
+
+// FormatT1 renders the CVE mitigation outcomes.
+func FormatT1(rows []T1Row) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.CVE,
+			r.Command,
+			yesno(r.VanillaCompromised),
+			yesno(r.BlockedMitigated),
+			yesno(r.ServerAlive),
+		})
+	}
+	return table([]string{"CVE", "command", "vanilla pwned", "mitigated", "server alive"}, out)
+}
+
+// FormatPLT renders the PLT-removal results.
+func FormatPLT(rows []PLTResult) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App,
+			strconv.Itoa(r.TotalPLT),
+			strconv.Itoa(r.ExecutedPLT),
+			strconv.Itoa(r.RemovedPLT),
+			yesno(r.ForkRemoved),
+			strings.Join(r.RemovedNames, ","),
+		})
+	}
+	return table([]string{"app", "PLT", "executed", "removed", "fork rm", "removed entries"}, out)
+}
+
+// FormatBROP renders the BROP outcome.
+func FormatBROP(r *BROPResult) string {
+	return fmt.Sprintf(
+		"vanilla:   %d successful probe rounds, %d worker respawns\nprotected: %d successful probe rounds (attack dead after first crash)\n",
+		r.VanillaRounds, r.VanillaRespawns, r.ProtectedRounds)
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+func yesno(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

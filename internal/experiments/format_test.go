@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFormatF2(t *testing.T) {
+	out := FormatF2([]Liveness{{
+		Program: "x", TotalBlocks: 100, ExecutedBlocks: 60,
+		InitOnlyBlocks: 20, UnusedBlocks: 40,
+	}})
+	for _, want := range []string{"x", "100", "60", "20", "40", "40.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("F2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatF6(t *testing.T) {
+	out := FormatF6([]F6Row{{
+		App: "srv", Processes: 2, ImageBytes: 4096,
+		InsertHandler: time.Millisecond, DisableInt3: 2 * time.Millisecond,
+		Checkpoint: 3 * time.Millisecond, Restore: 4 * time.Millisecond,
+	}})
+	for _, want := range []string{"srv", "2", "4.0KB", "10ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("F6 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatF7AndF9(t *testing.T) {
+	f7 := FormatF7([]F7Row{{
+		App: "b", CodeSize: 2048, ImageBytes: 1 << 21, InitBlocks: 12,
+		CheckpointRestore: time.Millisecond, CodeUpdate: time.Microsecond,
+	}})
+	for _, want := range []string{"b", "2.0KB", "2.00MB", "12"} {
+		if !strings.Contains(f7, want) {
+			t.Errorf("F7 missing %q:\n%s", want, f7)
+		}
+	}
+	f9 := FormatF9([]F9Row{{
+		App: "b", TotalBB: 10, ExecutedBB: 8, RemovedBB: 4,
+		CodeSize: 100, InitCodeRemoved: 50, RemovedPct: 0.5,
+	}})
+	for _, want := range []string{"b", "50.0%", "100B", "50B"} {
+		if !strings.Contains(f9, want) {
+			t.Errorf("F9 missing %q:\n%s", want, f9)
+		}
+	}
+}
+
+func TestFormatF8Sparkline(t *testing.T) {
+	r := &F8Result{
+		DisableAt: 1, EnableAt: 2, ServerSurvived: true,
+		WithDynaCut: []F8Point{{0, 10}, {1, 0}, {2, 10}},
+		Baseline:    []F8Point{{0, 10}, {1, 10}, {2, 10}},
+	}
+	out := FormatF8(r)
+	if !strings.Contains(out, "server survived: true") {
+		t.Errorf("F8 output:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 3 || !strings.Contains(lines[0], "[") {
+		t.Errorf("missing sparkline:\n%s", out)
+	}
+	// The dip bucket renders as a space (zero level).
+	if !strings.Contains(lines[0], " ") {
+		t.Errorf("dip not visible:\n%s", out)
+	}
+}
+
+func TestFormatT1AndPLTAndBROP(t *testing.T) {
+	t1 := FormatT1([]T1Row{{
+		CVE: "CVE-X", Command: "CMD",
+		VanillaCompromised: true, BlockedMitigated: true, ServerAlive: true,
+	}})
+	if !strings.Contains(t1, "CVE-X") || !strings.Contains(t1, "yes") {
+		t.Errorf("T1:\n%s", t1)
+	}
+	plt := FormatPLT([]PLTResult{{
+		App: "srv", TotalPLT: 10, ExecutedPLT: 9, RemovedPLT: 4,
+		ForkRemoved: true, RemovedNames: []string{"fork", "bind"},
+	}})
+	if !strings.Contains(plt, "fork,bind") {
+		t.Errorf("PLT:\n%s", plt)
+	}
+	brop := FormatBROP(&BROPResult{VanillaRounds: 5, VanillaRespawns: 5})
+	if !strings.Contains(brop, "5 successful probe rounds") {
+		t.Errorf("BROP:\n%s", brop)
+	}
+	sec := FormatSeccomp(&SeccompResult{App: "srv", AllowedSyscalls: 11,
+		GETsServedUnderFilter: 5, DeniedCallFatal: true})
+	if !strings.Contains(sec, "11 syscalls") {
+		t.Errorf("seccomp:\n%s", sec)
+	}
+	abl := FormatAblation([]AblationRow{{ProfileRequests: 1, BlocksRemoved: 50, FalseRemovals: 3}})
+	if !strings.Contains(abl, "50") {
+		t.Errorf("ablation:\n%s", abl)
+	}
+}
+
+func TestFmtKB(t *testing.T) {
+	for in, want := range map[uint64]string{
+		10:        "10B",
+		2048:      "2.0KB",
+		3 << 20:   "3.00MB",
+		1<<20 - 1: "1024.0KB",
+	} {
+		if got := fmtKB(in); got != want {
+			t.Errorf("fmtKB(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := table([]string{"a", "bb"}, [][]string{{"xxx", "y"}, {"z", "wwww"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	w := len(lines[0])
+	for i, l := range lines {
+		if len(l) != w {
+			t.Errorf("line %d width %d != %d", i, len(l), w)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Decode errors. ErrBadOpcode is the decode-time analogue of an
+// illegal-instruction fault; the kernel converts it to SIGSEGV.
+var (
+	ErrBadOpcode  = errors.New("isa: undefined opcode")
+	ErrTruncated  = errors.New("isa: truncated instruction")
+	ErrBadOperand = errors.New("isa: operand out of range")
+)
+
+// Encode appends the encoding of in to dst and returns the extended
+// slice. It validates register operands.
+func Encode(dst []byte, in Inst) ([]byte, error) {
+	if !in.A.Valid() || !in.B.Valid() {
+		return dst, fmt.Errorf("%w: %v", ErrBadOperand, in)
+	}
+	switch in.Op {
+	case OpNOP, OpRET, OpINT3, OpHLT, OpSYS:
+		return append(dst, byte(in.Op)), nil
+	case OpJMPr, OpCALLr, OpPUSH, OpPOP:
+		return append(dst, byte(in.Op), byte(in.A)), nil
+	case OpMOVrr, OpADDrr, OpSUBrr, OpMULrr, OpDIVrr, OpANDrr,
+		OpORrr, OpXORrr, OpSHLrr, OpSHRrr, OpCMPrr:
+		return append(dst, byte(in.Op), byte(in.A), byte(in.B)), nil
+	case OpSHLri, OpSHRri:
+		if in.Imm < 0 || in.Imm > 63 {
+			return dst, fmt.Errorf("%w: shift amount %d", ErrBadOperand, in.Imm)
+		}
+		return append(dst, byte(in.Op), byte(in.A), byte(in.Imm)), nil
+	case OpJMP, OpJE, OpJNE, OpJL, OpJG, OpJLE, OpJGE, OpCALL:
+		if err := checkImm32(in.Imm); err != nil {
+			return dst, err
+		}
+		dst = append(dst, byte(in.Op))
+		return binary.LittleEndian.AppendUint32(dst, uint32(int32(in.Imm))), nil
+	case OpADDri, OpSUBri, OpMULri, OpANDri, OpORri, OpXORri, OpCMPri, OpLEA:
+		if err := checkImm32(in.Imm); err != nil {
+			return dst, err
+		}
+		dst = append(dst, byte(in.Op), byte(in.A))
+		return binary.LittleEndian.AppendUint32(dst, uint32(int32(in.Imm))), nil
+	case OpLOAD, OpSTORE, OpLOADB, OpSTOREB:
+		if err := checkImm32(in.Imm); err != nil {
+			return dst, err
+		}
+		dst = append(dst, byte(in.Op), byte(in.A), byte(in.B))
+		return binary.LittleEndian.AppendUint32(dst, uint32(int32(in.Imm))), nil
+	case OpMOVri:
+		dst = append(dst, byte(in.Op), byte(in.A))
+		return binary.LittleEndian.AppendUint64(dst, uint64(in.Imm)), nil
+	default:
+		return dst, fmt.Errorf("%w: 0x%02x", ErrBadOpcode, byte(in.Op))
+	}
+}
+
+func checkImm32(v int64) error {
+	if v < -(1<<31) || v >= 1<<31 {
+		return fmt.Errorf("%w: immediate %d does not fit in 32 bits", ErrBadOperand, v)
+	}
+	return nil
+}
+
+// Decode decodes the instruction at the start of code. The returned
+// Inst has Size set to the number of bytes consumed.
+func Decode(code []byte) (Inst, error) {
+	if len(code) == 0 {
+		return Inst{}, ErrTruncated
+	}
+	op := Opcode(code[0])
+	n := op.Length()
+	if n == 0 {
+		return Inst{}, fmt.Errorf("%w: 0x%02x", ErrBadOpcode, code[0])
+	}
+	if len(code) < n {
+		return Inst{}, fmt.Errorf("%w: need %d bytes for %s, have %d",
+			ErrTruncated, n, op.Name(), len(code))
+	}
+	in := Inst{Op: op, Size: n}
+	switch op {
+	case OpNOP, OpRET, OpINT3, OpHLT, OpSYS:
+	case OpJMPr, OpCALLr, OpPUSH, OpPOP:
+		in.A = Register(code[1])
+	case OpMOVrr, OpADDrr, OpSUBrr, OpMULrr, OpDIVrr, OpANDrr,
+		OpORrr, OpXORrr, OpSHLrr, OpSHRrr, OpCMPrr:
+		in.A, in.B = Register(code[1]), Register(code[2])
+	case OpSHLri, OpSHRri:
+		in.A = Register(code[1])
+		in.Imm = int64(code[2])
+	case OpJMP, OpJE, OpJNE, OpJL, OpJG, OpJLE, OpJGE, OpCALL:
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(code[1:5])))
+	case OpADDri, OpSUBri, OpMULri, OpANDri, OpORri, OpXORri, OpCMPri, OpLEA:
+		in.A = Register(code[1])
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(code[2:6])))
+	case OpLOAD, OpSTORE, OpLOADB, OpSTOREB:
+		in.A, in.B = Register(code[1]), Register(code[2])
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(code[3:7])))
+	case OpMOVri:
+		in.A = Register(code[1])
+		in.Imm = int64(binary.LittleEndian.Uint64(code[2:10]))
+	}
+	if !in.A.Valid() || !in.B.Valid() {
+		return Inst{}, fmt.Errorf("%w: register byte out of range in %s",
+			ErrBadOperand, op.Name())
+	}
+	return in, nil
+}
+
+// MustEncode is Encode for toolchain-internal instruction streams that
+// are known valid; it panics on error. Use only with constant inputs.
+func MustEncode(dst []byte, in Inst) []byte {
+	out, err := Encode(dst, in)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Disassemble decodes the byte range as a linear instruction stream
+// starting at virtual address base, stopping at the first undecodable
+// byte. It returns the decoded instructions and their addresses.
+func Disassemble(code []byte, base uint64) ([]Inst, []uint64) {
+	var (
+		insts []Inst
+		addrs []uint64
+	)
+	off := 0
+	for off < len(code) {
+		in, err := Decode(code[off:])
+		if err != nil {
+			break
+		}
+		insts = append(insts, in)
+		addrs = append(addrs, base+uint64(off))
+		off += in.Size
+	}
+	return insts, addrs
+}

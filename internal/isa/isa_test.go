@@ -1,0 +1,284 @@
+package isa
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeLengths(t *testing.T) {
+	tests := []struct {
+		op   Opcode
+		want int
+	}{
+		{OpINT3, 1}, {OpNOP, 1}, {OpRET, 1}, {OpHLT, 1}, {OpSYS, 1},
+		{OpPUSH, 2}, {OpPOP, 2}, {OpJMPr, 2}, {OpCALLr, 2},
+		{OpMOVrr, 3}, {OpADDrr, 3}, {OpCMPrr, 3}, {OpSHLri, 3},
+		{OpJMP, 5}, {OpCALL, 5}, {OpJE, 5},
+		{OpADDri, 6}, {OpCMPri, 6}, {OpLEA, 6},
+		{OpLOAD, 7}, {OpSTORE, 7}, {OpLOADB, 7}, {OpSTOREB, 7},
+		{OpMOVri, 10},
+		{Opcode(0xFF), 0}, {Opcode(0x00), 0},
+	}
+	for _, tt := range tests {
+		if got := tt.op.Length(); got != tt.want {
+			t.Errorf("Length(%s/0x%02x) = %d, want %d", tt.op.Name(), byte(tt.op), got, tt.want)
+		}
+	}
+}
+
+func TestINT3IsOneByte0xCC(t *testing.T) {
+	// The paper's core mechanism: a single 0xCC byte blocks a basic block.
+	b, err := Encode(nil, Inst{Op: OpINT3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, []byte{0xCC}) {
+		t.Fatalf("INT3 encoded as % x, want CC", b)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []Inst{
+		{Op: OpMOVri, A: 3, Imm: -1},
+		{Op: OpMOVri, A: 0, Imm: math.MaxInt64},
+		{Op: OpMOVrr, A: 1, B: 2},
+		{Op: OpLOAD, A: 4, B: 15, Imm: -8},
+		{Op: OpSTORE, A: 5, B: 15, Imm: 16},
+		{Op: OpLOADB, A: 4, B: 6, Imm: 1},
+		{Op: OpSTOREB, A: 4, B: 6, Imm: 0},
+		{Op: OpADDrr, A: 1, B: 1},
+		{Op: OpDIVrr, A: 2, B: 3},
+		{Op: OpADDri, A: 7, Imm: -2147483648},
+		{Op: OpCMPri, A: 7, Imm: 2147483647},
+		{Op: OpSHLri, A: 9, Imm: 63},
+		{Op: OpJMP, Imm: -5},
+		{Op: OpJE, Imm: 1024},
+		{Op: OpCALL, Imm: 0},
+		{Op: OpCALLr, A: 11},
+		{Op: OpJMPr, A: 12},
+		{Op: OpPUSH, A: 15},
+		{Op: OpPOP, A: 0},
+		{Op: OpLEA, A: 8, Imm: -64},
+		{Op: OpSYS},
+		{Op: OpRET},
+		{Op: OpNOP},
+		{Op: OpINT3},
+		{Op: OpHLT},
+	}
+	for _, in := range tests {
+		enc, err := Encode(nil, in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		if len(enc) != in.Op.Length() {
+			t.Errorf("Encode(%v) = %d bytes, want %d", in, len(enc), in.Op.Length())
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", in, err)
+		}
+		want := in
+		want.Size = in.Op.Length()
+		if got != want {
+			t.Errorf("round trip %v -> %v", want, got)
+		}
+	}
+}
+
+func TestEncodeRejectsBadOperands(t *testing.T) {
+	tests := []Inst{
+		{Op: OpMOVrr, A: 16},
+		{Op: OpMOVrr, B: 200},
+		{Op: OpADDri, A: 1, Imm: 1 << 40},
+		{Op: OpJMP, Imm: -(1 << 40)},
+		{Op: OpSHLri, A: 1, Imm: 64},
+		{Op: OpSHLri, A: 1, Imm: -1},
+		{Op: Opcode(0xEE)},
+	}
+	for _, in := range tests {
+		if _, err := Encode(nil, in); err == nil {
+			t.Errorf("Encode(%v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) succeeded")
+	}
+	if _, err := Decode([]byte{0xFF}); err == nil {
+		t.Error("Decode(0xFF) succeeded, want bad opcode")
+	}
+	// Truncated MOVri.
+	if _, err := Decode([]byte{byte(OpMOVri), 0, 1, 2}); err == nil {
+		t.Error("Decode(truncated) succeeded")
+	}
+	// Register byte out of range.
+	if _, err := Decode([]byte{byte(OpPUSH), 99}); err == nil {
+		t.Error("Decode(push r99) succeeded")
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	in := Inst{Op: OpJMP, Imm: -5, Size: 5}
+	if tgt, ok := in.Target(100); !ok || tgt != 100 {
+		t.Errorf("Target = %d,%v want 100,true (self-loop)", tgt, ok)
+	}
+	in = Inst{Op: OpCALL, Imm: 11, Size: 5}
+	if tgt, ok := in.Target(0x400000); !ok || tgt != 0x400010 {
+		t.Errorf("CALL target = %#x,%v", tgt, ok)
+	}
+	if _, ok := (Inst{Op: OpRET, Size: 1}).Target(0); ok {
+		t.Error("RET reported a direct target")
+	}
+	if _, ok := (Inst{Op: OpJMPr, A: 1, Size: 2}).Target(0); ok {
+		t.Error("indirect JMP reported a direct target")
+	}
+}
+
+func TestIsBranchAndIsCond(t *testing.T) {
+	branches := []Opcode{OpJMP, OpJE, OpJNE, OpJL, OpJG, OpJLE, OpJGE,
+		OpJMPr, OpCALL, OpCALLr, OpRET, OpINT3, OpHLT}
+	for _, op := range branches {
+		if !op.IsBranch() {
+			t.Errorf("%s not IsBranch", op.Name())
+		}
+	}
+	for _, op := range []Opcode{OpMOVri, OpADDrr, OpSYS, OpNOP, OpPUSH} {
+		if op.IsBranch() {
+			t.Errorf("%s reported IsBranch", op.Name())
+		}
+	}
+	for _, op := range []Opcode{OpJE, OpJNE, OpJL, OpJG, OpJLE, OpJGE} {
+		if !op.IsCond() {
+			t.Errorf("%s not IsCond", op.Name())
+		}
+	}
+	for _, op := range []Opcode{OpJMP, OpCALL, OpRET, OpJMPr} {
+		if op.IsCond() {
+			t.Errorf("%s reported IsCond", op.Name())
+		}
+	}
+}
+
+func TestDisassembleLinear(t *testing.T) {
+	var code []byte
+	code = MustEncode(code, Inst{Op: OpMOVri, A: 1, Imm: 42})
+	code = MustEncode(code, Inst{Op: OpADDri, A: 1, Imm: 1})
+	code = MustEncode(code, Inst{Op: OpRET})
+	insts, addrs := Disassemble(code, 0x1000)
+	if len(insts) != 3 {
+		t.Fatalf("got %d insts, want 3", len(insts))
+	}
+	wantAddrs := []uint64{0x1000, 0x100A, 0x1010}
+	for i, a := range wantAddrs {
+		if addrs[i] != a {
+			t.Errorf("addr[%d] = %#x, want %#x", i, addrs[i], a)
+		}
+	}
+	// Stops at junk.
+	insts, _ = Disassemble(append(code, 0xFF, 0xFF), 0)
+	if len(insts) != 3 {
+		t.Errorf("disassembly did not stop at junk byte: %d insts", len(insts))
+	}
+}
+
+func TestInstString(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpMOVri, A: 2, Imm: 7}, "mov r2, 7"},
+		{Inst{Op: OpLOAD, A: 1, B: 15, Imm: -8}, "load r1, [r15-8]"},
+		{Inst{Op: OpSTORE, A: 3, B: 15, Imm: 8}, "store [r15+8], r3"},
+		{Inst{Op: OpINT3}, "int3"},
+		{Inst{Op: OpJE, Imm: 12}, "je +12"},
+		{Inst{Op: OpPUSH, A: 15}, "push r15"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String(%+v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+	if !strings.Contains(Opcode(0xEE).Name(), "0xee") {
+		t.Errorf("undefined opcode name = %q", Opcode(0xEE).Name())
+	}
+}
+
+// Property: every valid instruction survives an encode/decode round trip.
+func TestQuickEncodeDecodeInverse(t *testing.T) {
+	regRR := []Opcode{OpMOVrr, OpADDrr, OpSUBrr, OpMULrr, OpDIVrr,
+		OpANDrr, OpORrr, OpXORrr, OpSHLrr, OpSHRrr, OpCMPrr}
+	f := func(opIdx uint8, a, b uint8, imm int64) bool {
+		in := Inst{
+			Op: regRR[int(opIdx)%len(regRR)],
+			A:  Register(a % NumRegisters),
+			B:  Register(b % NumRegisters),
+		}
+		enc, err := Encode(nil, in)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		in.Size = in.Op.Length()
+		return got == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+
+	g := func(a uint8, imm int64) bool {
+		in := Inst{Op: OpMOVri, A: Register(a % NumRegisters), Imm: imm}
+		enc, err := Encode(nil, in)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		in.Size = 10
+		return got == in
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+
+	h := func(a uint8, imm int32) bool {
+		in := Inst{Op: OpLOAD, A: Register(a % NumRegisters), B: SP, Imm: int64(imm)}
+		enc, err := Encode(nil, in)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		in.Size = 7
+		return got == in
+	}
+	if err := quick.Check(h, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding arbitrary bytes either fails or consumes
+// Length(op) bytes with in-range operands.
+func TestQuickDecodeTotal(t *testing.T) {
+	f := func(raw []byte) bool {
+		in, err := Decode(raw)
+		if err != nil {
+			return true
+		}
+		return in.Size == in.Op.Length() && in.A.Valid() && in.B.Valid() && in.Size <= len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package kernel
+
+import (
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/isa"
+)
+
+// TestInstructionTruncatedAtMappingEdge: an instruction whose
+// encoding runs off the end of the last mapped page must fault, not
+// read garbage.
+func TestInstructionTruncatedAtMappingEdge(t *testing.T) {
+	m := NewMachine()
+	p := m.NewRawProcess("edge", 0)
+	if err := p.Mem().Map(VMA{
+		Start: 0x1000, End: 0x2000, Perm: delf.PermR | delf.PermX, Name: "code",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A 10-byte MOVri starting 4 bytes before the end of the mapping.
+	var code []byte
+	code = isa.MustEncode(code, isa.Inst{Op: isa.OpMOVri, A: 1, Imm: 42})
+	if err := p.Mem().Write(0x2000-4, code[:4]); err != nil {
+		t.Fatal(err)
+	}
+	p.SetRIP(0x2000 - 4)
+	m.Run(10)
+	if p.KilledBy() != SIGSEGV {
+		t.Fatalf("killed by %v, want SIGSEGV (truncated fetch)", p.KilledBy())
+	}
+}
+
+// TestInstructionSpanningTwoMappedPages executes correctly when both
+// pages are mapped.
+func TestInstructionSpanningTwoMappedPages(t *testing.T) {
+	m := NewMachine()
+	p := m.NewRawProcess("span", 0)
+	if err := p.Mem().Map(VMA{
+		Start: 0x1000, End: 0x3000, Perm: delf.PermR | delf.PermX, Name: "code",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var code []byte
+	code = isa.MustEncode(code, isa.Inst{Op: isa.OpMOVri, A: 1, Imm: 7})
+	code = isa.MustEncode(code, isa.Inst{Op: isa.OpINT3}) // stop here
+	start := uint64(0x2000 - 4)                           // MOVri spans the page boundary
+	if err := p.Mem().Write(start, code); err != nil {
+		t.Fatal(err)
+	}
+	p.SetRIP(start)
+	m.Run(10)
+	if p.KilledBy() != SIGTRAP {
+		t.Fatalf("killed by %v, want SIGTRAP after the spanning mov", p.KilledBy())
+	}
+	if p.Reg(1) != 7 {
+		t.Fatalf("r1 = %d, spanning instruction mis-executed", p.Reg(1))
+	}
+}
+
+// TestFetchStopsAtNXBoundary: execution falls off RX into RW memory
+// mid-stream and must fault even though the RW bytes decode.
+func TestFetchStopsAtNXBoundary(t *testing.T) {
+	m := NewMachine()
+	p := m.NewRawProcess("nx", 0)
+	if err := p.Mem().Map(VMA{Start: 0x1000, End: 0x2000, Perm: delf.PermR | delf.PermX, Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Mem().Map(VMA{Start: 0x2000, End: 0x3000, Perm: delf.PermR | delf.PermW, Name: "rw", Anon: true}); err != nil {
+		t.Fatal(err)
+	}
+	// NOP sled to the boundary; valid instructions continue in RW.
+	sled := make([]byte, 0x1000)
+	for i := range sled {
+		sled[i] = byte(isa.OpNOP)
+	}
+	if err := p.Mem().Write(0x1000, sled); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Mem().Write(0x2000, []byte{byte(isa.OpNOP), byte(isa.OpRET)}); err != nil {
+		t.Fatal(err)
+	}
+	p.SetRIP(0x1000)
+	m.Run(0x1100)
+	if p.KilledBy() != SIGSEGV {
+		t.Fatalf("killed by %v, want SIGSEGV at the NX boundary", p.KilledBy())
+	}
+	if p.RIP() != 0x2000 {
+		t.Fatalf("faulted at %#x, want the boundary 0x2000", p.RIP())
+	}
+}

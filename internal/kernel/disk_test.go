@@ -1,0 +1,82 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestDiskReadWrite(t *testing.T) {
+	m := NewMachine()
+	if _, err := m.ReadFile("missing"); !errors.Is(err, ErrNoFile) {
+		t.Errorf("ReadFile(missing) err = %v", err)
+	}
+	m.WriteFile("bin", []byte{1, 2, 3})
+	got, err := m.ReadFile("bin")
+	if err != nil || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("ReadFile = %v, %v", got, err)
+	}
+	// The stored copy is isolated from later mutation of the input.
+	src := []byte{9, 9}
+	m.WriteFile("iso", src)
+	src[0] = 0
+	got, _ = m.ReadFile("iso")
+	if got[0] != 9 {
+		t.Error("WriteFile aliased the caller's slice")
+	}
+}
+
+func TestProcessLookupErrors(t *testing.T) {
+	m := NewMachine()
+	if _, err := m.Process(42); !errors.Is(err, ErrNoProcess) {
+		t.Errorf("Process(42) err = %v", err)
+	}
+	if err := m.Kill(42); !errors.Is(err, ErrNoProcess) {
+		t.Errorf("Kill(42) err = %v", err)
+	}
+	if got := m.Children(42); len(got) != 0 {
+		t.Errorf("Children = %v", got)
+	}
+}
+
+func TestModuleAt(t *testing.T) {
+	p := newProcess(1, 0, "x")
+	p.AddModule(Module{Name: "a", Lo: 0x1000, Hi: 0x2000})
+	p.AddModule(Module{Name: "b", Lo: 0x3000, Hi: 0x4000})
+	if mod, ok := p.ModuleAt(0x1800); !ok || mod.Name != "a" {
+		t.Errorf("ModuleAt(a) = %v %v", mod, ok)
+	}
+	if _, ok := p.ModuleAt(0x2800); ok {
+		t.Error("ModuleAt(hole) hit")
+	}
+	mods := p.Modules()
+	if len(mods) != 2 {
+		t.Errorf("Modules = %v", mods)
+	}
+	// Returned slice is a copy.
+	mods[0].Name = "mutated"
+	if got, _ := p.ModuleAt(0x1000); got.Name != "a" {
+		t.Error("Modules exposed internal state")
+	}
+}
+
+func TestSyscallFilterAccessors(t *testing.T) {
+	p := newProcess(1, 0, "x")
+	if p.SyscallFilter() != nil {
+		t.Error("fresh process has a filter")
+	}
+	p.SetSyscallFilter([]uint64{5, 1, 3})
+	got := p.SyscallFilter()
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("filter = %v (want sorted)", got)
+	}
+	p.SetSyscallFilter(nil)
+	if p.SyscallFilter() != nil {
+		t.Error("filter not cleared")
+	}
+	// Empty filter is distinct from none.
+	p.SetSyscallFilter([]uint64{})
+	if p.SyscallFilter() == nil {
+		t.Error("deny-all filter reported as none")
+	}
+}

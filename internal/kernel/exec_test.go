@@ -1,0 +1,238 @@
+package kernel
+
+import (
+	"testing"
+)
+
+// TestAllALUForms exercises every register-register and
+// register-immediate ALU form end to end.
+func TestAllALUForms(t *testing.T) {
+	p := loadAndRun(t, `
+.text
+.global _start
+_start:
+	; register-register shifts
+	mov r1, 1
+	mov r2, 4
+	shl r1, r2          ; 16
+	cmp r1, 16
+	jne bad
+	mov r2, 2
+	shr r1, r2          ; 4
+	cmp r1, 4
+	jne bad
+	; mul immediate
+	mul r1, 25          ; 100
+	cmp r1, 100
+	jne bad
+	; and/or/xor register forms
+	mov r2, 0x0f
+	and r1, r2          ; 100 & 15 = 4
+	cmp r1, 4
+	jne bad
+	mov r2, 0x10
+	or r1, r2           ; 20
+	cmp r1, 20
+	jne bad
+	mov r2, 0x14
+	xor r1, r2          ; 0
+	cmp r1, 0
+	jne bad
+	; lea into arithmetic
+	lea r3, anchor
+	mov r4, =anchor
+	cmp r3, r4
+	jne bad
+	mov r0, 1
+	mov r1, 0
+	syscall
+anchor:
+	nop
+bad:
+	mov r0, 1
+	mov r1, 1
+	syscall
+`, 10000)
+	if p.ExitCode() != 0 {
+		t.Fatalf("exit = %d", p.ExitCode())
+	}
+}
+
+// TestShiftAmountsMasked: shift counts are masked to 6 bits like
+// x86-64.
+func TestShiftAmountsMasked(t *testing.T) {
+	p := loadAndRun(t, `
+.text
+.global _start
+_start:
+	mov r1, 1
+	mov r2, 64          ; 64 & 63 == 0: no-op shift
+	shl r1, r2
+	cmp r1, 1
+	jne bad
+	mov r2, 65          ; 65 & 63 == 1
+	shl r1, r2
+	cmp r1, 2
+	jne bad
+	mov r0, 1
+	mov r1, 0
+	syscall
+bad:
+	mov r0, 1
+	mov r1, 1
+	syscall
+`, 1000)
+	if p.ExitCode() != 0 {
+		t.Fatalf("exit = %d", p.ExitCode())
+	}
+}
+
+// TestByteLoadsZeroExtend.
+func TestByteLoadsZeroExtend(t *testing.T) {
+	p := loadAndRun(t, `
+.text
+.global _start
+_start:
+	mov r1, =blob
+	loadb r2, [r1+1]    ; 0xFF must zero-extend, not sign-extend
+	cmp r2, 255
+	jne bad
+	; storeb writes only the low byte
+	mov r3, 0x1234
+	mov r4, =blob
+	storeb [r4], r3
+	loadb r5, [r4]
+	cmp r5, 0x34
+	jne bad
+	loadb r5, [r4+1]    ; neighbor untouched
+	cmp r5, 255
+	jne bad
+	mov r0, 1
+	mov r1, 0
+	syscall
+bad:
+	mov r0, 1
+	mov r1, 1
+	syscall
+.data
+blob: .byte 0x01, 0xFF, 0x02
+`, 1000)
+	if p.ExitCode() != 0 {
+		t.Fatalf("exit = %d", p.ExitCode())
+	}
+}
+
+// TestNegativeDisplacements.
+func TestNegativeDisplacements(t *testing.T) {
+	p := loadAndRun(t, `
+.text
+.global _start
+_start:
+	mov r1, =words
+	add r1, 16          ; point past the second word
+	load r2, [r1-8]     ; second word
+	cmp r2, 22
+	jne bad
+	load r2, [r1-16]    ; first word
+	cmp r2, 11
+	jne bad
+	mov r3, 99
+	store [r1-8], r3
+	load r2, [r1-8]
+	cmp r2, 99
+	jne bad
+	mov r0, 1
+	mov r1, 0
+	syscall
+bad:
+	mov r0, 1
+	mov r1, 1
+	syscall
+.data
+words: .quad 11, 22
+`, 1000)
+	if p.ExitCode() != 0 {
+		t.Fatalf("exit = %d", p.ExitCode())
+	}
+}
+
+// TestUnsignedDivisionSemantics.
+func TestUnsignedDivisionSemantics(t *testing.T) {
+	p := loadAndRun(t, `
+.text
+.global _start
+_start:
+	mov r1, -8          ; as unsigned: 2^64-8
+	mov r2, 2
+	div r1, r2          ; 2^63-4
+	mov r3, 1
+	shl r3, 63
+	sub r3, 4
+	cmp r1, r3
+	jne bad
+	mov r0, 1
+	mov r1, 0
+	syscall
+bad:
+	mov r0, 1
+	mov r1, 1
+	syscall
+`, 1000)
+	if p.ExitCode() != 0 {
+		t.Fatalf("exit = %d", p.ExitCode())
+	}
+}
+
+// TestConditionalBranchMatrix checks every conditional against a
+// signed comparison table.
+func TestConditionalBranchMatrix(t *testing.T) {
+	p := loadAndRun(t, `
+.text
+.global _start
+_start:
+	; r1 < r2
+	mov r1, -3
+	mov r2, 5
+	cmp r1, r2
+	jge bad
+	jg bad
+	je bad
+	cmp r1, r2
+	jl ok1
+	jmp bad
+ok1:
+	cmp r1, r2
+	jle ok2
+	jmp bad
+ok2:
+	cmp r1, r2
+	jne ok3
+	jmp bad
+ok3:
+	; r1 == r2
+	mov r1, 7
+	mov r2, 7
+	cmp r1, r2
+	jne bad
+	jl bad
+	jg bad
+	cmp r1, r2
+	jge ok4
+	jmp bad
+ok4:
+	cmp r1, r2
+	jle ok5
+	jmp bad
+ok5:
+	mov r0, 1
+	mov r1, 0
+	syscall
+bad:
+	mov r0, 1
+	mov r1, 1
+	syscall
+`, 1000)
+	if p.ExitCode() != 0 {
+		t.Fatalf("exit = %d", p.ExitCode())
+	}
+}

@@ -1,0 +1,325 @@
+// Package kernel implements the simulated operating system and CPU
+// that DynaCut customizes: paged process address spaces with
+// permissioned VMAs, an interpreter for the virtual ISA (internal/isa)
+// with precise INT3 → SIGTRAP semantics and user signal frames,
+// fork-capable processes, a round-robin scheduler with a deterministic
+// virtual clock, and a virtual TCP stack whose connections survive
+// checkpoint/restore (the TCP_REPAIR analogue).
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Tracer observes basic-block execution; internal/trace implements it
+// to produce drcov-style coverage logs.
+type Tracer interface {
+	// OnBlock is called each time a basic block completes execution.
+	OnBlock(pid int, start, size uint64)
+}
+
+// NudgeFunc receives the guest's "initialization finished" nudge
+// (syscall SysNudge), the DynamoRIO-nudge analogue used to split
+// init-phase from serving-phase coverage.
+type NudgeFunc func(pid int, arg uint64)
+
+// SyscallHook observes every system call a guest issues (by number,
+// before execution). The paper's §5 proposes monitoring specific
+// system calls to detect the end of the initialization phase
+// automatically; internal/core's AutoNudge builds on this hook.
+type SyscallHook func(pid int, nr uint64)
+
+// Machine is the simulated computer: processes, network, virtual
+// clock, and the "disk" of loaded binaries.
+type Machine struct {
+	procs   map[int]*Process
+	nextPID int
+	clock   uint64
+	net     *network
+	tracer  Tracer
+	nudge   NudgeFunc
+	syshook SyscallHook
+	disk    map[string][]byte // serialized DELF files by name
+}
+
+// NewMachine creates an empty machine.
+func NewMachine() *Machine {
+	return &Machine{
+		procs:   map[int]*Process{},
+		nextPID: 0,
+		net:     newNetwork(),
+		disk:    map[string][]byte{},
+	}
+}
+
+// Machine-level errors.
+var (
+	ErrNoProcess = errors.New("kernel: no such process")
+	ErrNoFile    = errors.New("kernel: no such file on disk")
+)
+
+// SetTracer installs (or removes, with nil) the coverage tracer.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// SetNudgeFunc installs the nudge callback.
+func (m *Machine) SetNudgeFunc(f NudgeFunc) { m.nudge = f }
+
+// SetSyscallHook installs (or removes, with nil) the syscall observer.
+func (m *Machine) SetSyscallHook(f SyscallHook) { m.syshook = f }
+
+// Clock returns the virtual time in ticks (1 tick = 1 retired
+// instruction across all processes).
+func (m *Machine) Clock() uint64 { return m.clock }
+
+// AdvanceClock adds ticks to the virtual clock without executing
+// guest code. Checkpoint/restore uses it to model the service
+// interruption window (Figure 8).
+func (m *Machine) AdvanceClock(ticks uint64) { m.clock += ticks }
+
+// WriteFile stores a serialized binary on the machine's disk.
+func (m *Machine) WriteFile(name string, data []byte) {
+	m.disk[name] = append([]byte(nil), data...)
+}
+
+// ReadFile retrieves a binary from disk.
+func (m *Machine) ReadFile(name string) ([]byte, error) {
+	b, ok := m.disk[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoFile, name)
+	}
+	return b, nil
+}
+
+// Process returns the process with the given PID.
+func (m *Machine) Process(pid int) (*Process, error) {
+	p, ok := m.procs[pid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoProcess, pid)
+	}
+	return p, nil
+}
+
+// Processes returns all live (non-exited) processes sorted by PID.
+func (m *Machine) Processes() []*Process {
+	var out []*Process
+	for _, p := range m.procs {
+		if !p.exited {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pid < out[j].pid })
+	return out
+}
+
+// Children returns live children of pid sorted by PID.
+func (m *Machine) Children(pid int) []*Process {
+	var out []*Process
+	for _, p := range m.procs {
+		if p.parent == pid && !p.exited {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pid < out[j].pid })
+	return out
+}
+
+// Kill terminates a process immediately (checkpoint-then-kill path).
+func (m *Machine) Kill(pid int) error {
+	p, err := m.Process(pid)
+	if err != nil {
+		return err
+	}
+	m.terminate(p, 137, 0)
+	return nil
+}
+
+// Remove deletes an exited process table entry.
+func (m *Machine) Remove(pid int) {
+	delete(m.procs, pid)
+}
+
+// NewRawProcess creates an empty process shell (restore path). The
+// caller populates memory, registers, sigactions and descriptors.
+func (m *Machine) NewRawProcess(name string, parent int) *Process {
+	m.nextPID++
+	p := newProcess(m.nextPID, parent, name)
+	m.procs[p.pid] = p
+	return p
+}
+
+// AttachListener binds a restored listener descriptor to its port.
+func (m *Machine) AttachListener(p *Process, fd int, port uint16) error {
+	l, err := m.net.bind(port)
+	if err != nil {
+		return err
+	}
+	p.fds[fd] = &fdesc{kind: FDListener, lst: l}
+	if fd >= p.nextFD {
+		p.nextFD = fd + 1
+	}
+	return nil
+}
+
+// ShareListener attaches fd to an already-bound listener (restoring
+// a process tree whose members inherited one listener across fork).
+func (m *Machine) ShareListener(p *Process, fd int, port uint16) error {
+	l, ok := m.net.listeners[port]
+	if !ok || l.closed {
+		return fmt.Errorf("%w: %d", ErrNotListening, port)
+	}
+	p.fds[fd] = &fdesc{kind: FDListener, lst: l}
+	if fd >= p.nextFD {
+		p.nextFD = fd + 1
+	}
+	return nil
+}
+
+// AttachConn re-attaches a restored connection descriptor. If a live
+// connection with the given ID still exists in the machine (the
+// normal same-host rewrite flow), it is reused so host clients keep
+// their endpoint — the TCP_REPAIR behaviour. Otherwise a fresh,
+// already-closed-on-the-far-side connection is materialized.
+func (m *Machine) AttachConn(p *Process, fd int, connID uint64, port uint16, sideA bool) {
+	c, ok := m.net.conns[connID]
+	if !ok {
+		c = &conn{id: connID, port: port, aClosed: true}
+		m.net.conns[connID] = c
+	}
+	p.fds[fd] = &fdesc{kind: FDConn, cn: c, sideA: sideA}
+	if fd >= p.nextFD {
+		p.nextFD = fd + 1
+	}
+}
+
+// AttachStdio restores a stdio descriptor.
+func (m *Machine) AttachStdio(p *Process, fd, stdNo int) {
+	p.fds[fd] = &fdesc{kind: FDStdio, stdNo: stdNo}
+	if fd >= p.nextFD {
+		p.nextFD = fd + 1
+	}
+}
+
+// terminate marks a process dead and releases its descriptors.
+func (m *Machine) terminate(p *Process, code int, sig Signal) {
+	if p.exited {
+		return
+	}
+	p.exited = true
+	p.exitCode = code
+	p.killedBy = sig
+	for _, d := range p.fds {
+		m.closeFD(p, d)
+	}
+}
+
+// closeFD releases one descriptor. Descriptors are shared across
+// fork (dup semantics), so the underlying listener/connection is only
+// torn down once no other live process still references it. Callers
+// must remove the descriptor from p's table (or mark p exited)
+// before calling.
+func (m *Machine) closeFD(p *Process, d *fdesc) {
+	switch d.kind {
+	case FDListener:
+		if d.lst != nil && !m.referenced(d) {
+			m.net.closeListener(d.lst)
+		}
+	case FDConn:
+		if m.referenced(d) {
+			return
+		}
+		if d.sideA {
+			d.cn.aClosed = true
+		} else {
+			d.cn.bClosed = true
+		}
+	}
+}
+
+// referenced reports whether any live process still holds a
+// descriptor for the same underlying object (same listener, or same
+// connection side).
+func (m *Machine) referenced(d *fdesc) bool {
+	for _, q := range m.procs {
+		if q.exited {
+			continue
+		}
+		for _, qd := range q.fds {
+			if qd == d || qd.kind != d.kind {
+				continue
+			}
+			switch d.kind {
+			case FDListener:
+				if qd.lst != nil && qd.lst == d.lst {
+					return true
+				}
+			case FDConn:
+				if qd.cn == d.cn && qd.sideA == d.sideA {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Run executes up to maxSteps instructions across all runnable
+// processes (round-robin, 64-instruction slices) and returns the
+// number actually retired. It returns early when every live process
+// is blocked or exited.
+func (m *Machine) Run(maxSteps uint64) uint64 {
+	var executed uint64
+	for executed < maxSteps {
+		progress := false
+		pids := make([]int, 0, len(m.procs))
+		for pid, p := range m.procs {
+			if !p.exited {
+				pids = append(pids, pid)
+			}
+		}
+		sort.Ints(pids)
+		if len(pids) == 0 {
+			break
+		}
+		for _, pid := range pids {
+			p := m.procs[pid]
+			for i := 0; i < 64 && executed < maxSteps && !p.exited; i++ {
+				if !m.step(p) {
+					break // would block; move to next process
+				}
+				executed++
+				m.clock++
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return executed
+}
+
+// RunUntil runs until pred returns true or maxSteps instructions have
+// retired, returning whether pred was satisfied.
+func (m *Machine) RunUntil(pred func() bool, maxSteps uint64) bool {
+	var executed uint64
+	for executed < maxSteps {
+		if pred() {
+			return true
+		}
+		n := m.Run(minU64(1024, maxSteps-executed))
+		executed += n
+		if n == 0 {
+			return pred()
+		}
+	}
+	return pred()
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

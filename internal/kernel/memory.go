@@ -1,0 +1,339 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/dynacut/dynacut/internal/delf"
+)
+
+// PageSize is the granularity of mappings; UnmapPages-style policies
+// operate on it.
+const PageSize = 4096
+
+// Memory errors. Guest-visible faults are converted to signals by the
+// interpreter; these errors surface to Go callers (debugger view,
+// checkpointing, rewriting).
+var (
+	ErrUnmapped   = errors.New("kernel: address not mapped")
+	ErrPerm       = errors.New("kernel: permission denied")
+	ErrVMAOverlap = errors.New("kernel: VMA overlap")
+	ErrNoVMA      = errors.New("kernel: no VMA at address")
+)
+
+// VMA is one virtual memory area. Start/End are page aligned.
+// File-backed executable VMAs are what DynaCut's patched CRIU must
+// dump explicitly (vanilla CRIU dumps only anonymous memory).
+type VMA struct {
+	Start   uint64
+	End     uint64
+	Perm    delf.Perm
+	Name    string // e.g. "prog:.text", "libc.so:.text", "[stack]"
+	Backing string // originating file name; "" for anonymous
+	// BackSection is the section within Backing this VMA maps, so a
+	// restore without dumped code pages can re-materialize contents
+	// from the "on-disk" binary (exactly why vanilla CRIU skips
+	// file-backed pages, and why DynaCut must dump them).
+	BackSection string
+	Anon        bool
+}
+
+// Size returns the VMA length in bytes.
+func (v VMA) Size() uint64 { return v.End - v.Start }
+
+// Contains reports whether addr falls inside the VMA.
+func (v VMA) Contains(addr uint64) bool { return addr >= v.Start && addr < v.End }
+
+func (v VMA) String() string {
+	return fmt.Sprintf("%#x-%#x %s %s", v.Start, v.End, v.Perm, v.Name)
+}
+
+// Memory is a paged address space with a VMA map, owned by one
+// process. The zero value is not usable; use newMemory.
+type Memory struct {
+	pages map[uint64][]byte // page number -> PageSize bytes
+	vmas  []VMA             // sorted by Start, non-overlapping
+}
+
+func newMemory() *Memory {
+	return &Memory{pages: map[uint64][]byte{}}
+}
+
+// Clone deep-copies the address space (fork).
+func (m *Memory) Clone() *Memory {
+	c := &Memory{
+		pages: make(map[uint64][]byte, len(m.pages)),
+		vmas:  append([]VMA(nil), m.vmas...),
+	}
+	for pn, pg := range m.pages {
+		c.pages[pn] = append([]byte(nil), pg...)
+	}
+	return c
+}
+
+// VMAs returns a copy of the VMA table.
+func (m *Memory) VMAs() []VMA {
+	return append([]VMA(nil), m.vmas...)
+}
+
+// VMAAt returns the VMA containing addr.
+func (m *Memory) VMAAt(addr uint64) (VMA, bool) {
+	i := sort.Search(len(m.vmas), func(i int) bool { return m.vmas[i].End > addr })
+	if i < len(m.vmas) && m.vmas[i].Contains(addr) {
+		return m.vmas[i], true
+	}
+	return VMA{}, false
+}
+
+func pageAligned(v uint64) bool { return v%PageSize == 0 }
+
+// Map installs a new VMA. Start and End must be page aligned and the
+// range must not overlap an existing VMA.
+func (m *Memory) Map(v VMA) error {
+	if !pageAligned(v.Start) || !pageAligned(v.End) || v.End <= v.Start {
+		return fmt.Errorf("kernel: bad VMA bounds %#x-%#x", v.Start, v.End)
+	}
+	for _, old := range m.vmas {
+		if v.Start < old.End && old.Start < v.End {
+			return fmt.Errorf("%w: %s vs %s", ErrVMAOverlap, v, old)
+		}
+	}
+	m.vmas = append(m.vmas, v)
+	sort.Slice(m.vmas, func(i, j int) bool { return m.vmas[i].Start < m.vmas[j].Start })
+	return nil
+}
+
+// Unmap removes the page-aligned range [start, end) from the VMA map
+// and drops its pages. Partial overlaps split the surviving VMA.
+func (m *Memory) Unmap(start, end uint64) error {
+	if !pageAligned(start) || !pageAligned(end) || end <= start {
+		return fmt.Errorf("kernel: bad unmap bounds %#x-%#x", start, end)
+	}
+	var out []VMA
+	touched := false
+	for _, v := range m.vmas {
+		if end <= v.Start || v.End <= start {
+			out = append(out, v)
+			continue
+		}
+		touched = true
+		if v.Start < start {
+			left := v
+			left.End = start
+			out = append(out, left)
+		}
+		if end < v.End {
+			right := v
+			right.Start = end
+			out = append(out, right)
+		}
+	}
+	if !touched {
+		return fmt.Errorf("%w: %#x-%#x", ErrNoVMA, start, end)
+	}
+	m.vmas = out
+	for pn := start / PageSize; pn < end/PageSize; pn++ {
+		delete(m.pages, pn)
+	}
+	return nil
+}
+
+// Protect changes the permissions of the VMA(s) fully covering
+// [start, end), splitting as needed.
+func (m *Memory) Protect(start, end uint64, perm delf.Perm) error {
+	if !pageAligned(start) || !pageAligned(end) || end <= start {
+		return fmt.Errorf("kernel: bad protect bounds %#x-%#x", start, end)
+	}
+	var out []VMA
+	covered := uint64(0)
+	for _, v := range m.vmas {
+		if end <= v.Start || v.End <= start {
+			out = append(out, v)
+			continue
+		}
+		lo, hi := max64(v.Start, start), min64(v.End, end)
+		covered += hi - lo
+		if v.Start < lo {
+			left := v
+			left.End = lo
+			out = append(out, left)
+		}
+		mid := v
+		mid.Start, mid.End, mid.Perm = lo, hi, perm
+		out = append(out, mid)
+		if hi < v.End {
+			right := v
+			right.Start = hi
+			out = append(out, right)
+		}
+	}
+	if covered != end-start {
+		return fmt.Errorf("%w: protect %#x-%#x not fully mapped", ErrNoVMA, start, end)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	m.vmas = out
+	return nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// page returns the backing page, allocating it zero-filled if the
+// address is mapped.
+func (m *Memory) page(addr uint64) ([]byte, bool) {
+	if _, ok := m.VMAAt(addr); !ok {
+		return nil, false
+	}
+	pn := addr / PageSize
+	pg, ok := m.pages[pn]
+	if !ok {
+		pg = make([]byte, PageSize)
+		m.pages[pn] = pg
+	}
+	return pg, true
+}
+
+// Read copies n bytes at addr without permission checks (the
+// kernel/debugger view used by checkpointing and tracing).
+func (m *Memory) Read(addr uint64, n int) ([]byte, error) {
+	out := make([]byte, n)
+	if err := m.read(addr, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (m *Memory) read(addr uint64, out []byte) error {
+	for done := 0; done < len(out); {
+		pg, ok := m.page(addr + uint64(done))
+		if !ok {
+			return fmt.Errorf("%w: %#x", ErrUnmapped, addr+uint64(done))
+		}
+		off := (addr + uint64(done)) % PageSize
+		done += copy(out[done:], pg[off:])
+	}
+	return nil
+}
+
+// Write stores b at addr without permission checks.
+func (m *Memory) Write(addr uint64, b []byte) error {
+	for done := 0; done < len(b); {
+		pg, ok := m.page(addr + uint64(done))
+		if !ok {
+			return fmt.Errorf("%w: %#x", ErrUnmapped, addr+uint64(done))
+		}
+		off := (addr + uint64(done)) % PageSize
+		done += copy(pg[off:], b[done:])
+	}
+	return nil
+}
+
+// checkPerm verifies that every byte of [addr, addr+n) is mapped with
+// the wanted permission.
+func (m *Memory) checkPerm(addr uint64, n int, want delf.Perm) error {
+	end := addr + uint64(n)
+	for a := addr; a < end; {
+		v, ok := m.VMAAt(a)
+		if !ok {
+			return fmt.Errorf("%w: %#x", ErrUnmapped, a)
+		}
+		if v.Perm&want != want {
+			return fmt.Errorf("%w: %v access at %#x (%s)", ErrPerm, want, a, v)
+		}
+		a = v.End
+	}
+	return nil
+}
+
+// ReadGuest is a permission-checked read as performed by guest code.
+func (m *Memory) ReadGuest(addr uint64, n int) ([]byte, error) {
+	if err := m.checkPerm(addr, n, delf.PermR); err != nil {
+		return nil, err
+	}
+	return m.Read(addr, n)
+}
+
+// WriteGuest is a permission-checked write as performed by guest code.
+func (m *Memory) WriteGuest(addr uint64, b []byte) error {
+	if err := m.checkPerm(addr, len(b), delf.PermW); err != nil {
+		return err
+	}
+	return m.Write(addr, b)
+}
+
+// FetchGuest reads up to n instruction bytes at addr, requiring
+// execute permission on the first byte (like a CPU fetch). Fewer
+// bytes may be returned at a mapping boundary.
+func (m *Memory) FetchGuest(addr uint64, n int) ([]byte, error) {
+	if err := m.checkPerm(addr, 1, delf.PermX); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		pg, ok := m.page(addr + uint64(i))
+		if !ok {
+			break
+		}
+		out = append(out, pg[(addr+uint64(i))%PageSize])
+	}
+	return out, nil
+}
+
+// ReadU64 reads a little-endian 64-bit word (guest semantics).
+func (m *Memory) ReadU64(addr uint64) (uint64, error) {
+	b, err := m.ReadGuest(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v, nil
+}
+
+// WriteU64 writes a little-endian 64-bit word (guest semantics).
+func (m *Memory) WriteU64(addr uint64, v uint64) error {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return m.WriteGuest(addr, b)
+}
+
+// PopulatedPages returns the sorted page numbers that have backing
+// storage allocated — the pagemap for checkpointing.
+func (m *Memory) PopulatedPages() []uint64 {
+	out := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		out = append(out, pn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PageData returns the raw contents of page pn (nil if unpopulated).
+func (m *Memory) PageData(pn uint64) []byte {
+	return m.pages[pn]
+}
+
+// SetPage installs raw page contents (restore path).
+func (m *Memory) SetPage(pn uint64, data []byte) error {
+	if len(data) != PageSize {
+		return fmt.Errorf("kernel: page data must be %d bytes, got %d", PageSize, len(data))
+	}
+	m.pages[pn] = append([]byte(nil), data...)
+	return nil
+}

@@ -1,0 +1,246 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/dynacut/dynacut/internal/delf"
+)
+
+func rwVMA(start, end uint64) VMA {
+	return VMA{Start: start, End: end, Perm: delf.PermR | delf.PermW, Name: "test", Anon: true}
+}
+
+func TestMapAndRW(t *testing.T) {
+	m := newMemory()
+	if err := m.Map(rwVMA(0x1000, 0x3000)); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte{1, 2, 3, 4}
+	if err := m.Write(0x1ffe, data); err != nil { // crosses page boundary
+		t.Fatal(err)
+	}
+	got, err := m.Read(0x1ffe, 4)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Read = %v, %v", got, err)
+	}
+	if _, err := m.Read(0x4000, 1); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("read unmapped err = %v", err)
+	}
+	if err := m.Write(0x2ffd, data); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("write past end err = %v", err)
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	m := newMemory()
+	if err := m.Map(rwVMA(0x1000, 0x1000)); err == nil {
+		t.Error("empty VMA accepted")
+	}
+	if err := m.Map(VMA{Start: 0x1001, End: 0x2000}); err == nil {
+		t.Error("unaligned VMA accepted")
+	}
+	if err := m.Map(rwVMA(0x1000, 0x3000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Map(rwVMA(0x2000, 0x4000)); !errors.Is(err, ErrVMAOverlap) {
+		t.Errorf("overlap err = %v", err)
+	}
+}
+
+func TestUnmapSplitsVMA(t *testing.T) {
+	m := newMemory()
+	if err := m.Map(rwVMA(0x1000, 0x5000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(0x1000, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(0x4000, []byte{8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unmap(0x2000, 0x4000); err != nil {
+		t.Fatal(err)
+	}
+	vmas := m.VMAs()
+	if len(vmas) != 2 || vmas[0].End != 0x2000 || vmas[1].Start != 0x4000 {
+		t.Fatalf("vmas after unmap = %v", vmas)
+	}
+	if _, err := m.Read(0x3000, 1); !errors.Is(err, ErrUnmapped) {
+		t.Error("unmapped middle still readable")
+	}
+	// Data outside the hole survives.
+	if b, _ := m.Read(0x1000, 1); b[0] != 9 {
+		t.Error("left data lost")
+	}
+	if b, _ := m.Read(0x4000, 1); b[0] != 8 {
+		t.Error("right data lost")
+	}
+	if err := m.Unmap(0x8000, 0x9000); !errors.Is(err, ErrNoVMA) {
+		t.Errorf("unmap nothing err = %v", err)
+	}
+}
+
+func TestProtect(t *testing.T) {
+	m := newMemory()
+	if err := m.Map(VMA{Start: 0x1000, End: 0x4000, Perm: delf.PermR | delf.PermX, Name: "text"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Protect(0x2000, 0x3000, delf.PermR); err != nil {
+		t.Fatal(err)
+	}
+	vmas := m.VMAs()
+	if len(vmas) != 3 {
+		t.Fatalf("vmas = %v", vmas)
+	}
+	if vmas[1].Perm != delf.PermR {
+		t.Errorf("middle perm = %v", vmas[1].Perm)
+	}
+	if _, err := m.FetchGuest(0x2000, 1); !errors.Is(err, ErrPerm) {
+		t.Errorf("fetch from NX err = %v", err)
+	}
+	if _, err := m.FetchGuest(0x1000, 1); err != nil {
+		t.Errorf("fetch from X err = %v", err)
+	}
+	if err := m.Protect(0x3000, 0x6000, delf.PermR); !errors.Is(err, ErrNoVMA) {
+		t.Errorf("partial protect err = %v", err)
+	}
+}
+
+func TestGuestPermChecks(t *testing.T) {
+	m := newMemory()
+	if err := m.Map(VMA{Start: 0x1000, End: 0x2000, Perm: delf.PermR, Name: "ro"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteGuest(0x1000, []byte{1}); !errors.Is(err, ErrPerm) {
+		t.Errorf("guest write to RO err = %v", err)
+	}
+	if _, err := m.ReadGuest(0x1000, 8); err != nil {
+		t.Errorf("guest read err = %v", err)
+	}
+	// Kernel view bypasses permissions.
+	if err := m.Write(0x1000, []byte{1}); err != nil {
+		t.Errorf("kernel write err = %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := newMemory()
+	if err := m.Map(rwVMA(0x1000, 0x2000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(0x1000, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	if err := c.Write(0x1000, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := m.Read(0x1000, 1); b[0] != 42 {
+		t.Error("clone write leaked into original")
+	}
+	if err := c.Unmap(0x1000, 0x2000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(0x1000, 1); err != nil {
+		t.Error("clone unmap affected original")
+	}
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	m := newMemory()
+	if err := m.Map(rwVMA(0x1000, 0x2000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteU64(0x1008, 0xdeadbeefcafef00d); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadU64(0x1008)
+	if err != nil || v != 0xdeadbeefcafef00d {
+		t.Fatalf("ReadU64 = %#x, %v", v, err)
+	}
+}
+
+func TestPopulatedPagesAndSetPage(t *testing.T) {
+	m := newMemory()
+	if err := m.Map(rwVMA(0x1000, 0x10000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PopulatedPages(); len(got) != 0 {
+		t.Fatalf("fresh mapping already populated: %v", got)
+	}
+	if err := m.Write(0x3000, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(0x5500, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	got := m.PopulatedPages()
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("PopulatedPages = %v", got)
+	}
+	if m.PageData(3) == nil || m.PageData(4) != nil {
+		t.Error("PageData wrong")
+	}
+	if err := m.SetPage(7, make([]byte, PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPage(8, make([]byte, 7)); err == nil {
+		t.Error("short SetPage accepted")
+	}
+}
+
+// Property: writes then reads at random offsets round-trip inside a
+// mapped region.
+func TestQuickMemoryRoundTrip(t *testing.T) {
+	m := newMemory()
+	if err := m.Map(rwVMA(0x10000, 0x20000)); err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		addr := 0x10000 + uint64(off)%0x8000
+		if err := m.Write(addr, data); err != nil {
+			return false
+		}
+		got, err := m.Read(addr, len(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: VMA table stays sorted and non-overlapping under
+// map/unmap sequences.
+func TestQuickVMAInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := newMemory()
+		for _, op := range ops {
+			start := uint64(op%64) * PageSize
+			n := uint64(op/64%8+1) * PageSize
+			if op%2 == 0 {
+				_ = m.Map(VMA{Start: start, End: start + n, Perm: delf.PermR, Name: "q"})
+			} else {
+				_ = m.Unmap(start, start+n)
+			}
+			vmas := m.VMAs()
+			for i := 1; i < len(vmas); i++ {
+				if vmas[i-1].End > vmas[i].Start {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,68 @@
+package kernel
+
+import (
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/delf"
+)
+
+// TestGuestWriteAfterProtectRO: revoking write permission on a live
+// region makes the next guest store fault.
+func TestGuestWriteAfterProtectRO(t *testing.T) {
+	m := NewMachine()
+	exe := buildExe(t, "writer", `
+.text
+.global _start
+_start:
+	mov r8, =word
+	mov r1, 1
+	store [r8], r1       ; first write succeeds
+	mov r9, =gate
+wait:
+	load r2, [r9]        ; spin until the host flips the gate
+	cmp r2, 0
+	je wait
+	mov r1, 2
+	store [r8], r1       ; second write: region is RO now
+	mov r0, 1
+	mov r1, 0
+	syscall
+.data
+word: .quad 0
+.bss
+.align 4096
+gate: .space 4096
+`)
+	p, err := m.Load(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(1000)
+	word, err := exe.Symbol("word")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Mem().ReadU64(word.Value); v != 1 {
+		t.Fatalf("first write missing: %d", v)
+	}
+	// Revoke write on the .data page.
+	dataStart := word.Value &^ (PageSize - 1)
+	if err := p.Mem().Protect(dataStart, dataStart+PageSize, delf.PermR); err != nil {
+		t.Fatal(err)
+	}
+	gate, err := exe.Symbol("gate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gate page is separate (page-aligned bss), still writable.
+	if err := p.Mem().WriteU64(gate.Value, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100000)
+	if p.KilledBy() != SIGSEGV {
+		t.Fatalf("killed by %v, want SIGSEGV on RO store", p.KilledBy())
+	}
+	if v, _ := p.Mem().ReadU64(word.Value); v != 1 {
+		t.Fatalf("RO write landed: %d", v)
+	}
+}

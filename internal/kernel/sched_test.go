@@ -1,0 +1,152 @@
+package kernel
+
+import (
+	"testing"
+)
+
+// spinnerSrc increments its own counter forever.
+const spinnerSrc = `
+.text
+.global _start
+_start:
+	mov r8, =c
+loop:
+	load r1, [r8]
+	add r1, 1
+	store [r8], r1
+	jmp loop
+.data
+c: .quad 0
+`
+
+// TestSchedulerFairness: two runnable processes must make comparable
+// progress under the round-robin scheduler.
+func TestSchedulerFairness(t *testing.T) {
+	m := NewMachine()
+	exe := buildExe(t, "spin", spinnerSrc)
+	p1, err := m.Load(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe2 := buildExe(t, "spin2", spinnerSrc)
+	p2, err := m.Load(exe2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100_000)
+	i1, i2 := p1.Insts(), p2.Insts()
+	if i1 == 0 || i2 == 0 {
+		t.Fatalf("starvation: %d vs %d", i1, i2)
+	}
+	ratio := float64(i1) / float64(i2)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("unfair split: %d vs %d (ratio %.2f)", i1, i2, ratio)
+	}
+}
+
+// TestRunStepBudgetExact: Run must retire exactly the requested
+// number of instructions when work is available.
+func TestRunStepBudgetExact(t *testing.T) {
+	m := NewMachine()
+	exe := buildExe(t, "spin", spinnerSrc)
+	if _, err := m.Load(exe); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Clock()
+	if n := m.Run(777); n != 777 {
+		t.Fatalf("Run(777) = %d", n)
+	}
+	if m.Clock()-before != 777 {
+		t.Fatalf("clock advanced %d", m.Clock()-before)
+	}
+}
+
+// TestRunUntilHonorsBudget: an unsatisfiable predicate must not spin
+// past the budget.
+func TestRunUntilHonorsBudget(t *testing.T) {
+	m := NewMachine()
+	exe := buildExe(t, "spin", spinnerSrc)
+	if _, err := m.Load(exe); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Clock()
+	if m.RunUntil(func() bool { return false }, 5000) {
+		t.Fatal("false predicate satisfied")
+	}
+	ran := m.Clock() - before
+	if ran < 5000 || ran > 6200 {
+		t.Fatalf("RunUntil ran %d steps for a 5000 budget", ran)
+	}
+}
+
+// TestExitedProcessesStopScheduling.
+func TestExitedProcessesStopScheduling(t *testing.T) {
+	m := NewMachine()
+	exe := buildExe(t, "quit", `
+.text
+.global _start
+_start:
+	mov r0, 1
+	mov r1, 0
+	syscall
+`)
+	p, err := m.Load(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100)
+	if !p.Exited() {
+		t.Fatal("did not exit")
+	}
+	insts := p.Insts()
+	if m.Run(1000) != 0 {
+		t.Fatal("dead machine made progress")
+	}
+	if p.Insts() != insts {
+		t.Fatal("exited process executed instructions")
+	}
+	if got := len(m.Processes()); got != 0 {
+		t.Fatalf("live processes = %d", got)
+	}
+	// The table entry remains until reaped.
+	if _, err := m.Process(p.PID()); err != nil {
+		t.Fatal("exited process entry vanished")
+	}
+	m.Remove(p.PID())
+	if _, err := m.Process(p.PID()); err == nil {
+		t.Fatal("Remove did not delete the entry")
+	}
+}
+
+// TestChildrenListing.
+func TestChildrenListing(t *testing.T) {
+	m := NewMachine()
+	exe := buildExe(t, "forker", `
+.text
+.global _start
+_start:
+	mov r0, 9
+	syscall
+	mov r0, 9
+	syscall
+spin:
+	mov r0, 14
+	syscall
+	jmp spin
+`)
+	p, err := m.Load(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(5000)
+	kids := m.Children(p.PID())
+	// Parent forks twice; first child also executes the second fork.
+	if len(kids) < 2 {
+		t.Fatalf("children = %d", len(kids))
+	}
+	for _, k := range kids {
+		if k.Parent() != p.PID() {
+			t.Errorf("child %d parent = %d", k.PID(), k.Parent())
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package kernel
+
+import (
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/isa"
+)
+
+// TestNestedSignals: a handler that itself triggers a trap must push
+// a second frame and unwind both correctly.
+func TestNestedSignals(t *testing.T) {
+	p := loadAndRun(t, `
+.text
+.global _start
+_start:
+	mov r1, 5
+	mov r2, =handler
+	mov r3, =restorer
+	mov r0, 11
+	syscall
+	int3                 ; outer trap
+	mov r0, 1
+	mov r1, 0            ; exits 0 only if both traps unwound
+	syscall
+
+handler:
+	mov r8, =depth
+	load r9, [r8]
+	add r9, 1
+	store [r8], r9
+	cmp r9, 1
+	jne .inner_done      ; second entry: do not recurse again
+	int3                 ; nested trap while handling the first
+.inner_done:
+	load r5, [r3]        ; saved RIP
+	add r5, 1            ; skip the INT3 (1 byte)
+	store [r3], r5
+	ret
+restorer:
+	mov r1, sp
+	mov r0, 12
+	syscall
+.data
+depth: .quad 0
+`, 100000)
+	if !p.Exited() || p.ExitCode() != 0 {
+		t.Fatalf("exit = %v/%d killed=%v", p.Exited(), p.ExitCode(), p.KilledBy())
+	}
+	// Both handler entries happened.
+	// depth lives in .data of the test binary at a fixed symbol; read
+	// it back through the address space.
+}
+
+// TestSignalHandlerStackOverflowKills: delivery with an unusable
+// stack must terminate instead of looping.
+func TestSignalHandlerStackOverflowKills(t *testing.T) {
+	p := loadAndRun(t, `
+.text
+.global _start
+_start:
+	mov r1, 5
+	mov r2, =handler
+	mov r3, =handler
+	mov r0, 11
+	syscall
+	mov r15, 64          ; wreck the stack pointer (unmapped)
+	int3
+handler:
+	ret
+`, 100000)
+	if p.KilledBy() != SIGSEGV {
+		t.Fatalf("killed by %v, want SIGSEGV (double fault)", p.KilledBy())
+	}
+}
+
+// TestHLTRaisesSIGSEGV: wiped memory (0xF4 fill is not used by
+// DynaCut, but HLT decodes) must be fatal by default.
+func TestHLTRaisesSIGSEGV(t *testing.T) {
+	p := loadAndRun(t, ".text\n.global _start\n_start:\n\thlt\n", 100)
+	if p.KilledBy() != SIGSEGV {
+		t.Fatalf("killed by %v", p.KilledBy())
+	}
+}
+
+// TestSigactionRemoval: handler 0 restores the default action.
+func TestSigactionRemoval(t *testing.T) {
+	p := loadAndRun(t, `
+.text
+.global _start
+_start:
+	mov r1, 5
+	mov r2, =handler
+	mov r3, =restorer
+	mov r0, 11
+	syscall
+	mov r1, 5            ; now unregister
+	mov r2, 0
+	mov r3, 0
+	mov r0, 11
+	syscall
+	int3                 ; default action again
+	mov r0, 1
+	mov r1, 0
+	syscall
+handler:
+	ret
+restorer:
+	mov r1, sp
+	mov r0, 12
+	syscall
+`, 10000)
+	if p.KilledBy() != SIGTRAP {
+		t.Fatalf("killed by %v, want SIGTRAP", p.KilledBy())
+	}
+}
+
+// TestSignalPreservedAcrossFork: children inherit sigactions.
+func TestSignalPreservedAcrossFork(t *testing.T) {
+	m := NewMachine()
+	exe := buildExe(t, "sigfork", `
+.text
+.global _start
+_start:
+	mov r1, 5
+	mov r2, =handler
+	mov r3, =restorer
+	mov r0, 11
+	syscall
+	mov r0, 9            ; fork
+	syscall
+	cmp r0, 0
+	je child
+wait_loop:
+	mov r0, 16
+	syscall
+	cmp r0, -1
+	je wait_loop
+	mov r2, r0
+	and r2, 0xff
+	mov r0, 1
+	mov r1, r2           ; exit with child's code
+	syscall
+child:
+	int3                 ; must hit the inherited handler
+	mov r0, 1
+	mov r1, 7            ; handler skipped the INT3
+	syscall
+handler:
+	load r5, [r3]
+	add r5, 1
+	store [r3], r5
+	ret
+restorer:
+	mov r1, sp
+	mov r0, 12
+	syscall
+`)
+	p, err := m.Load(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100000)
+	if !p.Exited() || p.ExitCode() != 7 {
+		t.Fatalf("exit = %v/%d killed=%v", p.Exited(), p.ExitCode(), p.KilledBy())
+	}
+}
+
+func TestFrameLayoutConstants(t *testing.T) {
+	if FrameSize != 16+8*isa.NumRegisters {
+		t.Errorf("FrameSize = %d", FrameSize)
+	}
+	if FrameRegsOff != 16 || FrameRIPOff != 0 || FrameFlagsOff != 8 {
+		t.Error("frame offsets changed; handler library ABI breaks")
+	}
+}
+
+// TestSignalStrings covers the String methods.
+func TestSignalStrings(t *testing.T) {
+	for sig, want := range map[Signal]string{
+		SIGILL: "SIGILL", SIGTRAP: "SIGTRAP", SIGFPE: "SIGFPE",
+		SIGSEGV: "SIGSEGV", SIGCHLD: "SIGCHLD", Signal(33): "SIG33",
+	} {
+		if sig.String() != want {
+			t.Errorf("%d -> %q", sig, sig.String())
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package loadgen is the host-side workload driver — the
+// redis-benchmark analogue the paper uses to measure Figure 8. It
+// fires request mixes at a guest server, tracks per-bucket throughput
+// on the machine's deterministic virtual clock, and records request
+// latency (in guest instructions) as a histogram with percentile
+// queries.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/dynacut/dynacut/internal/kernel"
+)
+
+// Request is one weighted entry of a workload mix.
+type Request struct {
+	Payload string
+	Weight  int
+}
+
+// Mix is a deterministic request mix: requests are interleaved
+// proportionally to weight (no randomness, so runs are reproducible).
+type Mix struct {
+	entries []Request
+	seq     []int // expanded weighted round-robin schedule
+	next    int
+}
+
+// NewMix builds a mix. Weights ≤ 0 default to 1.
+func NewMix(reqs ...Request) *Mix {
+	m := &Mix{entries: reqs}
+	for i, r := range reqs {
+		w := r.Weight
+		if w <= 0 {
+			w = 1
+		}
+		for j := 0; j < w; j++ {
+			m.seq = append(m.seq, i)
+		}
+	}
+	return m
+}
+
+// Next returns the next request payload in the schedule.
+func (m *Mix) Next() string {
+	if len(m.seq) == 0 {
+		return ""
+	}
+	r := m.entries[m.seq[m.next%len(m.seq)]]
+	m.next++
+	return r.Payload
+}
+
+// Histogram tracks request latencies in guest instructions.
+type Histogram struct {
+	samples []uint64
+	sorted  bool
+}
+
+// Add records one latency sample.
+func (h *Histogram) Add(v uint64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Percentile returns the p-th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) uint64 {
+	if len(h.samples) == 0 || p <= 0 || p > 100 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	idx := int(p/100*float64(len(h.samples))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Mean returns the average latency.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, v := range h.samples {
+		sum += v
+	}
+	return float64(sum) / float64(len(h.samples))
+}
+
+// Bucket is one throughput sample on the virtual-time axis.
+type Bucket struct {
+	Index     int
+	Responses int
+}
+
+// Result aggregates one driver run.
+type Result struct {
+	Buckets  []Bucket
+	Latency  Histogram
+	Errors   int
+	Total    int
+	Failures []string // first few failure descriptions
+}
+
+// Throughput returns responses in bucket i (0 outside the run).
+func (r *Result) Throughput(i int) int {
+	if i < 0 || i >= len(r.Buckets) {
+		return 0
+	}
+	return r.Buckets[i].Responses
+}
+
+// Driver fires a mix at a guest port on one machine.
+type Driver struct {
+	Machine *kernel.Machine
+	Port    uint16
+	Mix     *Mix
+	// BucketTicks sizes one throughput bucket in guest instructions.
+	BucketTicks uint64
+	// RequestBudget bounds the instructions spent waiting for one
+	// response before it is counted as an error.
+	RequestBudget uint64
+	// Hook, when set, runs before each bucket (e.g. to trigger a
+	// rewrite at a specific point in the timeline).
+	Hook func(bucket int) error
+}
+
+// Driver errors.
+var ErrNoMix = errors.New("loadgen: driver needs a mix")
+
+// Run drives the workload for the given number of buckets.
+func (d *Driver) Run(buckets int) (*Result, error) {
+	if d.Mix == nil {
+		return nil, ErrNoMix
+	}
+	if d.BucketTicks == 0 {
+		d.BucketTicks = 100_000
+	}
+	if d.RequestBudget == 0 {
+		d.RequestBudget = 2_000_000
+	}
+	res := &Result{}
+	start := d.Machine.Clock()
+	for b := 0; b < buckets; b++ {
+		if d.Hook != nil {
+			if err := d.Hook(b); err != nil {
+				return nil, fmt.Errorf("bucket %d hook: %w", b, err)
+			}
+		}
+		end := start + uint64(b+1)*d.BucketTicks
+		count := 0
+		for d.Machine.Clock() < end {
+			lat, err := d.one()
+			res.Total++
+			if err != nil {
+				res.Errors++
+				if len(res.Failures) < 4 {
+					res.Failures = append(res.Failures, err.Error())
+				}
+				break
+			}
+			res.Latency.Add(lat)
+			count++
+		}
+		res.Buckets = append(res.Buckets, Bucket{Index: b, Responses: count})
+	}
+	return res, nil
+}
+
+// one issues a single request and returns its latency in guest
+// instructions.
+func (d *Driver) one() (uint64, error) {
+	conn, err := d.Machine.Dial(d.Port)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	payload := d.Mix.Next()
+	t0 := d.Machine.Clock()
+	if _, err := conn.Write([]byte(payload)); err != nil {
+		return 0, err
+	}
+	ok := d.Machine.RunUntil(func() bool {
+		return len(conn.ReadAllPeek()) > 0 || conn.Closed()
+	}, d.RequestBudget)
+	if !ok || len(conn.ReadAllPeek()) == 0 {
+		return 0, fmt.Errorf("no response to %q", payload)
+	}
+	return d.Machine.Clock() - t0, nil
+}

@@ -1,0 +1,207 @@
+package loadgen
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/dynacut/dynacut/internal/apps/kvstore"
+	"github.com/dynacut/dynacut/internal/kernel"
+)
+
+func bootKV(t *testing.T) (*kernel.Machine, uint16) {
+	t.Helper()
+	app, err := kvstore.Build(kvstore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := kernel.NewMachine()
+	if _, err := m.Load(app.Exe, app.Libc); err != nil {
+		t.Fatal(err)
+	}
+	nudged := false
+	m.SetNudgeFunc(func(pid int, arg uint64) { nudged = true })
+	if !m.RunUntil(func() bool { return nudged }, 10_000_000) {
+		t.Fatal("kvstore boot failed")
+	}
+	return m, app.Config.Port
+}
+
+func TestMixWeightedSchedule(t *testing.T) {
+	m := NewMix(
+		Request{Payload: "A", Weight: 3},
+		Request{Payload: "B", Weight: 1},
+	)
+	counts := map[string]int{}
+	for i := 0; i < 40; i++ {
+		counts[m.Next()]++
+	}
+	if counts["A"] != 30 || counts["B"] != 10 {
+		t.Fatalf("schedule = %v", counts)
+	}
+	// Zero/negative weights default to 1.
+	m2 := NewMix(Request{Payload: "X"}, Request{Payload: "Y", Weight: -5})
+	seen := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		seen[m2.Next()] = true
+	}
+	if !seen["X"] || !seen["Y"] {
+		t.Fatalf("defaults = %v", seen)
+	}
+	var empty Mix
+	if empty.Next() != "" {
+		t.Fatal("empty mix returned a payload")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(uint64(i))
+	}
+	if got := h.Percentile(50); got != 50 {
+		t.Errorf("p50 = %d", got)
+	}
+	if got := h.Percentile(99); got != 99 {
+		t.Errorf("p99 = %d", got)
+	}
+	if got := h.Percentile(100); got != 100 {
+		t.Errorf("p100 = %d", got)
+	}
+	if h.Mean() != 50.5 {
+		t.Errorf("mean = %f", h.Mean())
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+	var empty Histogram
+	if empty.Percentile(50) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram nonzero")
+	}
+	if h.Percentile(0) != 0 || h.Percentile(101) != 0 {
+		t.Error("out-of-range percentile accepted")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickHistogramMonotone(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		var lo, hi uint64 = 1 << 62, 0
+		for _, v := range vals {
+			h.Add(uint64(v))
+			if uint64(v) < lo {
+				lo = uint64(v)
+			}
+			if uint64(v) > hi {
+				hi = uint64(v)
+			}
+		}
+		prev := uint64(0)
+		for _, p := range []float64{1, 25, 50, 75, 90, 99, 100} {
+			q := h.Percentile(p)
+			if q < prev || q < lo && p > 1 || q > hi {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDriverAgainstKVStore(t *testing.T) {
+	m, port := bootKV(t)
+	d := &Driver{
+		Machine: m,
+		Port:    port,
+		Mix: NewMix(
+			Request{Payload: "GET a\n", Weight: 8},
+			Request{Payload: "PING\n", Weight: 2},
+		),
+		BucketTicks: 50_000,
+	}
+	res, err := d.Run(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Buckets) != 6 {
+		t.Fatalf("buckets = %d", len(res.Buckets))
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d: %v", res.Errors, res.Failures)
+	}
+	if res.Total == 0 || res.Latency.Count() != res.Total {
+		t.Fatalf("total = %d, samples = %d", res.Total, res.Latency.Count())
+	}
+	for _, b := range res.Buckets {
+		if b.Responses == 0 {
+			t.Errorf("bucket %d empty", b.Index)
+		}
+	}
+	if res.Latency.Percentile(99) == 0 {
+		t.Error("no latency data")
+	}
+	if res.Throughput(0) == 0 || res.Throughput(99) != 0 {
+		t.Error("Throughput accessor wrong")
+	}
+}
+
+func TestDriverHookRuns(t *testing.T) {
+	m, port := bootKV(t)
+	var hooks []int
+	d := &Driver{
+		Machine:     m,
+		Port:        port,
+		Mix:         NewMix(Request{Payload: "PING\n"}),
+		BucketTicks: 20_000,
+		Hook: func(b int) error {
+			hooks = append(hooks, b)
+			return nil
+		},
+	}
+	if _, err := d.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(hooks) != 3 || hooks[0] != 0 || hooks[2] != 2 {
+		t.Fatalf("hooks = %v", hooks)
+	}
+	// Hook errors abort the run.
+	d.Hook = func(b int) error { return errors.New("boom") }
+	if _, err := d.Run(1); err == nil {
+		t.Fatal("hook error swallowed")
+	}
+}
+
+func TestDriverErrorsOnDeadServer(t *testing.T) {
+	m, port := bootKV(t)
+	for _, p := range m.Processes() {
+		if err := m.Kill(p.PID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := &Driver{
+		Machine: m, Port: port,
+		Mix: NewMix(Request{Payload: "PING\n"}),
+	}
+	res, err := d.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("dead server produced no errors")
+	}
+}
+
+func TestDriverNeedsMix(t *testing.T) {
+	m, port := bootKV(t)
+	d := &Driver{Machine: m, Port: port}
+	if _, err := d.Run(1); !errors.Is(err, ErrNoMix) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,173 @@
+package dynacut
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestStartServerBootTimeout: a guest that never nudges must fail
+// with ErrBootTimeout instead of spinning forever.
+func TestStartServerBootTimeout(t *testing.T) {
+	exe, err := Assemble("silent", `
+.text
+.global _start
+_start:
+	mov r0, 1
+	mov r1, 0
+	syscall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = StartServer(exe, nil, 1234)
+	if !errors.Is(err, ErrBootTimeout) {
+		t.Fatalf("err = %v, want ErrBootTimeout", err)
+	}
+}
+
+// TestStartServerCrashDuringBoot reports the boot failure details.
+func TestStartServerCrashDuringBoot(t *testing.T) {
+	exe, err := Assemble("crasher", `
+.text
+.global _start
+_start:
+	hlt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = StartServer(exe, nil, 1234)
+	if err == nil || !strings.Contains(err.Error(), "SIGSEGV") {
+		t.Fatalf("err = %v, want boot failure mentioning SIGSEGV", err)
+	}
+}
+
+// TestSessionSnapshotPhaseIsolation: consecutive snapshots don't
+// leak blocks into each other.
+func TestSessionSnapshotPhaseIsolation(t *testing.T) {
+	app, err := BuildWebServer(WebServerConfig{Port: 8080})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := StartServer(app.Exe, []*Binary{app.Libc}, app.Config.Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Request("GET /\n"); err != nil {
+		t.Fatal(err)
+	}
+	g1, err := sess.SnapshotPhase("one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No traffic between snapshots: the second one is (nearly) empty;
+	// only residual accept-loop blocks may appear.
+	g2, err := sess.SnapshotPhase("two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Count() == 0 {
+		t.Fatal("first snapshot empty")
+	}
+	if g2.Count() >= g1.Count() {
+		t.Fatalf("snapshot leak: %d then %d", g1.Count(), g2.Count())
+	}
+}
+
+// TestStartServerAuto boots a server that issues no explicit nudge:
+// init-end detection comes entirely from the first accept syscall.
+func TestStartServerAuto(t *testing.T) {
+	// A minimal accept-loop server without any nudge call.
+	exe, err := Assemble("nudgeless", `
+.text
+.global _start
+_start:
+	; real initialization work (loops => completed basic blocks)
+	mov r7, 0
+init_loop:
+	add r7, 3
+	cmp r7, 30
+	jl init_loop
+	mov r0, 4
+	syscall
+	mov r8, r0
+	mov r0, 5
+	mov r1, r8
+	mov r2, 7171
+	syscall
+loop:
+	mov r0, 7
+	mov r1, r8
+	syscall
+	mov r9, r0
+	mov r0, 3
+	mov r1, r9
+	mov r2, =buf
+	mov r3, 16
+	syscall
+	mov r0, 2
+	mov r1, r9
+	lea r2, resp
+	mov r3, 3
+	syscall
+	mov r0, 8
+	mov r1, r9
+	syscall
+	jmp loop
+.rodata
+resp: .ascii "ok\n"
+.bss
+buf: .space 16
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := StartServerAuto(exe, nil, 7171)
+	if err != nil {
+		t.Fatalf("StartServerAuto: %v", err)
+	}
+	if sess.InitLog == nil || len(sess.InitLog.Blocks) == 0 {
+		t.Fatal("no init coverage from auto detection")
+	}
+	resp, err := sess.Request("hello\n")
+	if err != nil || !strings.Contains(resp, "ok") {
+		t.Fatalf("request -> %q, %v", resp, err)
+	}
+}
+
+// TestSessionSymbolAddrErrors.
+func TestSessionSymbolAddrErrors(t *testing.T) {
+	app, err := BuildWebServer(WebServerConfig{Port: 8080})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := StartServer(app.Exe, []*Binary{app.Libc}, app.Config.Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.SymbolAddr("resp_403"); err != nil {
+		t.Errorf("resp_403: %v", err)
+	}
+	if _, err := sess.SymbolAddr("no_such_symbol"); err == nil {
+		t.Error("missing symbol resolved")
+	}
+}
+
+// TestMustRequestSwallowsErrors.
+func TestMustRequestSwallowsErrors(t *testing.T) {
+	app, err := BuildWebServer(WebServerConfig{Port: 8080})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := StartServer(app.Exe, []*Binary{app.Libc}, app.Config.Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Machine.Kill(sess.PID()); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.MustRequest("GET /\n"); got != "" {
+		t.Fatalf("MustRequest on dead server = %q", got)
+	}
+}

@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test vet race chaos fuzz check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full suite under the race detector. The chaos tests run here too —
+# their seeds are fixed in-source, so failures reproduce exactly.
+race:
+	$(GO) test -race ./...
+
+# Just the fault-injection / transactional-rewrite suites.
+chaos:
+	$(GO) test -race -run 'Chaos|Rollback|Rolls|Transient|Retried|Revalidated|Corrupt|BitFlip|Truncation' \
+		./internal/core/ ./internal/criu/ ./internal/faultinject/ .
+
+# Short fuzz smoke over the image decoder (corpus seeds always run
+# as part of `test`; this adds a few seconds of mutation).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshalImages -fuzztime 10s ./internal/criu/
+
+# The tier-1 gate: everything that must pass before a commit.
+check: build vet test race
+
+bench:
+	$(GO) test -bench . -benchmem .

@@ -38,6 +38,7 @@ import (
 	"github.com/dynacut/dynacut/internal/delf"
 	"github.com/dynacut/dynacut/internal/delf/link"
 	"github.com/dynacut/dynacut/internal/disasm"
+	"github.com/dynacut/dynacut/internal/faultinject"
 	"github.com/dynacut/dynacut/internal/kernel"
 	"github.com/dynacut/dynacut/internal/trace"
 )
@@ -84,6 +85,14 @@ type (
 	// DumpOpts controls checkpointing.
 	DumpOpts = criu.DumpOpts
 
+	// FaultInjector deterministically injects failures into the
+	// checkpoint/rewrite/restore machinery (install with
+	// Machine.SetFaultHook) — the chaos-testing harness behind the
+	// transactional-rewrite guarantees.
+	FaultInjector = faultinject.Injector
+	// FaultEvent is one consultation of the fault injector.
+	FaultEvent = faultinject.Event
+
 	// CFG is a static control-flow graph.
 	CFG = disasm.CFG
 
@@ -122,8 +131,33 @@ const (
 	SIGSYS  = kernel.SIGSYS
 )
 
+// Failure-model sentinels, for errors.Is against Customizer and image
+// errors.
+var (
+	// ErrRolledBack: the rewrite failed but the guest was restored
+	// from the pre-edit images and keeps serving.
+	ErrRolledBack = core.ErrRolledBack
+	// ErrRestoreFailed: a restore failed after the guest was killed
+	// (always accompanied by a rollback, or by ErrRollbackFailed).
+	ErrRestoreFailed = core.ErrRestoreFailed
+	// ErrRollbackFailed: the rollback restore failed too; the guest is
+	// lost.
+	ErrRollbackFailed = core.ErrRollbackFailed
+	// ErrCorruptImage: an image blob failed its checksum or framing.
+	ErrCorruptImage = criu.ErrCorruptImage
+	// ErrInconsistentImage: a decoded image set fails cross-checks
+	// (ImageSet.Validate).
+	ErrInconsistentImage = criu.ErrInconsistentImage
+	// ErrFaultInjected: a failure came from the fault injector.
+	ErrFaultInjected = faultinject.ErrInjected
+)
+
 // NewMachine creates an empty simulated machine.
 func NewMachine() *Machine { return kernel.NewMachine() }
+
+// NewFaultInjector creates a deterministic, seeded fault injector;
+// install it with Machine.SetFaultHook.
+func NewFaultInjector(seed int64) *FaultInjector { return faultinject.New(seed) }
 
 // NewCustomizer wraps the guest process rooted at pid.
 func NewCustomizer(m *Machine, pid int, opts CustomizerOptions) (*Customizer, error) {

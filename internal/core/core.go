@@ -20,6 +20,7 @@ import (
 	"github.com/dynacut/dynacut/internal/crit"
 	"github.com/dynacut/dynacut/internal/criu"
 	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/faultinject"
 	"github.com/dynacut/dynacut/internal/kernel"
 )
 
@@ -69,33 +70,85 @@ type Options struct {
 	Verifier bool
 	// TicksPerSecond, when nonzero, converts the wall-clock rewrite
 	// time into virtual clock ticks charged to the machine — the
-	// service-interruption window of Figure 8.
+	// service-interruption window of Figure 8. With retries, every
+	// attempt's time is charged, so Figure 8-style interruption
+	// numbers stay honest.
 	TicksPerSecond uint64
+	// MaxAttempts bounds how many times Rewrite retries the whole
+	// edit/restore cycle on failure before giving up (each failed
+	// attempt is rolled back first). 0 or 1 = no retry.
+	MaxAttempts int
+	// HealthCheck, when non-nil, is run after every restore with the
+	// new root PID, before the transaction commits; a non-nil error
+	// rolls the guest back to the pre-edit images. Session wires a
+	// canary request through this so server flows verify end-to-end
+	// service.
+	HealthCheck func(m *kernel.Machine, pid int) error
+	// HealthBudget is the instruction budget of the built-in liveness
+	// probe run after each restore (0 = a small default). The probe
+	// fails if the restored root exits or dies on a signal within the
+	// budget.
+	HealthBudget uint64
 }
 
 // Stats reports the cost of one rewrite cycle, matching the segments
 // of Figures 6 and 7 (checkpoint, code update, handler insertion,
-// restore).
+// restore). With retries the editing and restore segments accumulate
+// across attempts, so the total still reflects the real interruption.
 type Stats struct {
 	Checkpoint    time.Duration
 	CodeUpdate    time.Duration
 	InsertHandler time.Duration
 	Restore       time.Duration
+	HealthCheck   time.Duration
 	ImageBytes    int
 	BlocksPatched int
 	PagesUnmapped int
+	// Attempts is how many edit/restore cycles ran (1 = no retry).
+	Attempts int
+	// RolledBack reports the transaction's final outcome: true when
+	// the rewrite failed and the guest is running the restored
+	// pre-edit images (its live connections intact). It is false both
+	// on success and when an early failure — bad dump, corrupt image
+	// blob, failed edit — was caught before the guest was killed, in
+	// which case the original processes were never touched.
+	RolledBack bool
 }
 
-// Total returns the end-to-end service interruption.
+// Total returns the end-to-end rewrite cost, health probing included.
 func (s Stats) Total() time.Duration {
-	return s.Checkpoint + s.CodeUpdate + s.InsertHandler + s.Restore
+	return s.Checkpoint + s.CodeUpdate + s.InsertHandler + s.Restore + s.HealthCheck
+}
+
+// Interruption returns the service-interruption window: the time the
+// guest was not available. The health probe is excluded — it runs
+// against the already-restored, already-serving guest (and its
+// guest-side cost lands on the virtual clock as executed
+// instructions).
+func (s Stats) Interruption() time.Duration {
+	return s.Total() - s.HealthCheck
 }
 
 // Customizer errors.
 var (
 	ErrNotDisabled = errors.New("core: feature not currently disabled")
 	ErrDead        = errors.New("core: target process has exited")
+	// ErrRestoreFailed marks a restore that failed after the guest was
+	// killed; it always travels with ErrRolledBack (or, if even the
+	// rollback restore failed, ErrRollbackFailed).
+	ErrRestoreFailed = errors.New("core: restore failed")
+	// ErrRolledBack reports a rewrite that failed but recovered: the
+	// pre-edit images were restored and the guest survived.
+	ErrRolledBack = errors.New("core: rewrite failed, guest rolled back to pre-edit images")
+	// ErrRollbackFailed is the unrecoverable case: the rewrite failed
+	// after the commit point and restoring the pristine images failed
+	// too, so the guest is gone.
+	ErrRollbackFailed = errors.New("core: rollback failed, guest lost")
 )
+
+// defaultHealthBudget is the instruction budget of the built-in
+// post-restore liveness probe when Options.HealthBudget is zero.
+const defaultHealthBudget = 20000
 
 // Customizer dynamically customizes one guest program.
 type Customizer struct {
@@ -145,12 +198,24 @@ func (c *Customizer) Handler() *Handler { return c.handler }
 // edit to the frozen images. It is the paper's core primitive: all
 // customization goes through it, and the target's live TCP
 // connections survive.
+//
+// The cycle is transactional. The freshly dumped images are validated
+// and a pristine serialized copy is kept before anything is killed;
+// every attempt edits a fresh decode of that copy. Failures before
+// the commit point (handler injection, the edit itself, validation of
+// the edited images) leave the original processes untouched. The
+// commit point is killing the originals to free their ports; past it,
+// a failed restore or a failed post-restore health check rolls the
+// guest back to the pristine images, so it keeps serving with its
+// live connections intact. Options.MaxAttempts > 1 retries the whole
+// cycle after any rolled-back (or pre-commit) failure.
 func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stats, error) {
 	var stats Stats
 	p, err := c.machine.Process(c.pid)
 	if err != nil || p.Exited() {
 		return stats, ErrDead
 	}
+	rootOld := c.pid
 
 	t0 := time.Now()
 	set, err := criu.Dump(c.machine, c.pid, criu.DumpOpts{ExecPages: true, Tree: c.opts.Tree})
@@ -159,47 +224,211 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 	}
 	stats.Checkpoint = time.Since(t0)
 	stats.ImageBytes = set.TotalBytes()
+	defer func() { c.charge(stats) }()
 
-	// Kill the originals: the rewrite happens on the frozen images.
-	for _, pid := range set.PIDs {
-		if err := c.machine.Kill(pid); err != nil {
-			return stats, fmt.Errorf("freeze: %w", err)
+	// Validate while the guest is still running: a bad image set must
+	// be rejected before it can cost us a live process.
+	if err := set.Validate(c.machine); err != nil {
+		return stats, fmt.Errorf("checkpoint: %w", err)
+	}
+
+	// The pristine pre-edit images are the rollback anchor. Keeping
+	// them serialized (and re-decoding per use) guarantees no edit can
+	// alias into them; the blob passes through the machine's fault
+	// hook, modeling corruption of the image files on the tmpfs
+	// between dump and restore.
+	pristine := c.machine.MutateBlob(faultinject.SitePristine, set.Marshal())
+
+	// Edit closures mutate customizer bookkeeping (saved bytes,
+	// unmapped ranges, verifier table, handler). Snapshot it so every
+	// attempt starts clean and a failed transaction leaks nothing.
+	savedSnap := make(map[uint64][]byte, len(c.saved))
+	for k, v := range c.saved {
+		savedSnap[k] = v
+	}
+	unmappedSnap := append([]pageRange(nil), c.unmapped...)
+	verifierSnap := c.verifierCount
+	handlerSnap := c.handler
+
+	maxAttempts := c.opts.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	curPIDs := append([]int(nil), set.PIDs...) // the live guest's PIDs
+	rolledBack := false                        // a rollback restore has run
+	var lastErr error
+
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		stats.Attempts = attempt
+		c.saved = make(map[uint64][]byte, len(savedSnap))
+		for k, v := range savedSnap {
+			c.saved[k] = v
+		}
+		c.unmapped = append([]pageRange(nil), unmappedSnap...)
+		c.verifierCount = verifierSnap
+		c.handler = handlerSnap
+
+		work, err := criu.Unmarshal(pristine)
+		if err != nil {
+			// The serialized images are corrupt; the checksum caught it
+			// before anything was killed. The guest is untouched, and
+			// retrying a deterministically bad blob is pointless.
+			stats.RolledBack = rolledBack
+			return stats, fmt.Errorf("image decode: %w", err)
+		}
+		ed := crit.NewEditor(work, c.machine)
+
+		// Ensure the handler library is present in the image set:
+		// injection survives re-dumps of restored procs (the library
+		// VMAs were dumped), so only re-inject when absent.
+		t1 := time.Now()
+		err = c.ensureHandler(ed, work.PIDs)
+		stats.InsertHandler += time.Since(t1)
+		if err != nil {
+			lastErr = err
+			continue // guest untouched; retry or give up below
+		}
+
+		t2 := time.Now()
+		err = edit(ed, work.PIDs)
+		stats.CodeUpdate += time.Since(t2)
+		if err != nil {
+			lastErr = fmt.Errorf("rewrite: %w", err)
+			continue // guest untouched
+		}
+
+		// The edited images must still describe a restorable process
+		// tree — checked while the originals are alive.
+		if err := work.Validate(c.machine); err != nil {
+			lastErr = fmt.Errorf("rewrite: %w", err)
+			continue // guest untouched
+		}
+
+		// Commit point: kill the originals so their ports free up for
+		// the restore. From here on, failure means rollback. (Kill can
+		// only fail for an already-gone process, which holds no ports;
+		// a genuinely stuck port surfaces as a restore failure below.)
+		for _, pid := range curPIDs {
+			c.machine.Kill(pid)
+		}
+
+		t3 := time.Now()
+		procs, pidMap, err := criu.Restore(c.machine, work)
+		stats.Restore += time.Since(t3)
+		if err != nil {
+			// Restore is atomic: its partial procs are already gone.
+			restoreErr := fmt.Errorf("%w (attempt %d): %w", ErrRestoreFailed, attempt, err)
+			var rbErr error
+			curPIDs, rbErr = c.rollbackOr(&stats, pristine, rootOld, restoreErr)
+			if rbErr != nil {
+				return stats, rbErr
+			}
+			rolledBack = true
+			lastErr = restoreErr
+			continue
+		}
+
+		newRoot := pidMap[rootOld]
+		if newRoot == 0 && len(procs) > 0 {
+			newRoot = procs[0].PID()
+		}
+
+		t4 := time.Now()
+		hcErr := c.healthCheck(newRoot, procs)
+		stats.HealthCheck += time.Since(t4)
+		if hcErr != nil {
+			// Tear down the unhealthy restored tree, then roll back.
+			for i := len(procs) - 1; i >= 0; i-- {
+				c.machine.Kill(procs[i].PID())
+				c.machine.Remove(procs[i].PID())
+			}
+			var rbErr error
+			curPIDs, rbErr = c.rollbackOr(&stats, pristine, rootOld, hcErr)
+			if rbErr != nil {
+				return stats, rbErr
+			}
+			rolledBack = true
+			lastErr = fmt.Errorf("health check (attempt %d): %w", attempt, hcErr)
+			continue
+		}
+
+		// Committed.
+		c.pid = newRoot
+		stats.RolledBack = false
+		return stats, nil
+	}
+
+	// Every attempt failed. If the last failure was past the commit
+	// point the guest is running the rolled-back pristine images;
+	// otherwise it was never touched.
+	stats.RolledBack = rolledBack
+	if rolledBack {
+		return stats, fmt.Errorf("%w (after %d attempts): %w", ErrRolledBack, stats.Attempts, lastErr)
+	}
+	return stats, lastErr
+}
+
+// rollbackOr restores the pristine pre-edit images after a post-commit
+// failure (cause). On success it returns the new live PIDs and updates
+// c.pid. If the rollback restore itself fails the guest is lost: it
+// marks the transaction dead and returns an ErrRollbackFailed error
+// carrying both failures.
+func (c *Customizer) rollbackOr(stats *Stats, pristine []byte, rootOld int, cause error) ([]int, error) {
+	set, err := criu.Unmarshal(pristine)
+	if err == nil {
+		var procs []*kernel.Process
+		var pidMap map[int]int
+		procs, pidMap, err = criu.Restore(c.machine, set)
+		if err == nil {
+			pids := make([]int, len(procs))
+			for i, p := range procs {
+				pids[i] = p.PID()
+			}
+			c.pid = pidMap[rootOld]
+			if c.pid == 0 && len(procs) > 0 {
+				c.pid = procs[0].PID()
+			}
+			return pids, nil
 		}
 	}
+	stats.RolledBack = false
+	return nil, fmt.Errorf("%w: %v (while recovering from: %v)", ErrRollbackFailed, err, cause)
+}
 
-	ed := crit.NewEditor(set, c.machine)
-
-	// Ensure the handler library is present in the (new) image set:
-	// injection state does not survive re-dumps of restored procs, it
-	// does — the library VMAs were dumped; only re-inject when absent.
-	t1 := time.Now()
-	if err := c.ensureHandler(ed, set.PIDs); err != nil {
-		return stats, err
+// healthCheck probes the freshly restored tree before the transaction
+// commits: the guest runs for a bounded instruction budget, every
+// restored process must still be alive afterwards, and the optional
+// user probe (Options.HealthCheck — Session wires a canary request
+// through it) must pass.
+func (c *Customizer) healthCheck(root int, procs []*kernel.Process) error {
+	if err := c.machine.Fault(faultinject.SiteHealth, root); err != nil {
+		return err
 	}
-	stats.InsertHandler = time.Since(t1)
-
-	t2 := time.Now()
-	if err := edit(ed, set.PIDs); err != nil {
-		return stats, fmt.Errorf("rewrite: %w", err)
+	budget := c.opts.HealthBudget
+	if budget == 0 {
+		budget = defaultHealthBudget
 	}
-	stats.CodeUpdate = time.Since(t2)
-
-	t3 := time.Now()
-	procs, pidMap, err := criu.Restore(c.machine, set)
-	if err != nil {
-		return stats, fmt.Errorf("restore: %w", err)
+	c.machine.Run(budget)
+	for _, p := range procs {
+		if p.Exited() {
+			return fmt.Errorf("core: restored pid %d died within %d ticks of restore", p.PID(), budget)
+		}
 	}
-	stats.Restore = time.Since(t3)
-
-	c.pid = pidMap[c.pid]
-	if c.pid == 0 && len(procs) > 0 {
-		c.pid = procs[0].PID()
+	if c.opts.HealthCheck != nil {
+		if err := c.opts.HealthCheck(c.machine, root); err != nil {
+			return fmt.Errorf("core: health probe: %w", err)
+		}
 	}
+	return nil
+}
+
+// charge converts accumulated rewrite time into virtual clock ticks
+// (the Figure 8 interruption window). Failed attempts are charged
+// too: their time was real.
+func (c *Customizer) charge(stats Stats) {
 	if c.opts.TicksPerSecond > 0 {
-		ticks := uint64(stats.Total().Seconds() * float64(c.opts.TicksPerSecond))
-		c.machine.AdvanceClock(ticks)
+		c.machine.AdvanceClock(uint64(stats.Interruption().Seconds() * float64(c.opts.TicksPerSecond)))
 	}
-	return stats, nil
 }
 
 // ensureHandler injects the signal-handler library into every dumped
@@ -235,6 +464,7 @@ func (c *Customizer) DisableBlocks(name string, blocks []coverage.AbsBlock, poli
 	}
 	var applied Stats
 	stats, err := c.Rewrite(func(ed *crit.Editor, pids []int) error {
+		applied = Stats{} // the closure re-runs on retried attempts
 		for _, pid := range pids {
 			if err := c.applyPolicy(ed, pid, blocks, policy, &applied); err != nil {
 				return err
@@ -376,6 +606,7 @@ func (c *Customizer) EnableBlocks(name string) (Stats, error) {
 	}
 	patched := 0
 	stats, err := c.Rewrite(func(ed *crit.Editor, pids []int) error {
+		patched = 0 // the closure re-runs on retried attempts
 		for _, pid := range pids {
 			for _, b := range blocks {
 				orig, ok := c.saved[b.Addr]

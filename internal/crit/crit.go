@@ -16,6 +16,7 @@ import (
 	"github.com/dynacut/dynacut/internal/criu"
 	"github.com/dynacut/dynacut/internal/delf"
 	"github.com/dynacut/dynacut/internal/delf/link"
+	"github.com/dynacut/dynacut/internal/faultinject"
 	"github.com/dynacut/dynacut/internal/kernel"
 )
 
@@ -54,6 +55,20 @@ func (e *Editor) proc(pid int) (*criu.ProcImage, error) {
 	return e.set.Proc(pid)
 }
 
+// faulter matches kernel.Machine's fault-injection hook; the editor
+// consults it through its FileStore so image edits are chaos-testable
+// without crit depending on the kernel's hook registry.
+type faulter interface {
+	Fault(site string, detail int) error
+}
+
+func (e *Editor) fault(site string, pid int) error {
+	if f, ok := e.store.(faulter); ok {
+		return f.Fault(site, pid)
+	}
+	return nil
+}
+
 // vmaAt finds the VMA entry containing addr.
 func vmaAt(pi *criu.ProcImage, addr uint64) (criu.VMAEntry, bool) {
 	for _, v := range pi.MM.VMAs {
@@ -87,6 +102,9 @@ func (e *Editor) ReadMem(pid int, addr uint64, n int) ([]byte, error) {
 // with DumpOpts.ExecPages to make code pages patchable (the paper's
 // CRIU modification).
 func (e *Editor) WriteMem(pid int, addr uint64, b []byte) error {
+	if err := e.fault(faultinject.SiteEditWrite, pid); err != nil {
+		return err
+	}
 	pi, err := e.proc(pid)
 	if err != nil {
 		return err
@@ -131,6 +149,9 @@ func (e *Editor) WipeRange(pid int, addr, size uint64) error {
 // drops its pages: the strongest policy — the memory simply is not
 // there any more.
 func (e *Editor) UnmapRange(pid int, start, end uint64) error {
+	if err := e.fault(faultinject.SiteEditUnmap, pid); err != nil {
+		return err
+	}
 	if start%kernel.PageSize != 0 || end%kernel.PageSize != 0 || end <= start {
 		return fmt.Errorf("%w: %#x-%#x", ErrAlignment, start, end)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/dynacut/dynacut/internal/faultinject"
 	"github.com/dynacut/dynacut/internal/isa"
 	"github.com/dynacut/dynacut/internal/kernel"
 )
@@ -36,7 +37,10 @@ func Dump(m *kernel.Machine, pid int, opts DumpOpts) (*ImageSet, error) {
 	set := &ImageSet{Procs: map[int]*ProcImage{}}
 	parent := map[int]int{}
 	for _, p := range procs {
-		pi, err := dumpOne(p, opts)
+		if err := m.Fault(faultinject.SiteDumpProc, p.PID()); err != nil {
+			return nil, fmt.Errorf("dump pid %d: %w", p.PID(), err)
+		}
+		pi, err := dumpOne(m, p, opts)
 		if err != nil {
 			return nil, fmt.Errorf("dump pid %d: %w", p.PID(), err)
 		}
@@ -57,7 +61,7 @@ func descendants(m *kernel.Machine, pid int) []*kernel.Process {
 	return out
 }
 
-func dumpOne(p *kernel.Process, opts DumpOpts) (*ProcImage, error) {
+func dumpOne(m *kernel.Machine, p *kernel.Process, opts DumpOpts) (*ProcImage, error) {
 	pi := &ProcImage{}
 
 	// core
@@ -97,6 +101,9 @@ func dumpOne(p *kernel.Process, opts DumpOpts) (*ProcImage, error) {
 
 	// pagemap + pages: anonymous always; file-backed only with
 	// ExecPages.
+	if err := m.Fault(faultinject.SiteDumpPageMap, p.PID()); err != nil {
+		return nil, err
+	}
 	for _, pn := range p.Mem().PopulatedPages() {
 		addr := pn * kernel.PageSize
 		v, ok := p.Mem().VMAAt(addr)

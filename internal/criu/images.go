@@ -13,8 +13,10 @@
 package criu
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 
 	"github.com/dynacut/dynacut/internal/criu/pbuf"
@@ -36,6 +38,12 @@ var (
 	ErrBadImage   = errors.New("criu: malformed image")
 	ErrNoImage    = errors.New("criu: missing image")
 	ErrPageAbsent = errors.New("criu: page not present in image")
+	// ErrCorruptImage flags a serialized image whose checksum does not
+	// match its content (bit flips, truncation inside an entry).
+	ErrCorruptImage = errors.New("criu: corrupt image")
+	// ErrInconsistentImage flags an image set whose parts contradict
+	// each other (pagemap not covered by pages, RIP unmapped, ...).
+	ErrInconsistentImage = errors.New("criu: inconsistent image set")
 )
 
 // SigEntry is one registered signal handler in a core image.
@@ -193,25 +201,58 @@ func (s *ImageSet) TotalBytes() int {
 
 // Serialization -----------------------------------------------------
 
+// crcTable is the Castagnoli polynomial table used for per-image
+// checksums (same polynomial SSE4.2 crc32c uses).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// checksumField is the proc-entry field carrying the CRC of the
+// entry's own body (fields 1-6); it is always written last.
+const checksumField = 7
+
+// marshalProcBody encodes the checksummed portion of one proc entry.
+// It must stay deterministic and decode/re-encode idempotent: the
+// checksum is verified by re-encoding the decoded entry.
+func marshalProcBody(pid int, pi *ProcImage) []byte {
+	var e pbuf.Encoder
+	e.Uint(1, uint64(pid))
+	e.Bytes(2, marshalCore(&pi.Core))
+	e.Bytes(3, marshalMM(&pi.MM))
+	e.Bytes(4, marshalPageMap(&pi.PageMap))
+	e.Bytes(5, pi.Pages)
+	e.Bytes(6, marshalFiles(&pi.Files))
+	return e.Finish()
+}
+
+// Checksum returns the integrity checksum of one proc image as it
+// would be written by Marshal.
+func (s *ImageSet) Checksum(pid int) (uint32, error) {
+	pi, err := s.Proc(pid)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.Checksum(marshalProcBody(pid, pi), crcTable), nil
+}
+
 // Marshal encodes the image set into a single blob (the "tmpfs
-// directory" of the paper's setup).
+// directory" of the paper's setup). Every proc entry carries a CRC32C
+// checksum of its content; Unmarshal refuses blobs that fail it.
 func (s *ImageSet) Marshal() []byte {
 	var e pbuf.Encoder
 	for _, pid := range s.PIDs {
 		pi := s.Procs[pid]
+		body := marshalProcBody(pid, pi)
 		e.Msg(1, func(pe *pbuf.Encoder) {
-			pe.Uint(1, uint64(pid))
-			pe.Bytes(2, marshalCore(&pi.Core))
-			pe.Bytes(3, marshalMM(&pi.MM))
-			pe.Bytes(4, marshalPageMap(&pi.PageMap))
-			pe.Bytes(5, pi.Pages)
-			pe.Bytes(6, marshalFiles(&pi.Files))
+			pe.Raw(body)
+			pe.Uint(checksumField, uint64(crc32.Checksum(body, crcTable)))
 		})
 	}
 	return e.Finish()
 }
 
-// Unmarshal decodes an image set blob.
+// Unmarshal decodes an image set blob, verifying every proc entry's
+// checksum. Corruption — truncation, bit flips, a missing checksum —
+// yields an error wrapping ErrCorruptImage or ErrBadImage; no partial
+// set is ever returned.
 func Unmarshal(data []byte) (*ImageSet, error) {
 	s := &ImageSet{Procs: map[int]*ProcImage{}}
 	d := pbuf.NewDecoder(data)
@@ -220,53 +261,89 @@ func Unmarshal(data []byte) (*ImageSet, error) {
 			d.Skip()
 			continue
 		}
-		pi := &ProcImage{}
-		pid := -1
-		d.Msg(func(pd *pbuf.Decoder) error {
-			for pd.Next() {
-				switch pd.Field() {
-				case 1:
-					pid = int(pd.Uint())
-				case 2:
-					c, err := unmarshalCore(pd.Bytes())
-					if err != nil {
-						return err
-					}
-					pi.Core = *c
-				case 3:
-					mm, err := unmarshalMM(pd.Bytes())
-					if err != nil {
-						return err
-					}
-					pi.MM = *mm
-				case 4:
-					pm, err := unmarshalPageMap(pd.Bytes())
-					if err != nil {
-						return err
-					}
-					pi.PageMap = *pm
-				case 5:
-					pi.Pages = append([]byte(nil), pd.Bytes()...)
-				case 6:
-					f, err := unmarshalFiles(pd.Bytes())
-					if err != nil {
-						return err
-					}
-					pi.Files = *f
-				default:
-					pd.Skip()
-				}
-			}
-			return pd.Err()
-		})
+		raw := d.Bytes() // the whole proc entry, for byte-exact CRC
 		if d.Err() != nil {
 			break
+		}
+		pi := &ProcImage{}
+		pid := -1
+		wantCRC := uint64(0)
+		hasCRC := false
+		pd := pbuf.NewDecoder(raw)
+		var decodeErr error
+		for decodeErr == nil && pd.Next() {
+			switch pd.Field() {
+			case 1:
+				pid = int(pd.Uint())
+			case 2:
+				c, err := unmarshalCore(pd.Bytes())
+				if err != nil {
+					decodeErr = err
+					break
+				}
+				pi.Core = *c
+			case 3:
+				mm, err := unmarshalMM(pd.Bytes())
+				if err != nil {
+					decodeErr = err
+					break
+				}
+				pi.MM = *mm
+			case 4:
+				pm, err := unmarshalPageMap(pd.Bytes())
+				if err != nil {
+					decodeErr = err
+					break
+				}
+				pi.PageMap = *pm
+			case 5:
+				pi.Pages = append([]byte(nil), pd.Bytes()...)
+			case 6:
+				f, err := unmarshalFiles(pd.Bytes())
+				if err != nil {
+					decodeErr = err
+					break
+				}
+				pi.Files = *f
+			case checksumField:
+				wantCRC = pd.Uint()
+				hasCRC = true
+			default:
+				pd.Skip()
+			}
+		}
+		if decodeErr == nil {
+			decodeErr = pd.Err()
+		}
+		if decodeErr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadImage, decodeErr)
 		}
 		if pid < 0 {
 			return nil, fmt.Errorf("%w: proc entry without pid", ErrBadImage)
 		}
+		if !hasCRC {
+			return nil, fmt.Errorf("%w: proc entry for pid %d lacks a checksum", ErrCorruptImage, pid)
+		}
+		// The checksum field is always written last, so the checksummed
+		// body is everything before its encoding. Verifying over the raw
+		// received bytes — not re-encoded content — rejects even
+		// semantically neutral bit flips.
+		var se pbuf.Encoder
+		se.Uint(checksumField, wantCRC)
+		suffix := se.Finish()
+		if !bytes.HasSuffix(raw, suffix) {
+			return nil, fmt.Errorf("%w: pid %d checksum is not the final field", ErrCorruptImage, pid)
+		}
+		body := raw[:len(raw)-len(suffix)]
+		if got := crc32.Checksum(body, crcTable); uint64(got) != wantCRC {
+			return nil, fmt.Errorf("%w: pid %d checksum %#x, image says %#x",
+				ErrCorruptImage, pid, got, wantCRC)
+		}
 		if len(pi.Pages) != kernel.PageSize*len(pi.PageMap.PageNumbers) {
 			return nil, fmt.Errorf("%w: pages/pagemap size mismatch for pid %d", ErrBadImage, pid)
+		}
+		if _, dup := s.Procs[pid]; dup {
+			return nil, fmt.Errorf("%w: duplicate proc entry for pid %d", ErrBadImage, pid)
 		}
 		s.PIDs = append(s.PIDs, pid)
 		s.Procs[pid] = pi

@@ -95,6 +95,12 @@ func (e *Encoder) Msg(field int, fn func(*Encoder)) {
 	e.Bytes(field, sub.buf)
 }
 
+// Raw appends pre-encoded fields verbatim (e.g. a message body that
+// was encoded separately so it could be checksummed).
+func (e *Encoder) Raw(b []byte) {
+	e.buf = append(e.buf, b...)
+}
+
 // Finish returns the encoded message.
 func (e *Encoder) Finish() []byte {
 	return e.buf

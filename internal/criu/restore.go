@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/faultinject"
 	"github.com/dynacut/dynacut/internal/isa"
 	"github.com/dynacut/dynacut/internal/kernel"
 )
@@ -18,17 +19,37 @@ import (
 // machine's disk, faithfully reproducing vanilla CRIU's page-fault
 // reconstruction — and therefore reverting any code patches unless
 // the dump used ExecPages.
+//
+// Restore is atomic with respect to the machine's process table: if
+// restoring any process fails, every process this call created is
+// torn down (descriptors released, ports unbound) before the error is
+// returned. It deliberately does not call (*ImageSet).Validate — that
+// is transaction policy, applied by core.Customizer.Rewrite while the
+// guest is still alive; Restore is the mechanism and will materialize
+// whatever self-consistent-enough set it is given.
 func Restore(m *kernel.Machine, set *ImageSet) ([]*kernel.Process, map[int]int, error) {
 	pidMap := map[int]int{}
 	var out []*kernel.Process
 	boundHere := map[uint16]bool{} // listeners (re)bound by this restore
+	undo := func(failed *kernel.Process, oldPID int, err error) ([]*kernel.Process, map[int]int, error) {
+		if failed != nil {
+			out = append(out, failed)
+		}
+		for i := len(out) - 1; i >= 0; i-- {
+			m.Kill(out[i].PID()) // releases descriptors and bound ports
+			m.Remove(out[i].PID())
+		}
+		return nil, nil, fmt.Errorf("restore pid %d: %w", oldPID, err)
+	}
 	for _, oldPID := range set.PIDs {
+		if err := m.Fault(faultinject.SiteRestoreProc, oldPID); err != nil {
+			return undo(nil, oldPID, err)
+		}
 		pi := set.Procs[oldPID]
 		parent := pidMap[pi.Core.Parent] // 0 when the parent wasn't dumped
 		p := m.NewRawProcess(pi.Core.Name, parent)
 		if err := restoreOne(m, p, pi, boundHere); err != nil {
-			m.Remove(p.PID())
-			return nil, nil, fmt.Errorf("restore pid %d: %w", oldPID, err)
+			return undo(p, oldPID, err)
 		}
 		pidMap[oldPID] = p.PID()
 		out = append(out, p)
@@ -38,6 +59,9 @@ func Restore(m *kernel.Machine, set *ImageSet) ([]*kernel.Process, map[int]int, 
 
 func restoreOne(m *kernel.Machine, p *kernel.Process, pi *ProcImage, boundHere map[uint16]bool) error {
 	// VMAs.
+	if err := m.Fault(faultinject.SiteRestoreVMA, p.PID()); err != nil {
+		return err
+	}
 	for _, v := range pi.MM.VMAs {
 		if err := p.Mem().Map(kernel.VMA{
 			Start: v.Start, End: v.End, Perm: delf.Perm(v.Perm),
@@ -86,6 +110,9 @@ func restoreOne(m *kernel.Machine, p *kernel.Process, pi *ProcImage, boundHere m
 			}
 		}
 	}
+	if err := m.Fault(faultinject.SiteRestorePages, p.PID()); err != nil {
+		return err
+	}
 	for i, pn := range pi.PageMap.PageNumbers {
 		page := pi.Pages[i*kernel.PageSize : (i+1)*kernel.PageSize]
 		if err := p.Mem().SetPage(pn, page); err != nil {
@@ -118,6 +145,9 @@ func restoreOne(m *kernel.Machine, p *kernel.Process, pi *ProcImage, boundHere m
 	}
 
 	// Descriptors.
+	if err := m.Fault(faultinject.SiteRestoreFiles, p.PID()); err != nil {
+		return err
+	}
 	for _, fe := range pi.Files.Files {
 		switch kernel.FDKind(fe.Kind) {
 		case kernel.FDStdio:

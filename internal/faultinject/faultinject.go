@@ -1,0 +1,243 @@
+// Package faultinject is a deterministic fault-injection harness for
+// the checkpoint → rewrite → restore transaction. An Injector is
+// installed on a kernel.Machine (Machine.SetFaultHook) and consulted
+// at named hook sites inside criu.Dump, criu.Restore, crit.Editor and
+// core.Customizer; an armed plan makes the nth hit of a site fail
+// with ErrInjected, and blob-mutation plans corrupt or truncate a
+// serialized image set in flight.
+//
+// Determinism is the whole point: the seed comes in explicitly
+// (New(seed)), nothing touches math/rand's global state, and every
+// decision the injector makes is recorded in its event log — so every
+// chaos run is exactly reproducible from (seed, plan).
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+)
+
+// Hook sites. Dump, restore and edit each expose several steps so a
+// single fault can be placed before, inside, or after the point of no
+// return of the rewrite transaction.
+const (
+	// SiteDumpProc fires before each process is checkpointed.
+	SiteDumpProc = "criu.dump.proc"
+	// SiteDumpPageMap fires before a process's pagemap/pages are dumped.
+	SiteDumpPageMap = "criu.dump.pagemap"
+	// SiteRestoreProc fires before each process is restored.
+	SiteRestoreProc = "criu.restore.proc"
+	// SiteRestoreVMA fires before a restored process's VMAs are mapped.
+	SiteRestoreVMA = "criu.restore.vma"
+	// SiteRestorePages fires before dumped pages are written back.
+	SiteRestorePages = "criu.restore.pages"
+	// SiteRestoreFiles fires before descriptors are re-attached.
+	SiteRestoreFiles = "criu.restore.files"
+	// SiteEditWrite fires before each image memory write (crit).
+	SiteEditWrite = "crit.edit.write"
+	// SiteEditUnmap fires before each image unmap (crit).
+	SiteEditUnmap = "crit.edit.unmap"
+	// SiteHealth fires at the start of the post-restore health check.
+	SiteHealth = "core.health"
+	// SitePristine is the blob-mutation site for the serialized
+	// pre-edit checkpoint (models tmpfs image corruption).
+	SitePristine = "core.pristine"
+)
+
+// Step-prefix groups: FailDumpAtStep / FailRestoreAtStep count every
+// site sharing the prefix.
+const (
+	PrefixDump    = "criu.dump."
+	PrefixRestore = "criu.restore."
+	PrefixEdit    = "crit.edit."
+)
+
+// ErrInjected is the sentinel wrapped by every injected failure.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Event records one injector decision, for reproducibility audits.
+type Event struct {
+	Site string // hook site that was hit
+	Hit  int    // per-plan hit count at the time
+	Fail bool   // whether a fault was injected
+}
+
+// plan arms failures for sites matching a prefix: the hits numbered
+// [at, at+times) fail; times < 0 means every hit from at on fails.
+type plan struct {
+	prefix string
+	at     int
+	times  int
+	count  int
+}
+
+func (pl *plan) active() bool {
+	return pl.times < 0 || pl.count < pl.at+pl.times
+}
+
+// blobPlan arms one mutation of a serialized blob at a site.
+type blobPlan struct {
+	site     string
+	truncate bool
+	arg      int // byte offset (corrupt) or kept length (truncate); < 0 = seeded random
+	done     bool
+}
+
+// Injector is a deterministic fault injector. It implements the
+// kernel.FaultHook and kernel.BlobMutator interfaces. The zero value
+// is not usable; construct with New.
+type Injector struct {
+	mu    sync.Mutex
+	seed  int64
+	rng   *rand.Rand
+	plans []*plan
+	blobs []*blobPlan
+	hits  map[string]int
+	log   []Event
+}
+
+// New creates an injector whose random choices (corruption offsets,
+// truncation lengths) derive solely from seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		seed: seed,
+		rng:  rand.New(rand.NewSource(seed)),
+		hits: map[string]int{},
+	}
+}
+
+// Seed returns the seed the injector was built with.
+func (in *Injector) Seed() int64 { return in.seed }
+
+// FailAt arms the nth (1-based) hit of any site matching sitePrefix
+// to fail. An exact site name is a valid prefix of itself.
+func (in *Injector) FailAt(sitePrefix string, n int) {
+	in.FailTransient(sitePrefix, n, 1)
+}
+
+// FailOnce arms the first hit of sitePrefix to fail.
+func (in *Injector) FailOnce(sitePrefix string) { in.FailAt(sitePrefix, 1) }
+
+// FailTransient arms hits [n, n+times) of sitePrefix to fail; later
+// hits succeed again — the transient-fault shape MaxAttempts retries
+// are built for. times < 0 fails every hit from n on (a hard fault).
+func (in *Injector) FailTransient(sitePrefix string, n, times int) {
+	if n < 1 {
+		n = 1
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plans = append(in.plans, &plan{prefix: sitePrefix, at: n, times: times})
+}
+
+// FailDumpAtStep arms the nth step of the whole dump phase.
+func (in *Injector) FailDumpAtStep(n int) { in.FailAt(PrefixDump, n) }
+
+// FailRestoreAtStep arms the nth step of the whole restore phase
+// (cumulative across processes and per-process sub-steps).
+func (in *Injector) FailRestoreAtStep(n int) { in.FailAt(PrefixRestore, n) }
+
+// FailEditAtStep arms the nth image-edit operation.
+func (in *Injector) FailEditAtStep(n int) { in.FailAt(PrefixEdit, n) }
+
+// FailPageMap arms the first pagemap dump to fail.
+func (in *Injector) FailPageMap() { in.FailOnce(SiteDumpPageMap) }
+
+// CorruptImageByte arms a one-byte flip of the blob passing through
+// site. off < 0 picks a seeded random offset.
+func (in *Injector) CorruptImageByte(site string, off int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.blobs = append(in.blobs, &blobPlan{site: site, arg: off})
+}
+
+// TruncateBlob arms a truncation of the blob passing through site to
+// n bytes. n < 0 picks a seeded random cut point.
+func (in *Injector) TruncateBlob(site string, n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.blobs = append(in.blobs, &blobPlan{site: site, truncate: true, arg: n})
+}
+
+// Fault implements the fault hook: it records the hit and returns a
+// non-nil error when an armed plan matches.
+func (in *Injector) Fault(site string, detail int) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.hits[site]++
+	for _, pl := range in.plans {
+		if !strings.HasPrefix(site, pl.prefix) {
+			continue
+		}
+		pl.count++
+		if pl.count >= pl.at && pl.active() {
+			in.log = append(in.log, Event{Site: site, Hit: pl.count, Fail: true})
+			return fmt.Errorf("%w: %s (hit %d, detail %d, seed %d)",
+				ErrInjected, site, pl.count, detail, in.seed)
+		}
+	}
+	in.log = append(in.log, Event{Site: site, Hit: in.hits[site]})
+	return nil
+}
+
+// MutateBlob implements the blob-mutation hook: armed plans for site
+// are applied (once each) to a copy of blob.
+func (in *Injector) MutateBlob(site string, blob []byte) []byte {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := blob
+	for _, bp := range in.blobs {
+		if bp.done || bp.site != site || len(out) == 0 {
+			continue
+		}
+		bp.done = true
+		mutated := append([]byte(nil), out...)
+		if bp.truncate {
+			n := bp.arg
+			if n < 0 || n >= len(mutated) {
+				n = in.rng.Intn(len(mutated))
+			}
+			mutated = mutated[:n]
+		} else {
+			off := bp.arg
+			if off < 0 || off >= len(mutated) {
+				off = in.rng.Intn(len(mutated))
+			}
+			// Flip a random bit so the byte always changes.
+			mutated[off] ^= byte(1 << in.rng.Intn(8))
+		}
+		in.log = append(in.log, Event{Site: site, Hit: 1, Fail: true})
+		out = mutated
+	}
+	return out
+}
+
+// Hits returns how many times site was consulted.
+func (in *Injector) Hits(site string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[site]
+}
+
+// Injected returns how many faults (including blob mutations) fired.
+func (in *Injector) Injected() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, ev := range in.log {
+		if ev.Fail {
+			n++
+		}
+	}
+	return n
+}
+
+// Events returns the decision log in order.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.log...)
+}

@@ -1,0 +1,144 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFailAtCountsHits(t *testing.T) {
+	in := New(1)
+	in.FailAt(SiteRestoreProc, 3)
+	for i := 1; i <= 5; i++ {
+		err := in.Fault(SiteRestoreProc, i)
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: want injected fault, got %v", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("hit %d: unexpected fault %v", i, err)
+		}
+	}
+	if got := in.Hits(SiteRestoreProc); got != 5 {
+		t.Errorf("Hits = %d, want 5", got)
+	}
+	if got := in.Injected(); got != 1 {
+		t.Errorf("Injected = %d, want 1", got)
+	}
+}
+
+func TestFailTransientWindow(t *testing.T) {
+	in := New(1)
+	in.FailTransient(PrefixRestore, 2, 2) // hits 2 and 3 fail
+	var fails []int
+	for i := 1; i <= 5; i++ {
+		// Different sites sharing the prefix count into the same plan.
+		site := SiteRestoreProc
+		if i%2 == 0 {
+			site = SiteRestoreVMA
+		}
+		if in.Fault(site, 0) != nil {
+			fails = append(fails, i)
+		}
+	}
+	if len(fails) != 2 || fails[0] != 2 || fails[1] != 3 {
+		t.Errorf("failed hits = %v, want [2 3]", fails)
+	}
+}
+
+func TestHardFaultNeverRecovers(t *testing.T) {
+	in := New(1)
+	in.FailTransient(SiteHealth, 1, -1)
+	for i := 0; i < 4; i++ {
+		if in.Fault(SiteHealth, 0) == nil {
+			t.Fatalf("hit %d: hard fault did not fire", i+1)
+		}
+	}
+}
+
+func TestPrefixDoesNotMatchOtherSites(t *testing.T) {
+	in := New(1)
+	in.FailOnce(PrefixDump)
+	if err := in.Fault(SiteRestoreProc, 0); err != nil {
+		t.Errorf("restore site matched dump prefix: %v", err)
+	}
+	if err := in.Fault(SiteDumpProc, 0); err == nil {
+		t.Error("dump site did not match dump prefix")
+	}
+}
+
+func TestCorruptImageByteIsDeterministic(t *testing.T) {
+	blob := bytes.Repeat([]byte{0xAB}, 256)
+	mutate := func(seed int64) []byte {
+		in := New(seed)
+		in.CorruptImageByte(SitePristine, -1)
+		return in.MutateBlob(SitePristine, blob)
+	}
+	a, b := mutate(42), mutate(42)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different corruption")
+	}
+	if bytes.Equal(a, blob) {
+		t.Error("corruption did not change the blob")
+	}
+	if c := mutate(43); bytes.Equal(a, c) {
+		t.Error("different seeds produced identical corruption (suspicious)")
+	}
+	// The original must never be modified in place.
+	if !bytes.Equal(blob, bytes.Repeat([]byte{0xAB}, 256)) {
+		t.Error("MutateBlob modified the input slice")
+	}
+}
+
+func TestCorruptImageByteExactOffset(t *testing.T) {
+	blob := make([]byte, 64)
+	in := New(7)
+	in.CorruptImageByte(SitePristine, 10)
+	out := in.MutateBlob(SitePristine, blob)
+	for i, bt := range out {
+		if (bt != 0) != (i == 10) {
+			t.Fatalf("byte %d = %#x", i, bt)
+		}
+	}
+}
+
+func TestTruncateBlob(t *testing.T) {
+	blob := make([]byte, 100)
+	in := New(7)
+	in.TruncateBlob(SitePristine, 33)
+	if out := in.MutateBlob(SitePristine, blob); len(out) != 33 {
+		t.Errorf("len = %d, want 33", len(out))
+	}
+	// Plans fire once: a second pass is untouched.
+	if out := in.MutateBlob(SitePristine, blob); len(out) != 100 {
+		t.Errorf("second pass len = %d, want 100", len(out))
+	}
+	// Other sites are untouched.
+	in2 := New(7)
+	in2.TruncateBlob(SitePristine, 10)
+	if out := in2.MutateBlob("elsewhere", blob); len(out) != 100 {
+		t.Errorf("wrong site mutated: len = %d", len(out))
+	}
+}
+
+func TestEventLogRecordsDecisions(t *testing.T) {
+	in := New(99)
+	in.FailOnce(SiteDumpProc)
+	in.Fault(SiteDumpProc, 1)
+	in.Fault(SiteDumpPageMap, 1)
+	evs := in.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if !evs[0].Fail || evs[0].Site != SiteDumpProc {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Fail {
+		t.Errorf("event 1 should be a pass: %+v", evs[1])
+	}
+	if in.Seed() != 99 {
+		t.Errorf("Seed = %d", in.Seed())
+	}
+}

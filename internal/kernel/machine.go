@@ -31,17 +31,33 @@ type NudgeFunc func(pid int, arg uint64)
 // automatically; internal/core's AutoNudge builds on this hook.
 type SyscallHook func(pid int, nr uint64)
 
+// FaultHook is consulted at named hook sites inside the
+// checkpoint/rewrite/restore machinery (criu, crit, core). A non-nil
+// return injects a failure at that site; internal/faultinject
+// implements a deterministic, seeded injector.
+type FaultHook interface {
+	Fault(site string, detail int) error
+}
+
+// BlobMutator is an optional FaultHook extension that can corrupt a
+// serialized blob in flight (modeling image corruption on the tmpfs
+// between dump and restore).
+type BlobMutator interface {
+	MutateBlob(site string, blob []byte) []byte
+}
+
 // Machine is the simulated computer: processes, network, virtual
 // clock, and the "disk" of loaded binaries.
 type Machine struct {
-	procs   map[int]*Process
-	nextPID int
-	clock   uint64
-	net     *network
-	tracer  Tracer
-	nudge   NudgeFunc
-	syshook SyscallHook
-	disk    map[string][]byte // serialized DELF files by name
+	procs     map[int]*Process
+	nextPID   int
+	clock     uint64
+	net       *network
+	tracer    Tracer
+	nudge     NudgeFunc
+	syshook   SyscallHook
+	faultHook FaultHook
+	disk      map[string][]byte // serialized DELF files by name
 }
 
 // NewMachine creates an empty machine.
@@ -68,6 +84,27 @@ func (m *Machine) SetNudgeFunc(f NudgeFunc) { m.nudge = f }
 
 // SetSyscallHook installs (or removes, with nil) the syscall observer.
 func (m *Machine) SetSyscallHook(f SyscallHook) { m.syshook = f }
+
+// SetFaultHook installs (or removes, with nil) the fault injector.
+func (m *Machine) SetFaultHook(h FaultHook) { m.faultHook = h }
+
+// Fault consults the installed fault hook at a named site; without a
+// hook it always succeeds.
+func (m *Machine) Fault(site string, detail int) error {
+	if m.faultHook == nil {
+		return nil
+	}
+	return m.faultHook.Fault(site, detail)
+}
+
+// MutateBlob passes a serialized blob through the installed fault
+// hook, if it supports blob mutation.
+func (m *Machine) MutateBlob(site string, blob []byte) []byte {
+	if mu, ok := m.faultHook.(BlobMutator); ok {
+		return mu.MutateBlob(site, blob)
+	}
+	return blob
+}
 
 // Clock returns the virtual time in ticks (1 tick = 1 retired
 // instruction across all processes).

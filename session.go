@@ -3,6 +3,7 @@ package dynacut
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"github.com/dynacut/dynacut/internal/coverage"
 	"github.com/dynacut/dynacut/internal/trace"
@@ -21,6 +22,10 @@ type Session struct {
 	// InitLog is the coverage dumped at the guest's nudge (the end of
 	// initialization).
 	InitLog *CoverageLog
+	// LastErr records the outcome of the most recent Request /
+	// MustRequest (nil on success), so flows using MustRequest's
+	// lossy signature can still inspect what went wrong.
+	LastErr error
 
 	root int
 }
@@ -93,6 +98,7 @@ func StartServerAuto(exe *Binary, libs []*Binary, port uint16) (*Session, error)
 		return nil, fmt.Errorf("%w: exited=%v killed=%v",
 			ErrBootTimeout, p.Exited(), p.KilledBy())
 	}
+	m.Run(10000) // drain: park the guest on its accept loop
 	return s, nil
 }
 
@@ -114,8 +120,15 @@ func (s *Session) Root() (*Process, error) {
 }
 
 // Request opens a connection, sends one request, runs the machine
-// until a response (or close) arrives, and returns the response.
+// until a response (or close) arrives, and returns the response. The
+// outcome is also recorded in s.LastErr.
 func (s *Session) Request(req string) (string, error) {
+	resp, err := s.requestOnce(req)
+	s.LastErr = err
+	return resp, err
+}
+
+func (s *Session) requestOnce(req string) (string, error) {
 	conn, err := s.Machine.Dial(s.Port)
 	if err != nil {
 		return "", err
@@ -136,13 +149,34 @@ func (s *Session) Request(req string) (string, error) {
 }
 
 // MustRequest is Request for flows that treat failure as fatal
-// elsewhere; it returns the empty string on error.
+// elsewhere; it returns the empty string on error. The error itself
+// is kept in s.LastErr.
 func (s *Session) MustRequest(req string) string {
 	resp, err := s.Request(req)
 	if err != nil {
 		return ""
 	}
 	return resp
+}
+
+// CanaryProbe returns a health-check function suitable for
+// CustomizerOptions.HealthCheck: after every restore it sends req
+// over a fresh connection and fails the transaction — triggering
+// rollback — unless the response contains want.
+func (s *Session) CanaryProbe(req, want string) func(m *Machine, pid int) error {
+	return func(m *Machine, pid int) error {
+		if m != s.Machine {
+			return errors.New("dynacut: canary probe bound to a different machine")
+		}
+		resp, err := s.Request(req)
+		if err != nil {
+			return fmt.Errorf("canary %q: %w", req, err)
+		}
+		if !strings.Contains(resp, want) {
+			return fmt.Errorf("canary %q: response %q does not contain %q", req, resp, want)
+		}
+		return nil
+	}
 }
 
 // SnapshotPhase captures and clears the coverage collected since the

@@ -31,5 +31,15 @@ fuzz:
 # The tier-1 gate: everything that must pass before a commit.
 check: build vet test race
 
+# Perf trajectory: run the headline figure benchmarks plus the
+# incremental-checkpoint benchmark and record the numbers as JSON so
+# each PR's results are comparable to the last (BENCH_pr2.json here on).
+BENCH_JSON ?= BENCH_pr2.json
+
 bench:
+	$(GO) test -run '^$$' -bench 'Figure6_|Figure7_|Figure8_|IncrementalDump' -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
+
+# The historical full sweep (every figure, table, ablation and micro).
+bench-all:
 	$(GO) test -bench . -benchmem .

@@ -248,6 +248,49 @@ func BenchmarkMicro_CheckpointDump(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalDump measures the tentpole property of the
+// incremental pipeline: re-checkpointing an idle guest against the
+// previous images transfers a fraction of the page bytes of the first,
+// full dump (real CRIU's --track-mem parent images).
+func BenchmarkIncrementalDump(b *testing.B) {
+	sess := buildBenchSession(b)
+	pageBytes := func(set *dynacut.ImageSet) int {
+		n := 0
+		for _, pi := range set.Procs {
+			n += len(pi.Pages)
+		}
+		return n
+	}
+	parent, err := dynacut.Dump(sess.Machine, sess.PID(), dynacut.DumpOpts{ExecPages: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fullBytes := pageBytes(parent)
+	var deltaBytes, skipped int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, err := dynacut.Dump(sess.Machine, sess.PID(), dynacut.DumpOpts{
+			ExecPages: true, Parent: parent,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		deltaBytes = pageBytes(set)
+		skipped = set.PagesSkipped
+	}
+	b.StopTimer()
+	if skipped == 0 {
+		b.Fatal("incremental dump skipped no pages")
+	}
+	if deltaBytes*10 > fullBytes {
+		b.Fatalf("incremental dump carries %d page bytes, full dump %d — want >=10x reduction",
+			deltaBytes, fullBytes)
+	}
+	b.ReportMetric(float64(fullBytes), "full-page-bytes")
+	b.ReportMetric(float64(deltaBytes), "delta-page-bytes")
+	b.ReportMetric(float64(skipped), "pages-skipped")
+}
+
 func BenchmarkMicro_DumpRestoreCycle(b *testing.B) {
 	sess := buildBenchSession(b)
 	pid := sess.PID()

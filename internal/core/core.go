@@ -13,6 +13,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -101,7 +102,21 @@ type Stats struct {
 	InsertHandler time.Duration
 	Restore       time.Duration
 	HealthCheck   time.Duration
-	ImageBytes    int
+	// Downtime is the measured service-interruption window: the
+	// wall-clock time from the commit point (killing the originals to
+	// free their ports) until the replacement tree was restored —
+	// accumulated across attempts, including rollback restores. The
+	// pre-commit segments (checkpoint, edit, handler insertion,
+	// validation) run while the guest still serves and are not downtime.
+	Downtime time.Duration
+	// ImageBytes is the serialized size of the pre-edit checkpoint; for
+	// an incremental dump this is the delta blob, not the flattened set.
+	ImageBytes int
+	// PagesDumped / PagesSkipped report the incremental checkpoint's
+	// work: pages serialized into the image versus pages elided because
+	// the parent chain already carries them unchanged.
+	PagesDumped   int
+	PagesSkipped  int
 	BlocksPatched int
 	PagesUnmapped int
 	// Attempts is how many edit/restore cycles ran (1 = no retry).
@@ -121,12 +136,14 @@ func (s Stats) Total() time.Duration {
 }
 
 // Interruption returns the service-interruption window: the time the
-// guest was not available. The health probe is excluded — it runs
-// against the already-restored, already-serving guest (and its
-// guest-side cost lands on the virtual clock as executed
-// instructions).
+// guest was not available, i.e. the measured kill-to-restored Downtime.
+// Checkpoint, image editing and validation all run while the original
+// guest is still serving (criu.Dump leaves it running), so they do not
+// count; neither does the health probe, which runs against the
+// already-restored, already-serving guest (its guest-side cost lands
+// on the virtual clock as executed instructions).
 func (s Stats) Interruption() time.Duration {
-	return s.Total() - s.HealthCheck
+	return s.Downtime
 }
 
 // Customizer errors.
@@ -165,6 +182,16 @@ type Customizer struct {
 	disabled map[string][]coverage.AbsBlock
 	// unmapped page ranges (cannot be re-enabled byte-wise).
 	unmapped []pageRange
+
+	// parent is the image set the live guest's memory is a delta
+	// against (the last committed images, PIDs remapped to the live
+	// tree): the next checkpoint dumps only pages dirtied since it.
+	// Invalidated on rollback — the next dump is then a full one.
+	parent *criu.ImageSet
+	// tickCarry holds the sub-tick remainder of charge()'s
+	// seconds→ticks conversion so fractional interruptions accumulate
+	// across rewrites instead of truncating to zero.
+	tickCarry float64
 
 	verifierCount int
 }
@@ -217,20 +244,39 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 	}
 	rootOld := c.pid
 
+	// Incremental checkpoint: dump only the pages dirtied since the
+	// last committed images. Dump's fault prepass guarantees a failed
+	// dump clears no dirty bitmap, so c.parent stays valid on error.
 	t0 := time.Now()
-	set, err := criu.Dump(c.machine, c.pid, criu.DumpOpts{ExecPages: true, Tree: c.opts.Tree})
+	set, err := criu.Dump(c.machine, c.pid, criu.DumpOpts{
+		ExecPages: true, Tree: c.opts.Tree, Parent: c.parent,
+	})
 	if err != nil {
 		return stats, fmt.Errorf("checkpoint: %w", err)
 	}
 	stats.Checkpoint = time.Since(t0)
 	stats.ImageBytes = set.TotalBytes()
+	stats.PagesDumped = set.PagesDumped
+	stats.PagesSkipped = set.PagesSkipped
 	defer func() { c.charge(stats) }()
 
 	// Validate while the guest is still running: a bad image set must
 	// be rejected before it can cost us a live process.
 	if err := set.Validate(c.machine); err != nil {
+		// The dump reset the dirty bitmaps, so older parents no longer
+		// cover the guest's writes — and this set is not trustworthy.
+		// Force the next checkpoint to be a full dump.
+		c.parent = nil
 		return stats, fmt.Errorf("checkpoint: %w", err)
 	}
+
+	// The guest's memory is, as of this dump, exactly what the set
+	// describes — so the set is the parent for the next incremental
+	// dump, whatever else this transaction does (dirty tracking
+	// restarted at the dump). Committing below upgrades it to the
+	// PID-remapped post-edit images.
+	c.parent = set
+	blobParent := set.Parent // what a decode of the pristine blob binds to
 
 	// The pristine pre-edit images are the rollback anchor. Keeping
 	// them serialized (and re-decoding per use) guarantees no edit can
@@ -240,11 +286,12 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 	pristine := c.machine.MutateBlob(faultinject.SitePristine, set.Marshal())
 
 	// Edit closures mutate customizer bookkeeping (saved bytes,
-	// unmapped ranges, verifier table, handler). Snapshot it so every
+	// unmapped ranges, verifier table, handler). Snapshot it (deep,
+	// slices included — edits may mutate saved bytes in place) so every
 	// attempt starts clean and a failed transaction leaks nothing.
 	savedSnap := make(map[uint64][]byte, len(c.saved))
 	for k, v := range c.saved {
-		savedSnap[k] = v
+		savedSnap[k] = append([]byte(nil), v...)
 	}
 	unmappedSnap := append([]pageRange(nil), c.unmapped...)
 	verifierSnap := c.verifierCount
@@ -262,13 +309,19 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 		stats.Attempts = attempt
 		c.saved = make(map[uint64][]byte, len(savedSnap))
 		for k, v := range savedSnap {
-			c.saved[k] = v
+			c.saved[k] = append([]byte(nil), v...)
 		}
 		c.unmapped = append([]pageRange(nil), unmappedSnap...)
 		c.verifierCount = verifierSnap
 		c.handler = handlerSnap
 
 		work, err := criu.Unmarshal(pristine)
+		if err == nil {
+			// A delta blob comes back detached; re-attach its ancestry.
+			// An identity mismatch means the blob's parent reference was
+			// corrupted in flight — caught like any other corruption.
+			err = work.BindParent(blobParent)
+		}
 		if err != nil {
 			// The serialized images are corrupt; the checksum caught it
 			// before anything was killed. The guest is untouched, and
@@ -305,9 +358,14 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 		}
 
 		// Commit point: kill the originals so their ports free up for
-		// the restore. From here on, failure means rollback. (Kill can
-		// only fail for an already-gone process, which holds no ports;
-		// a genuinely stuck port surfaces as a restore failure below.)
+		// the restore. From here on, failure means rollback, and the
+		// guest is down until a restore (of the edited images or, on
+		// rollback, the pristine ones) completes — that window is the
+		// measured Downtime.
+		// (Kill can only fail for an already-gone process, which holds
+		// no ports; a genuinely stuck port surfaces as a restore failure
+		// below.)
+		tKill := time.Now()
 		for _, pid := range curPIDs {
 			c.machine.Kill(pid)
 		}
@@ -319,7 +377,8 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 			// Restore is atomic: its partial procs are already gone.
 			restoreErr := fmt.Errorf("%w (attempt %d): %w", ErrRestoreFailed, attempt, err)
 			var rbErr error
-			curPIDs, rbErr = c.rollbackOr(&stats, pristine, rootOld, restoreErr)
+			curPIDs, rbErr = c.rollbackOr(&stats, pristine, blobParent, rootOld, restoreErr)
+			stats.Downtime += time.Since(tKill) // down from kill through the rollback restore
 			if rbErr != nil {
 				return stats, rbErr
 			}
@@ -327,6 +386,7 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 			lastErr = restoreErr
 			continue
 		}
+		stats.Downtime += time.Since(tKill)
 
 		newRoot := pidMap[rootOld]
 		if newRoot == 0 && len(procs) > 0 {
@@ -337,13 +397,17 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 		hcErr := c.healthCheck(newRoot, procs)
 		stats.HealthCheck += time.Since(t4)
 		if hcErr != nil {
-			// Tear down the unhealthy restored tree, then roll back.
+			// Tear down the unhealthy restored tree, then roll back. The
+			// guest is down again from the teardown until the rollback
+			// restore completes.
+			tDown := time.Now()
 			for i := len(procs) - 1; i >= 0; i-- {
 				c.machine.Kill(procs[i].PID())
 				c.machine.Remove(procs[i].PID())
 			}
 			var rbErr error
-			curPIDs, rbErr = c.rollbackOr(&stats, pristine, rootOld, hcErr)
+			curPIDs, rbErr = c.rollbackOr(&stats, pristine, blobParent, rootOld, hcErr)
+			stats.Downtime += time.Since(tDown)
 			if rbErr != nil {
 				return stats, rbErr
 			}
@@ -352,15 +416,23 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 			continue
 		}
 
-		// Committed.
+		// Committed. The restored memory mirrors the edited images
+		// exactly (restore resets dirty tracking), so they — re-keyed to
+		// the live PIDs — are the parent for the next checkpoint.
 		c.pid = newRoot
+		c.parent = work.RemapPIDs(pidMap)
 		stats.RolledBack = false
 		return stats, nil
 	}
 
 	// Every attempt failed. If the last failure was past the commit
 	// point the guest is running the rolled-back pristine images;
-	// otherwise it was never touched.
+	// otherwise it was never touched. Either way the bookkeeping must
+	// match the pre-rewrite snapshot, not the dead attempt's edits.
+	c.saved = savedSnap
+	c.unmapped = unmappedSnap
+	c.verifierCount = verifierSnap
+	c.handler = handlerSnap
 	stats.RolledBack = rolledBack
 	if rolledBack {
 		return stats, fmt.Errorf("%w (after %d attempts): %w", ErrRolledBack, stats.Attempts, lastErr)
@@ -370,11 +442,17 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 
 // rollbackOr restores the pristine pre-edit images after a post-commit
 // failure (cause). On success it returns the new live PIDs and updates
-// c.pid. If the rollback restore itself fails the guest is lost: it
+// c.pid; the incremental-dump parent is invalidated either way — a
+// rolled-back transaction forces the next checkpoint to be a full
+// dump. If the rollback restore itself fails the guest is lost: it
 // marks the transaction dead and returns an ErrRollbackFailed error
 // carrying both failures.
-func (c *Customizer) rollbackOr(stats *Stats, pristine []byte, rootOld int, cause error) ([]int, error) {
+func (c *Customizer) rollbackOr(stats *Stats, pristine []byte, blobParent *criu.ImageSet, rootOld int, cause error) ([]int, error) {
+	c.parent = nil
 	set, err := criu.Unmarshal(pristine)
+	if err == nil {
+		err = set.BindParent(blobParent)
+	}
 	if err == nil {
 		var procs []*kernel.Process
 		var pidMap map[int]int
@@ -422,12 +500,20 @@ func (c *Customizer) healthCheck(root int, procs []*kernel.Process) error {
 	return nil
 }
 
-// charge converts accumulated rewrite time into virtual clock ticks
-// (the Figure 8 interruption window). Failed attempts are charged
-// too: their time was real.
+// charge converts the accumulated service interruption into virtual
+// clock ticks (the Figure 8 interruption window). Failed attempts are
+// charged too: their downtime was real. The conversion rounds to the
+// nearest tick and carries the sub-tick remainder to the next rewrite,
+// so many small interruptions cannot each truncate to zero.
 func (c *Customizer) charge(stats Stats) {
-	if c.opts.TicksPerSecond > 0 {
-		c.machine.AdvanceClock(uint64(stats.Interruption().Seconds() * float64(c.opts.TicksPerSecond)))
+	if c.opts.TicksPerSecond == 0 {
+		return
+	}
+	exact := stats.Interruption().Seconds()*float64(c.opts.TicksPerSecond) + c.tickCarry
+	ticks := math.Floor(exact + 0.5)
+	c.tickCarry = exact - ticks
+	if ticks > 0 {
+		c.machine.AdvanceClock(uint64(ticks))
 	}
 }
 

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dynacut/dynacut/internal/apps/webserv"
+	"github.com/dynacut/dynacut/internal/crit"
+	"github.com/dynacut/dynacut/internal/faultinject"
+	"github.com/dynacut/dynacut/internal/kernel"
+)
+
+// TestRewriteSnapshotNotAliased is the regression test for the
+// snapshot-aliasing bug: the pre-attempt bookkeeping snapshot used to
+// alias the live saved-bytes slices, so an edit that mutated saved
+// bytes in place corrupted the rollback snapshot. After a failed
+// rewrite the saved bytes must be exactly what they were before it.
+func TestRewriteSnapshotNotAliased(t *testing.T) {
+	tb := newTestbed(t, webserv.Config{Name: "lighttpd", Port: 9200})
+	blocks := tb.profileFeatures(t, wantedReqs, undesiredReqs)
+	c, err := New(tb.m, tb.proc.PID(), Options{RedirectTo: tb.errPathAddr(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DisableBlocks("webdav-write", blocks, PolicyBlockEntry); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.saved) == 0 {
+		t.Fatal("disable saved no original bytes")
+	}
+	var addr uint64
+	for a := range c.saved {
+		addr = a
+		break
+	}
+	want := append([]byte(nil), c.saved[addr]...)
+
+	_, err = c.Rewrite(func(ed *crit.Editor, pids []int) error {
+		// A buggy edit mutating the saved original bytes in place —
+		// then failing, so the transaction must restore the snapshot.
+		c.saved[addr][0] ^= 0xFF
+		return errors.New("edit failed after in-place mutation")
+	})
+	if err == nil {
+		t.Fatal("failing edit did not surface an error")
+	}
+	if !bytes.Equal(c.saved[addr], want) {
+		t.Fatalf("rollback snapshot was aliased by the live slice: saved %v, want %v",
+			c.saved[addr], want)
+	}
+
+	// The intact bytes still restore the feature end to end.
+	if _, err := c.EnableBlocks("webdav-write"); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.request(t, "PUT /after x\n"); !strings.Contains(got, "201") {
+		t.Fatalf("PUT after re-enable -> %q, want 201", got)
+	}
+}
+
+// TestChargeRoundsAndCarriesSubTicks: the seconds→ticks conversion
+// used to truncate, so any interruption under one tick charged zero
+// virtual time. It must round to nearest and carry the remainder.
+func TestChargeRoundsAndCarriesSubTicks(t *testing.T) {
+	m := kernel.NewMachine()
+	c := &Customizer{machine: m, opts: Options{TicksPerSecond: 10}}
+
+	base := m.Clock()
+	// 0.6 ticks: truncation charged 0; rounding charges 1.
+	c.charge(Stats{Downtime: 60 * time.Millisecond})
+	if got := m.Clock() - base; got != 1 {
+		t.Fatalf("0.6-tick interruption charged %d ticks, want 1", got)
+	}
+
+	// Ten 0.4-tick interruptions are 4.0 ticks exactly; the carry must
+	// keep the sum honest even though each rounds to 0 or 1.
+	c.tickCarry = 0
+	base = m.Clock()
+	for i := 0; i < 10; i++ {
+		c.charge(Stats{Downtime: 40 * time.Millisecond})
+	}
+	if got := m.Clock() - base; got != 4 {
+		t.Fatalf("10 x 0.4-tick interruptions charged %d ticks, want 4", got)
+	}
+
+	// Zero interruption charges nothing and does not drift the carry.
+	base = m.Clock()
+	c.tickCarry = 0
+	c.charge(Stats{})
+	if got := m.Clock() - base; got != 0 || c.tickCarry != 0 {
+		t.Fatalf("zero interruption charged %d ticks (carry %v)", got, c.tickCarry)
+	}
+}
+
+// TestStatsInterruptionIsMeasuredDowntime: the interruption window is
+// the measured kill→restored downtime, not the pre-commit segments —
+// checkpoint and editing run while the guest still serves.
+func TestStatsInterruptionIsMeasuredDowntime(t *testing.T) {
+	s := Stats{
+		Checkpoint:    5 * time.Second,
+		CodeUpdate:    time.Second,
+		InsertHandler: time.Second,
+		Restore:       2 * time.Second,
+		HealthCheck:   time.Second,
+		Downtime:      2100 * time.Millisecond,
+	}
+	if got := s.Interruption(); got != 2100*time.Millisecond {
+		t.Fatalf("Interruption() = %v, want the measured downtime", got)
+	}
+	if got := s.Total(); got != 10*time.Second {
+		t.Fatalf("Total() = %v, want 10s", got)
+	}
+}
+
+// TestRewriteReportsDowntime: a committed rewrite reports a positive
+// downtime that is bounded by the whole cycle — the checkpoint segment
+// (guest still serving) is not part of it.
+func TestRewriteReportsDowntime(t *testing.T) {
+	tb := newTestbed(t, webserv.Config{Name: "lighttpd", Port: 9202})
+	blocks := tb.profileFeatures(t, wantedReqs, undesiredReqs)
+	c, err := New(tb.m, tb.proc.PID(), Options{RedirectTo: tb.errPathAddr(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.DisableBlocks("webdav-write", blocks, PolicyBlockEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Downtime <= 0 {
+		t.Fatal("committed rewrite reports no downtime")
+	}
+	if stats.Downtime > stats.Total() {
+		t.Fatalf("downtime %v exceeds the whole cycle %v", stats.Downtime, stats.Total())
+	}
+}
+
+// TestIncrementalCheckpointAcrossRewrites: the customizer keeps the
+// committed images as the parent of the next dump, so the second
+// rewrite's checkpoint skips clean pages — and a rollback invalidates
+// the parent, forcing the next checkpoint back to a full dump.
+func TestIncrementalCheckpointAcrossRewrites(t *testing.T) {
+	tb := newTestbed(t, webserv.Config{Name: "lighttpd", Port: 9201})
+	blocks := tb.profileFeatures(t, wantedReqs, undesiredReqs)
+	c, err := New(tb.m, tb.proc.PID(), Options{RedirectTo: tb.errPathAddr(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1, err := c.DisableBlocks("webdav-write", blocks, PolicyBlockEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.PagesSkipped != 0 || s1.PagesDumped == 0 {
+		t.Fatalf("first rewrite: dumped=%d skipped=%d, want a full dump", s1.PagesDumped, s1.PagesSkipped)
+	}
+
+	s2, err := c.EnableBlocks("webdav-write")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.PagesSkipped == 0 {
+		t.Fatal("second rewrite's checkpoint skipped no pages — parent not kept")
+	}
+	if s2.PagesDumped >= s1.PagesDumped {
+		t.Fatalf("incremental dump wrote %d pages, full dump wrote %d", s2.PagesDumped, s1.PagesDumped)
+	}
+	if s2.ImageBytes >= s1.ImageBytes {
+		t.Fatalf("delta blob (%d bytes) not smaller than full blob (%d bytes)", s2.ImageBytes, s1.ImageBytes)
+	}
+
+	// A rolled-back transaction invalidates the parent.
+	in := faultinject.New(1)
+	in.FailOnce(faultinject.SiteRestorePages)
+	tb.m.SetFaultHook(in)
+	_, err = c.DisableBlocks("webdav-write", blocks, PolicyBlockEntry)
+	tb.m.SetFaultHook(nil)
+	if !errors.Is(err, ErrRolledBack) {
+		t.Fatalf("injected restore fault: err = %v, want ErrRolledBack", err)
+	}
+
+	s4, err := c.DisableBlocks("webdav-write", blocks, PolicyBlockEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4.PagesSkipped != 0 {
+		t.Fatalf("dump after rollback skipped %d pages, want a full dump", s4.PagesSkipped)
+	}
+	if got := tb.request(t, "PUT /f data\n"); !strings.Contains(got, "403") {
+		t.Fatalf("PUT after disable -> %q, want 403", got)
+	}
+	if got := tb.request(t, "GET /\n"); !strings.Contains(got, "200") {
+		t.Fatalf("GET after disable -> %q, want 200", got)
+	}
+}
+
+// TestChaosParentChainSites puts the two parent-chain hook sites under
+// the same single-fault invariant as the rest of the suite. Both sites
+// only fire on incremental dumps, so each seed first commits a clean
+// rewrite (establishing the parent images) and then injects the fault
+// into the next, incremental, rewrite.
+func TestChaosParentChainSites(t *testing.T) {
+	const seedsPerSite = 20
+	cases := []struct {
+		name     string
+		arm      func(in *faultinject.Injector)
+		rollback bool
+	}{
+		{"dump-parent", func(in *faultinject.Injector) { in.FailOnce(faultinject.SiteDumpParent) }, false},
+		{"restore-parent", func(in *faultinject.Injector) { in.FailOnce(faultinject.SiteRestoreParent) }, true},
+	}
+	for ci, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tb := newTestbed(t, webserv.Config{Name: "lighttpd", Port: uint16(9210 + ci)})
+			blocks := tb.profileFeatures(t, wantedReqs, undesiredReqs)
+			if len(blocks) == 0 {
+				t.Fatal("no feature blocks identified")
+			}
+			errPath := tb.errPathAddr(t)
+
+			for seed := int64(1); seed <= seedsPerSite; seed++ {
+				c, err := New(tb.m, tb.currentRoot(t), Options{RedirectTo: errPath})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Prime: a committed rewrite makes the next dump incremental.
+				if _, err := c.DisableBlocks("webdav-write", blocks, PolicyBlockEntry); err != nil {
+					t.Fatalf("seed %d: priming disable: %v", seed, err)
+				}
+
+				in := faultinject.New(seed)
+				tc.arm(in)
+				tb.m.SetFaultHook(in)
+				stats, err := c.EnableBlocks("webdav-write")
+				tb.m.SetFaultHook(nil)
+
+				if err == nil {
+					t.Fatalf("seed %d: injected fault did not surface", seed)
+				}
+				if in.Injected() == 0 {
+					t.Fatalf("seed %d: no fault actually fired (events: %v)", seed, in.Events())
+				}
+				if !errors.Is(err, faultinject.ErrInjected) {
+					t.Fatalf("seed %d: error does not chain ErrInjected: %v", seed, err)
+				}
+				if stats.RolledBack != tc.rollback {
+					t.Fatalf("seed %d: RolledBack = %v, want %v (err: %v)",
+						seed, stats.RolledBack, tc.rollback, err)
+				}
+				if errors.Is(err, ErrRollbackFailed) {
+					t.Fatalf("seed %d: rollback itself failed: %v", seed, err)
+				}
+
+				// Invariant: guest alive, feature still fully disabled.
+				if got := tb.request(t, "GET /\n"); !strings.Contains(got, "200") {
+					t.Fatalf("seed %d: GET -> %q, want 200", seed, got)
+				}
+				if got := tb.request(t, "PUT /chaos x\n"); !strings.Contains(got, "403") {
+					t.Fatalf("seed %d: PUT -> %q, want 403 (feature must stay disabled)", seed, got)
+				}
+
+				// With the injector gone the re-enable commits cleanly.
+				if _, err := c.EnableBlocks("webdav-write"); err != nil {
+					t.Fatalf("seed %d: enable after chaos: %v", seed, err)
+				}
+				if got := tb.request(t, "PUT /chaos x\n"); !strings.Contains(got, "201") {
+					t.Fatalf("seed %d: PUT after re-enable -> %q, want 201", seed, got)
+				}
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package criu
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/dynacut/dynacut/internal/faultinject"
 	"github.com/dynacut/dynacut/internal/isa"
@@ -20,11 +21,23 @@ type DumpOpts struct {
 	// Tree also dumps all live descendants of the target (Nginx-style
 	// master/worker applications).
 	Tree bool
+	// Parent, when non-nil, makes the dump incremental (CRIU's
+	// --track-mem): a process already present in Parent emits only its
+	// dirty pages plus holes for pages the guest has since unmapped,
+	// and the resulting set records Parent as its ancestor. Processes
+	// absent from Parent, and any dump whose chain would exceed
+	// MaxParentDepth, fall back to a full dump.
+	Parent *ImageSet
 }
 
 // Dump checkpoints a process (or its whole tree) into an ImageSet.
 // The process is left running; callers that want the
 // checkpoint-kill-rewrite-restore flow use Machine.Kill afterwards.
+//
+// All fault hooks and parent-chain resolution run in a serial prepass
+// before any per-process serialization starts — so a failed Dump never
+// clears dirty-page bitmaps, and the subsequent per-process fan-out is
+// infallible and free to run in parallel.
 func Dump(m *kernel.Machine, pid int, opts DumpOpts) (*ImageSet, error) {
 	root, err := m.Process(pid)
 	if err != nil {
@@ -34,19 +47,72 @@ func Dump(m *kernel.Machine, pid int, opts DumpOpts) (*ImageSet, error) {
 	if opts.Tree {
 		procs = append(procs, descendants(m, pid)...)
 	}
-	set := &ImageSet{Procs: map[int]*ProcImage{}}
-	parent := map[int]int{}
-	for _, p := range procs {
+
+	parentOK := opts.Parent != nil && opts.Parent.Depth() < MaxParentDepth
+
+	// Serial prepass: fault hooks fire in deterministic order
+	// (proc, pagemap, [parent] per process) and every parent chain is
+	// resolved up front, before any SnapshotDirty can discard state.
+	parentPis := make([]*ProcImage, len(procs))
+	parentEffs := make([]map[uint64][]byte, len(procs))
+	for i, p := range procs {
 		if err := m.Fault(faultinject.SiteDumpProc, p.PID()); err != nil {
 			return nil, fmt.Errorf("dump pid %d: %w", p.PID(), err)
 		}
-		pi, err := dumpOne(m, p, opts)
-		if err != nil {
+		if err := m.Fault(faultinject.SiteDumpPageMap, p.PID()); err != nil {
 			return nil, fmt.Errorf("dump pid %d: %w", p.PID(), err)
 		}
+		if !parentOK {
+			continue
+		}
+		ppi, ok := opts.Parent.Procs[p.PID()]
+		if !ok {
+			continue // process born since the parent dump: full dump
+		}
+		if err := m.Fault(faultinject.SiteDumpParent, p.PID()); err != nil {
+			return nil, fmt.Errorf("dump pid %d: %w", p.PID(), err)
+		}
+		eff, err := ppi.EffectivePages()
+		if err != nil {
+			return nil, fmt.Errorf("dump pid %d: resolving parent chain: %w", p.PID(), err)
+		}
+		parentPis[i] = ppi
+		parentEffs[i] = eff
+	}
+
+	// Parallel phase: pure per-process serialization, one goroutine
+	// per process, results assembled back in traversal order.
+	type out struct {
+		pi              *ProcImage
+		dumped, skipped int
+	}
+	outs := make([]out, len(procs))
+	var wg sync.WaitGroup
+	for i, p := range procs {
+		wg.Add(1)
+		go func(i int, p *kernel.Process) {
+			defer wg.Done()
+			pi, dumped, skipped := dumpOne(p, opts, parentPis[i], parentEffs[i])
+			outs[i] = out{pi: pi, dumped: dumped, skipped: skipped}
+		}(i, p)
+	}
+	wg.Wait()
+
+	set := &ImageSet{Procs: map[int]*ProcImage{}}
+	parent := map[int]int{}
+	delta := false
+	for i, p := range procs {
 		set.PIDs = append(set.PIDs, p.PID())
-		set.Procs[p.PID()] = pi
+		set.Procs[p.PID()] = outs[i].pi
+		set.PagesDumped += outs[i].dumped
+		set.PagesSkipped += outs[i].skipped
+		if outs[i].pi.Delta {
+			delta = true
+		}
 		parent[p.PID()] = p.Parent()
+	}
+	if delta {
+		set.Parent = opts.Parent
 	}
 	sortPIDsParentFirst(set.PIDs, parent)
 	return set, nil
@@ -61,8 +127,22 @@ func descendants(m *kernel.Machine, pid int) []*kernel.Process {
 	return out
 }
 
-func dumpOne(m *kernel.Machine, p *kernel.Process, opts DumpOpts) (*ProcImage, error) {
-	pi := &ProcImage{}
+// dumpEligible reports whether a populated page belongs in the image:
+// anonymous always, file-backed only with ExecPages, stale pages
+// outside any VMA never.
+func dumpEligible(mem *kernel.Memory, pn uint64, opts DumpOpts) bool {
+	v, ok := mem.VMAAt(pn * kernel.PageSize)
+	if !ok {
+		return false
+	}
+	return v.Anon || opts.ExecPages
+}
+
+// dumpOne serializes one process. It is infallible by design: every
+// fault hook and parent lookup already ran in Dump's prepass, so this
+// can execute on a goroutine with nothing shared but its own process.
+func dumpOne(p *kernel.Process, opts DumpOpts, parentPi *ProcImage, parentEff map[uint64][]byte) (pi *ProcImage, dumped, skipped int) {
+	pi = &ProcImage{}
 
 	// core
 	pi.Core = CoreImage{
@@ -87,7 +167,8 @@ func dumpOne(m *kernel.Machine, p *kernel.Process, opts DumpOpts) (*ProcImage, e
 	}
 
 	// mm
-	vmas := p.Mem().VMAs()
+	mem := p.Mem()
+	vmas := mem.VMAs()
 	for _, v := range vmas {
 		pi.MM.VMAs = append(pi.MM.VMAs, VMAEntry{
 			Start: v.Start, End: v.End, Perm: uint8(v.Perm),
@@ -99,23 +180,51 @@ func dumpOne(m *kernel.Machine, p *kernel.Process, opts DumpOpts) (*ProcImage, e
 		pi.MM.Modules = append(pi.MM.Modules, ModuleEntry{Name: mod.Name, Lo: mod.Lo, Hi: mod.Hi})
 	}
 
-	// pagemap + pages: anonymous always; file-backed only with
-	// ExecPages.
-	if err := m.Fault(faultinject.SiteDumpPageMap, p.PID()); err != nil {
-		return nil, err
-	}
-	for _, pn := range p.Mem().PopulatedPages() {
-		addr := pn * kernel.PageSize
-		v, ok := p.Mem().VMAAt(addr)
-		if !ok {
-			continue // stale page outside any VMA
+	// pagemap + pages
+	if parentPi == nil {
+		// Full dump. Afterwards the image mirrors every eligible page
+		// exactly, so it can serve as a parent — restart dirty tracking.
+		mem.ClearDirty()
+		for _, pn := range mem.PopulatedPages() {
+			if !dumpEligible(mem, pn, opts) {
+				continue
+			}
+			pi.PageMap.PageNumbers = append(pi.PageMap.PageNumbers, pn)
+			pi.Pages = append(pi.Pages, mem.PageDataUnsafe(pn)...)
+			dumped++
 		}
-		if !v.Anon && !opts.ExecPages {
-			continue
+	} else {
+		// Incremental dump: emit pages that are dirty since the parent
+		// or missing from the parent chain entirely; punch holes for
+		// chain pages the guest no longer maps.
+		pi.Delta = true
+		pi.parent = parentPi
+		dirty := map[uint64]struct{}{}
+		for _, pn := range mem.SnapshotDirty() {
+			dirty[pn] = struct{}{}
 		}
-		data := p.Mem().PageData(pn)
-		pi.PageMap.PageNumbers = append(pi.PageMap.PageNumbers, pn)
-		pi.Pages = append(pi.Pages, data...)
+		current := map[uint64]struct{}{}
+		for _, pn := range mem.PopulatedPages() {
+			if !dumpEligible(mem, pn, opts) {
+				continue
+			}
+			current[pn] = struct{}{}
+			_, dirtied := dirty[pn]
+			_, inParent := parentEff[pn]
+			if dirtied || !inParent {
+				pi.PageMap.PageNumbers = append(pi.PageMap.PageNumbers, pn)
+				pi.Pages = append(pi.Pages, mem.PageDataUnsafe(pn)...)
+				dumped++
+			} else {
+				skipped++
+			}
+		}
+		for pn := range parentEff {
+			if _, ok := current[pn]; !ok {
+				pi.Holes = append(pi.Holes, pn)
+			}
+		}
+		sort.Slice(pi.Holes, func(i, j int) bool { return pi.Holes[i] < pi.Holes[j] })
 	}
 
 	// files (including TCP state for repair)
@@ -125,7 +234,7 @@ func dumpOne(m *kernel.Machine, p *kernel.Process, opts DumpOpts) (*ProcImage, e
 			Port: fd.Port, ConnID: fd.ConnID, SideA: fd.SideA,
 		})
 	}
-	return pi, nil
+	return pi, dumped, skipped
 }
 
 func sortSigs(sigs []SigEntry) {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sort"
+	"sync"
 
 	"github.com/dynacut/dynacut/internal/criu/pbuf"
 	"github.com/dynacut/dynacut/internal/kernel"
@@ -44,7 +45,17 @@ var (
 	// ErrInconsistentImage flags an image set whose parts contradict
 	// each other (pagemap not covered by pages, RIP unmapped, ...).
 	ErrInconsistentImage = errors.New("criu: inconsistent image set")
+	// ErrNoParent flags a delta image whose page lookups need a parent
+	// image set that is not bound (BindParent after Unmarshal) or whose
+	// chain exceeds MaxParentDepth.
+	ErrNoParent = errors.New("criu: parent image not bound")
 )
+
+// MaxParentDepth bounds the incremental-image ancestry: page lookups
+// resolve through at most this many parent links, and Dump falls back
+// to a full dump rather than growing a deeper chain (mirroring how
+// real CRIU bounds --track-mem parent directories before consolidating).
+const MaxParentDepth = 8
 
 // SigEntry is one registered signal handler in a core image.
 type SigEntry struct {
@@ -116,31 +127,87 @@ type FilesImage struct {
 	Files []FileEntry
 }
 
-// ProcImage aggregates the images of one process.
+// ProcImage aggregates the images of one process. A Delta proc image
+// holds only the pages dirtied since its parent checkpoint; page
+// lookups fall through to the parent chain (bound via Dump or
+// BindParent), and Holes records pages the parent has but this image
+// explicitly lacks (unmapped since the parent was taken).
 type ProcImage struct {
 	Core    CoreImage
 	MM      MMImage
 	PageMap PageMapImage
 	Pages   []byte // concatenated page data, PageMap order
 	Files   FilesImage
+	// Delta marks an incremental image: absent pages resolve through
+	// the parent chain instead of being errors.
+	Delta bool
+	// Holes lists pages absent from this image even though an
+	// ancestor holds them (punched by UnmapRange edits).
+	Holes []uint64
+
+	// parent is the same-PID image in the parent set (nil until bound).
+	parent *ProcImage
 }
 
-// Page returns the dumped contents of page pn.
-func (pi *ProcImage) Page(pn uint64) ([]byte, error) {
+// ParentImage returns the bound parent proc image (nil for a full
+// image or an unbound delta).
+func (pi *ProcImage) ParentImage() *ProcImage { return pi.parent }
+
+// ownPage returns the page data held by this image itself, without
+// consulting the parent chain.
+func (pi *ProcImage) ownPage(pn uint64) ([]byte, bool, error) {
 	for i, n := range pi.PageMap.PageNumbers {
 		if n == pn {
 			off := i * kernel.PageSize
 			if off+kernel.PageSize > len(pi.Pages) {
-				return nil, fmt.Errorf("%w: pages image truncated", ErrBadImage)
+				return nil, false, fmt.Errorf("%w: pages image truncated", ErrBadImage)
 			}
-			return pi.Pages[off : off+kernel.PageSize], nil
+			return pi.Pages[off : off+kernel.PageSize], true, nil
 		}
 	}
-	return nil, fmt.Errorf("%w: page %d", ErrPageAbsent, pn)
+	return nil, false, nil
+}
+
+func (pi *ProcImage) hasHole(pn uint64) bool {
+	for _, h := range pi.Holes {
+		if h == pn {
+			return true
+		}
+	}
+	return false
+}
+
+// Page returns the dumped contents of page pn, resolving delta images
+// through the (bounded-depth) parent chain. The returned slice may
+// alias an ancestor image: callers must copy before mutating (SetPage
+// materializes a private copy automatically).
+func (pi *ProcImage) Page(pn uint64) ([]byte, error) {
+	for cur, depth := pi, 0; ; {
+		data, ok, err := cur.ownPage(pn)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return data, nil
+		}
+		if cur.hasHole(pn) || !cur.Delta {
+			return nil, fmt.Errorf("%w: page %d", ErrPageAbsent, pn)
+		}
+		if cur.parent == nil {
+			return nil, fmt.Errorf("%w: page %d needs a parent image", ErrNoParent, pn)
+		}
+		depth++
+		if depth > MaxParentDepth {
+			return nil, fmt.Errorf("%w: parent chain deeper than %d", ErrNoParent, MaxParentDepth)
+		}
+		cur = cur.parent
+	}
 }
 
 // SetPage overwrites the dumped contents of page pn, or appends the
-// page if absent.
+// page if this image does not hold it itself — which is also how a
+// parented page is materialized before mutation: the full new
+// contents land in this image, and the parent copy is shadowed.
 func (pi *ProcImage) SetPage(pn uint64, data []byte) error {
 	if len(data) != kernel.PageSize {
 		return fmt.Errorf("%w: page data must be %d bytes", ErrBadImage, kernel.PageSize)
@@ -153,10 +220,22 @@ func (pi *ProcImage) SetPage(pn uint64, data []byte) error {
 	}
 	pi.PageMap.PageNumbers = append(pi.PageMap.PageNumbers, pn)
 	pi.Pages = append(pi.Pages, data...)
+	// The page exists again: un-punch any hole shadowing it.
+	if pi.hasHole(pn) {
+		keep := pi.Holes[:0]
+		for _, h := range pi.Holes {
+			if h != pn {
+				keep = append(keep, h)
+			}
+		}
+		pi.Holes = keep
+	}
 	return nil
 }
 
-// DropPages removes the dumped pages in [startPN, endPN).
+// DropPages removes the dumped pages in [startPN, endPN). On a delta
+// image the range is also punched as holes, so ancestor copies of
+// those pages cannot resurface through the chain.
 func (pi *ProcImage) DropPages(startPN, endPN uint64) {
 	var keepNums []uint64
 	var keepData []byte
@@ -169,13 +248,220 @@ func (pi *ProcImage) DropPages(startPN, endPN uint64) {
 	}
 	pi.PageMap.PageNumbers = keepNums
 	pi.Pages = keepData
+	if pi.Delta {
+		for pn := startPN; pn < endPN; pn++ {
+			if !pi.hasHole(pn) {
+				pi.Holes = append(pi.Holes, pn)
+			}
+		}
+		sort.Slice(pi.Holes, func(i, j int) bool { return pi.Holes[i] < pi.Holes[j] })
+	}
+}
+
+// EffectivePages resolves the complete page view of this image
+// through its parent chain: page number → contents, with descendant
+// images shadowing ancestors and holes masking inherited pages. The
+// slices may alias the images; callers must not mutate them.
+func (pi *ProcImage) EffectivePages() (map[uint64][]byte, error) {
+	var chain []*ProcImage
+	for cur := pi; ; {
+		chain = append(chain, cur)
+		if !cur.Delta {
+			break
+		}
+		if cur.parent == nil {
+			return nil, fmt.Errorf("%w: delta image has no bound parent", ErrNoParent)
+		}
+		if len(chain) > MaxParentDepth+1 {
+			return nil, fmt.Errorf("%w: parent chain deeper than %d", ErrNoParent, MaxParentDepth)
+		}
+		cur = cur.parent
+	}
+	out := map[uint64][]byte{}
+	for i := len(chain) - 1; i >= 0; i-- {
+		lvl := chain[i]
+		for _, h := range lvl.Holes {
+			delete(out, h)
+		}
+		for j, pn := range lvl.PageMap.PageNumbers {
+			off := j * kernel.PageSize
+			if off+kernel.PageSize > len(lvl.Pages) {
+				return nil, fmt.Errorf("%w: pages image truncated", ErrBadImage)
+			}
+			out[pn] = lvl.Pages[off : off+kernel.PageSize]
+		}
+	}
+	return out, nil
+}
+
+// Depth returns the length of the parent chain below this image (0
+// for a full image).
+func (pi *ProcImage) Depth() int {
+	d := 0
+	for cur := pi; cur.Delta && cur.parent != nil; cur = cur.parent {
+		d++
+		if d > MaxParentDepth+1 {
+			break // corrupt/cyclic chain; Validate reports it
+		}
+	}
+	return d
 }
 
 // ImageSet is a dumped process tree: one ProcImage per PID, plus the
-// inventory order (parents before children).
+// inventory order (parents before children). An incremental set
+// additionally points at the checkpoint it was dumped against.
 type ImageSet struct {
 	PIDs  []int
 	Procs map[int]*ProcImage
+
+	// Parent is the image set this one is a delta against (nil for a
+	// full dump). Serialization records Parent.Ident(); Unmarshal
+	// leaves the link detached until BindParent re-attaches it.
+	Parent *ImageSet
+
+	// PagesDumped/PagesSkipped report the incremental win of the Dump
+	// that produced this set (transient; not serialized).
+	PagesDumped  int
+	PagesSkipped int
+
+	ident     uint32 // cached Ident(); valid when identSet
+	identSet  bool
+	parentID  uint32 // parent identity recorded in the blob
+	hasPByRef bool   // blob carried a parent reference
+}
+
+// Delta reports whether any proc image in the set is incremental.
+func (s *ImageSet) Delta() bool {
+	for _, pi := range s.Procs {
+		if pi.Delta {
+			return true
+		}
+	}
+	return false
+}
+
+// Depth returns the ancestry depth of the set (0 for a full dump).
+func (s *ImageSet) Depth() int {
+	d := 0
+	for cur := s.Parent; cur != nil; cur = cur.Parent {
+		d++
+		if d > MaxParentDepth+1 {
+			break
+		}
+	}
+	return d
+}
+
+// Ident returns the set's identity: the CRC-32C of its serialized
+// form. Children record it so BindParent can refuse to graft a delta
+// onto the wrong (or corrupted) ancestor. Computed once and cached —
+// do not mutate a set after using it as a dump parent.
+func (s *ImageSet) Ident() uint32 {
+	if !s.identSet {
+		s.ident = crc32.Checksum(s.Marshal(), crcTable)
+		s.identSet = true
+	}
+	return s.ident
+}
+
+// ParentRef returns the parent identity recorded in the blob this set
+// was decoded from, if any.
+func (s *ImageSet) ParentRef() (uint32, bool) { return s.parentID, s.hasPByRef }
+
+// BindParent re-attaches a deserialized delta set to its parent: the
+// parent's identity must match the reference recorded in the blob,
+// and every delta proc must exist in the parent. Binding a
+// self-contained set is a no-op.
+func (s *ImageSet) BindParent(parent *ImageSet) error {
+	if !s.hasPByRef && !s.Delta() {
+		return nil
+	}
+	if parent == nil {
+		return fmt.Errorf("%w: delta set offered no parent", ErrNoParent)
+	}
+	if s.hasPByRef && parent.Ident() != s.parentID {
+		return fmt.Errorf("%w: parent identity %#x, delta expects %#x",
+			ErrCorruptImage, parent.Ident(), s.parentID)
+	}
+	for pid, pi := range s.Procs {
+		if !pi.Delta {
+			continue
+		}
+		pp, ok := parent.Procs[pid]
+		if !ok {
+			return fmt.Errorf("%w: delta pid %d missing from parent", ErrInconsistentImage, pid)
+		}
+		pi.parent = pp
+	}
+	s.Parent = parent
+	return nil
+}
+
+// Flatten materializes a self-contained copy of the set: every proc's
+// pages are resolved through the parent chain into a full image. The
+// originals are not modified.
+func (s *ImageSet) Flatten() (*ImageSet, error) {
+	out := &ImageSet{
+		PIDs:  append([]int(nil), s.PIDs...),
+		Procs: make(map[int]*ProcImage, len(s.Procs)),
+	}
+	for pid, pi := range s.Procs {
+		eff, err := pi.EffectivePages()
+		if err != nil {
+			return nil, fmt.Errorf("flatten pid %d: %w", pid, err)
+		}
+		pns := make([]uint64, 0, len(eff))
+		for pn := range eff {
+			pns = append(pns, pn)
+		}
+		sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+		flat := &ProcImage{
+			Core:  pi.Core,
+			Files: pi.Files,
+		}
+		flat.MM.VMAs = append([]VMAEntry(nil), pi.MM.VMAs...)
+		flat.MM.Modules = append([]ModuleEntry(nil), pi.MM.Modules...)
+		flat.Core.Sigs = append([]SigEntry(nil), pi.Core.Sigs...)
+		flat.Core.SysFilter = append([]uint64(nil), pi.Core.SysFilter...)
+		flat.PageMap.PageNumbers = pns
+		flat.Pages = make([]byte, 0, len(pns)*kernel.PageSize)
+		for _, pn := range pns {
+			flat.Pages = append(flat.Pages, eff[pn]...)
+		}
+		out.Procs[pid] = flat
+	}
+	return out, nil
+}
+
+// RemapPIDs re-keys the set onto new process IDs (oldPID → newPID, as
+// returned by Restore): the restored tree has fresh PIDs, and the set
+// must be addressed by them to serve as the parent of the next
+// incremental dump. Page data and parent links are shared with the
+// original; only identity and ancestry bookkeeping are rewritten.
+func (s *ImageSet) RemapPIDs(pidMap map[int]int) *ImageSet {
+	mapped := func(pid int) int {
+		if np, ok := pidMap[pid]; ok {
+			return np
+		}
+		return pid
+	}
+	out := &ImageSet{
+		PIDs:   make([]int, len(s.PIDs)),
+		Procs:  make(map[int]*ProcImage, len(s.Procs)),
+		Parent: s.Parent,
+	}
+	for i, pid := range s.PIDs {
+		np := mapped(pid)
+		out.PIDs[i] = np
+		pi := s.Procs[pid]
+		clone := *pi
+		clone.Core.PID = np
+		if pi.Core.Parent != 0 {
+			clone.Core.Parent = mapped(pi.Core.Parent)
+		}
+		out.Procs[np] = &clone
+	}
+	return out
 }
 
 // Proc returns the image of one PID.
@@ -206,12 +492,17 @@ func (s *ImageSet) TotalBytes() int {
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // checksumField is the proc-entry field carrying the CRC of the
-// entry's own body (fields 1-6); it is always written last.
+// entry's own body (every other field); it is always written last.
 const checksumField = 7
 
+// parentRefField is the top-level field carrying the parent set's
+// identity for incremental blobs.
+const parentRefField = 2
+
 // marshalProcBody encodes the checksummed portion of one proc entry.
-// It must stay deterministic and decode/re-encode idempotent: the
-// checksum is verified by re-encoding the decoded entry.
+// It must stay deterministic: the parallel pipeline relies on
+// per-proc bodies being byte-identical run to run so the assembled
+// blob (and its CRCs) never wobbles.
 func marshalProcBody(pid int, pi *ProcImage) []byte {
 	var e pbuf.Encoder
 	e.Uint(1, uint64(pid))
@@ -220,6 +511,12 @@ func marshalProcBody(pid int, pi *ProcImage) []byte {
 	e.Bytes(4, marshalPageMap(&pi.PageMap))
 	e.Bytes(5, pi.Pages)
 	e.Bytes(6, marshalFiles(&pi.Files))
+	if pi.Delta {
+		e.Bool(8, true)
+	}
+	for _, h := range pi.Holes {
+		e.Uint(9, h)
+	}
 	return e.Finish()
 }
 
@@ -236,11 +533,38 @@ func (s *ImageSet) Checksum(pid int) (uint32, error) {
 // Marshal encodes the image set into a single blob (the "tmpfs
 // directory" of the paper's setup). Every proc entry carries a CRC32C
 // checksum of its content; Unmarshal refuses blobs that fail it.
+// Incremental sets additionally record the parent set's identity so
+// BindParent can refuse the wrong ancestor.
+//
+// Per-proc bodies are marshaled in parallel and assembled in PID
+// order, so the output is byte-identical run to run regardless of
+// goroutine scheduling.
 func (s *ImageSet) Marshal() []byte {
+	bodies := make([][]byte, len(s.PIDs))
+	var wg sync.WaitGroup
+	for i, pid := range s.PIDs {
+		wg.Add(1)
+		go func(i, pid int) {
+			defer wg.Done()
+			bodies[i] = marshalProcBody(pid, s.Procs[pid])
+		}(i, pid)
+	}
+	wg.Wait()
+
 	var e pbuf.Encoder
-	for _, pid := range s.PIDs {
-		pi := s.Procs[pid]
-		body := marshalProcBody(pid, pi)
+	if s.Delta() {
+		// The ref must precede the proc entries so a streaming decoder
+		// knows the set is incremental before it sees delta procs.
+		ref := s.parentID
+		if s.Parent != nil {
+			ref = s.Parent.Ident()
+		}
+		e.Msg(parentRefField, func(pe *pbuf.Encoder) {
+			pe.Uint(1, uint64(ref))
+		})
+	}
+	for _, body := range bodies {
+		body := body
 		e.Msg(1, func(pe *pbuf.Encoder) {
 			pe.Raw(body)
 			pe.Uint(checksumField, uint64(crc32.Checksum(body, crcTable)))
@@ -249,110 +573,169 @@ func (s *ImageSet) Marshal() []byte {
 	return e.Finish()
 }
 
+// unmarshalProcEntry decodes and checksum-verifies one raw proc
+// entry. It is pure (no shared state), so the pipeline can fan
+// entries out across goroutines.
+func unmarshalProcEntry(raw []byte) (int, *ProcImage, error) {
+	pi := &ProcImage{}
+	pid := -1
+	wantCRC := uint64(0)
+	hasCRC := false
+	pd := pbuf.NewDecoder(raw)
+	var decodeErr error
+	for decodeErr == nil && pd.Next() {
+		switch pd.Field() {
+		case 1:
+			pid = int(pd.Uint())
+		case 2:
+			c, err := unmarshalCore(pd.Bytes())
+			if err != nil {
+				decodeErr = err
+				break
+			}
+			pi.Core = *c
+		case 3:
+			mm, err := unmarshalMM(pd.Bytes())
+			if err != nil {
+				decodeErr = err
+				break
+			}
+			pi.MM = *mm
+		case 4:
+			pm, err := unmarshalPageMap(pd.Bytes())
+			if err != nil {
+				decodeErr = err
+				break
+			}
+			pi.PageMap = *pm
+		case 5:
+			pi.Pages = append([]byte(nil), pd.Bytes()...)
+		case 6:
+			f, err := unmarshalFiles(pd.Bytes())
+			if err != nil {
+				decodeErr = err
+				break
+			}
+			pi.Files = *f
+		case checksumField:
+			wantCRC = pd.Uint()
+			hasCRC = true
+		case 8:
+			pi.Delta = pd.Bool()
+		case 9:
+			pi.Holes = append(pi.Holes, pd.Uint())
+		default:
+			pd.Skip()
+		}
+	}
+	if decodeErr == nil {
+		decodeErr = pd.Err()
+	}
+	if decodeErr != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrBadImage, decodeErr)
+	}
+	if pid < 0 {
+		return 0, nil, fmt.Errorf("%w: proc entry without pid", ErrBadImage)
+	}
+	if !hasCRC {
+		return 0, nil, fmt.Errorf("%w: proc entry for pid %d lacks a checksum", ErrCorruptImage, pid)
+	}
+	// The checksum field is always written last, so the checksummed
+	// body is everything before its encoding. Verifying over the raw
+	// received bytes — not re-encoded content — rejects even
+	// semantically neutral bit flips.
+	var se pbuf.Encoder
+	se.Uint(checksumField, wantCRC)
+	suffix := se.Finish()
+	if !bytes.HasSuffix(raw, suffix) {
+		return 0, nil, fmt.Errorf("%w: pid %d checksum is not the final field", ErrCorruptImage, pid)
+	}
+	body := raw[:len(raw)-len(suffix)]
+	if got := crc32.Checksum(body, crcTable); uint64(got) != wantCRC {
+		return 0, nil, fmt.Errorf("%w: pid %d checksum %#x, image says %#x",
+			ErrCorruptImage, pid, got, wantCRC)
+	}
+	if len(pi.Pages) != kernel.PageSize*len(pi.PageMap.PageNumbers) {
+		return 0, nil, fmt.Errorf("%w: pages/pagemap size mismatch for pid %d", ErrBadImage, pid)
+	}
+	return pid, pi, nil
+}
+
 // Unmarshal decodes an image set blob, verifying every proc entry's
 // checksum. Corruption — truncation, bit flips, a missing checksum —
 // yields an error wrapping ErrCorruptImage or ErrBadImage; no partial
-// set is ever returned.
+// set is ever returned. Proc entries are decoded in parallel and
+// reassembled in blob order. A delta blob comes back detached: call
+// BindParent before restoring or editing it.
 func Unmarshal(data []byte) (*ImageSet, error) {
 	s := &ImageSet{Procs: map[int]*ProcImage{}}
+
+	// Phase 1 (serial): split the blob into raw proc entries and pick
+	// up the parent reference.
+	var raws [][]byte
 	d := pbuf.NewDecoder(data)
 	for d.Next() {
-		if d.Field() != 1 {
-			d.Skip()
-			continue
-		}
-		raw := d.Bytes() // the whole proc entry, for byte-exact CRC
-		if d.Err() != nil {
-			break
-		}
-		pi := &ProcImage{}
-		pid := -1
-		wantCRC := uint64(0)
-		hasCRC := false
-		pd := pbuf.NewDecoder(raw)
-		var decodeErr error
-		for decodeErr == nil && pd.Next() {
-			switch pd.Field() {
-			case 1:
-				pid = int(pd.Uint())
-			case 2:
-				c, err := unmarshalCore(pd.Bytes())
-				if err != nil {
-					decodeErr = err
-					break
-				}
-				pi.Core = *c
-			case 3:
-				mm, err := unmarshalMM(pd.Bytes())
-				if err != nil {
-					decodeErr = err
-					break
-				}
-				pi.MM = *mm
-			case 4:
-				pm, err := unmarshalPageMap(pd.Bytes())
-				if err != nil {
-					decodeErr = err
-					break
-				}
-				pi.PageMap = *pm
-			case 5:
-				pi.Pages = append([]byte(nil), pd.Bytes()...)
-			case 6:
-				f, err := unmarshalFiles(pd.Bytes())
-				if err != nil {
-					decodeErr = err
-					break
-				}
-				pi.Files = *f
-			case checksumField:
-				wantCRC = pd.Uint()
-				hasCRC = true
-			default:
-				pd.Skip()
+		switch d.Field() {
+		case 1:
+			raw := d.Bytes() // the whole proc entry, for byte-exact CRC
+			if d.Err() != nil {
+				break
 			}
+			raws = append(raws, raw)
+		case parentRefField:
+			d.Msg(func(rd *pbuf.Decoder) error {
+				for rd.Next() {
+					if rd.Field() == 1 {
+						s.parentID = uint32(rd.Uint())
+						s.hasPByRef = true
+					} else {
+						rd.Skip()
+					}
+				}
+				return nil
+			})
+		default:
+			d.Skip()
 		}
-		if decodeErr == nil {
-			decodeErr = pd.Err()
-		}
-		if decodeErr != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadImage, decodeErr)
-		}
-		if pid < 0 {
-			return nil, fmt.Errorf("%w: proc entry without pid", ErrBadImage)
-		}
-		if !hasCRC {
-			return nil, fmt.Errorf("%w: proc entry for pid %d lacks a checksum", ErrCorruptImage, pid)
-		}
-		// The checksum field is always written last, so the checksummed
-		// body is everything before its encoding. Verifying over the raw
-		// received bytes — not re-encoded content — rejects even
-		// semantically neutral bit flips.
-		var se pbuf.Encoder
-		se.Uint(checksumField, wantCRC)
-		suffix := se.Finish()
-		if !bytes.HasSuffix(raw, suffix) {
-			return nil, fmt.Errorf("%w: pid %d checksum is not the final field", ErrCorruptImage, pid)
-		}
-		body := raw[:len(raw)-len(suffix)]
-		if got := crc32.Checksum(body, crcTable); uint64(got) != wantCRC {
-			return nil, fmt.Errorf("%w: pid %d checksum %#x, image says %#x",
-				ErrCorruptImage, pid, got, wantCRC)
-		}
-		if len(pi.Pages) != kernel.PageSize*len(pi.PageMap.PageNumbers) {
-			return nil, fmt.Errorf("%w: pages/pagemap size mismatch for pid %d", ErrBadImage, pid)
-		}
-		if _, dup := s.Procs[pid]; dup {
-			return nil, fmt.Errorf("%w: duplicate proc entry for pid %d", ErrBadImage, pid)
-		}
-		s.PIDs = append(s.PIDs, pid)
-		s.Procs[pid] = pi
 	}
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
 	}
+
+	// Phase 2 (parallel): decode and verify each entry.
+	type result struct {
+		pid int
+		pi  *ProcImage
+		err error
+	}
+	results := make([]result, len(raws))
+	var wg sync.WaitGroup
+	for i, raw := range raws {
+		wg.Add(1)
+		go func(i int, raw []byte) {
+			defer wg.Done()
+			pid, pi, err := unmarshalProcEntry(raw)
+			results[i] = result{pid: pid, pi: pi, err: err}
+		}(i, raw)
+	}
+	wg.Wait()
+
+	// Phase 3 (serial): assemble in blob order, first error wins.
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if _, dup := s.Procs[r.pid]; dup {
+			return nil, fmt.Errorf("%w: duplicate proc entry for pid %d", ErrBadImage, r.pid)
+		}
+		s.PIDs = append(s.PIDs, r.pid)
+		s.Procs[r.pid] = r.pi
+	}
 	if len(s.PIDs) == 0 {
 		return nil, fmt.Errorf("%w: empty image set", ErrBadImage)
+	}
+	if s.Delta() && !s.hasPByRef {
+		return nil, fmt.Errorf("%w: delta proc entries without a parent reference", ErrBadImage)
 	}
 	return s, nil
 }

@@ -79,6 +79,19 @@ func validateProc(pid int, pi *ProcImage, store FileStore, binaries map[string]*
 		return fail("core image has no process name")
 	}
 
+	// Parent chain: a delta image is only restorable with its ancestry
+	// bound and bounded.
+	if pi.Delta {
+		if pi.parent == nil {
+			return fail("delta image has no bound parent (call BindParent after Unmarshal)")
+		}
+		if d := pi.Depth(); d > MaxParentDepth {
+			return fail("parent chain depth %d exceeds limit %d", d, MaxParentDepth)
+		}
+	} else if len(pi.Holes) > 0 {
+		return fail("holes punched in a non-delta image")
+	}
+
 	// VMA table: well-formed, aligned, non-overlapping.
 	vmas := append([]VMAEntry(nil), pi.MM.VMAs...)
 	sort.Slice(vmas, func(i, j int) bool { return vmas[i].Start < vmas[j].Start })
@@ -113,6 +126,14 @@ func validateProc(pid int, pi *ProcImage, store FileStore, binaries map[string]*
 		}
 	}
 
+	// A hole says "the parent's page is gone"; carrying the same page
+	// in this image too would contradict it.
+	for _, h := range pi.Holes {
+		if pageSeen[h] {
+			return fail("page %d is both dumped and punched as a hole", h)
+		}
+	}
+
 	// The saved instruction pointer must land on executable, restorable
 	// memory — otherwise the restored process dies on its first fetch.
 	if !pi.Core.ExitedOK {
@@ -123,7 +144,15 @@ func validateProc(pid int, pi *ProcImage, store FileStore, binaries map[string]*
 		if delf.Perm(v.Perm)&delf.PermX == 0 {
 			return fail("RIP %#x lies in non-executable VMA %s", pi.Core.RIP, v.Name)
 		}
-		if !pageSeen[pi.Core.RIP/kernel.PageSize] && (v.Anon || v.Backing == "" || v.BackSection == "") {
+		ripPn := pi.Core.RIP / kernel.PageSize
+		ripPresent := pageSeen[ripPn]
+		if !ripPresent && pi.Delta {
+			// The page may live anywhere up the parent chain.
+			if _, err := pi.Page(ripPn); err == nil {
+				ripPresent = true
+			}
+		}
+		if !ripPresent && (v.Anon || v.Backing == "" || v.BackSection == "") {
 			return fail("RIP %#x page is neither dumped nor file-backed", pi.Core.RIP)
 		}
 	}

@@ -51,23 +51,37 @@ func (v VMA) String() string {
 
 // Memory is a paged address space with a VMA map, owned by one
 // process. The zero value is not usable; use newMemory.
+//
+// Every page carries a dirty bit, set whenever the page is written
+// (or first populated) and cleared by SnapshotDirty/ClearDirty. The
+// bitmap is what makes incremental checkpointing possible: a dump
+// that holds the previous checkpoint as a parent only needs the
+// pages dirtied since.
 type Memory struct {
-	pages map[uint64][]byte // page number -> PageSize bytes
-	vmas  []VMA             // sorted by Start, non-overlapping
+	pages map[uint64][]byte   // page number -> PageSize bytes
+	dirty map[uint64]struct{} // pages written since the last snapshot
+	vmas  []VMA               // sorted by Start, non-overlapping
 }
 
 func newMemory() *Memory {
-	return &Memory{pages: map[uint64][]byte{}}
+	return &Memory{pages: map[uint64][]byte{}, dirty: map[uint64]struct{}{}}
 }
 
-// Clone deep-copies the address space (fork).
+// Clone deep-copies the address space (fork). The dirty bitmap is
+// copied too: the child has never been checkpointed, so a dump of it
+// falls back to a full dump anyway, but cheap writes-since-fork info
+// must not be lost either way.
 func (m *Memory) Clone() *Memory {
 	c := &Memory{
 		pages: make(map[uint64][]byte, len(m.pages)),
+		dirty: make(map[uint64]struct{}, len(m.dirty)),
 		vmas:  append([]VMA(nil), m.vmas...),
 	}
 	for pn, pg := range m.pages {
 		c.pages[pn] = append([]byte(nil), pg...)
+	}
+	for pn := range m.dirty {
+		c.dirty[pn] = struct{}{}
 	}
 	return c
 }
@@ -135,6 +149,7 @@ func (m *Memory) Unmap(start, end uint64) error {
 	m.vmas = out
 	for pn := start / PageSize; pn < end/PageSize; pn++ {
 		delete(m.pages, pn)
+		delete(m.dirty, pn)
 	}
 	return nil
 }
@@ -191,7 +206,9 @@ func min64(a, b uint64) uint64 {
 }
 
 // page returns the backing page, allocating it zero-filled if the
-// address is mapped.
+// address is mapped. Freshly populated pages are marked dirty: they
+// did not exist at the previous checkpoint, so an incremental dump
+// must include them.
 func (m *Memory) page(addr uint64) ([]byte, bool) {
 	if _, ok := m.VMAAt(addr); !ok {
 		return nil, false
@@ -201,6 +218,7 @@ func (m *Memory) page(addr uint64) ([]byte, bool) {
 	if !ok {
 		pg = make([]byte, PageSize)
 		m.pages[pn] = pg
+		m.dirty[pn] = struct{}{}
 	}
 	return pg, true
 }
@@ -230,11 +248,13 @@ func (m *Memory) read(addr uint64, out []byte) error {
 // Write stores b at addr without permission checks.
 func (m *Memory) Write(addr uint64, b []byte) error {
 	for done := 0; done < len(b); {
-		pg, ok := m.page(addr + uint64(done))
+		a := addr + uint64(done)
+		pg, ok := m.page(a)
 		if !ok {
-			return fmt.Errorf("%w: %#x", ErrUnmapped, addr+uint64(done))
+			return fmt.Errorf("%w: %#x", ErrUnmapped, a)
 		}
-		off := (addr + uint64(done)) % PageSize
+		m.dirty[a/PageSize] = struct{}{}
+		off := a % PageSize
 		done += copy(pg[off:], b[done:])
 	}
 	return nil
@@ -324,16 +344,58 @@ func (m *Memory) PopulatedPages() []uint64 {
 	return out
 }
 
-// PageData returns the raw contents of page pn (nil if unpopulated).
+// PageData returns a copy of the contents of page pn (nil if
+// unpopulated). Returning a copy keeps "read" semantics honest: a
+// caller mutating the result cannot silently change live guest
+// memory. The checkpoint hot path uses PageDataUnsafe instead.
 func (m *Memory) PageData(pn uint64) []byte {
+	pg, ok := m.pages[pn]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), pg...)
+}
+
+// PageDataUnsafe returns the internal page slice of pn by reference
+// (nil if unpopulated). The caller must treat it as read-only; it
+// exists so the dump path can serialize guest memory without copying
+// every page twice.
+func (m *Memory) PageDataUnsafe(pn uint64) []byte {
 	return m.pages[pn]
 }
 
-// SetPage installs raw page contents (restore path).
+// SetPage installs raw page contents (restore path) and marks the
+// page dirty.
 func (m *Memory) SetPage(pn uint64, data []byte) error {
 	if len(data) != PageSize {
 		return fmt.Errorf("kernel: page data must be %d bytes, got %d", PageSize, len(data))
 	}
 	m.pages[pn] = append([]byte(nil), data...)
+	m.dirty[pn] = struct{}{}
 	return nil
 }
+
+// DirtyPageCount reports how many pages are currently marked dirty.
+func (m *Memory) DirtyPageCount() int { return len(m.dirty) }
+
+// SnapshotDirty returns the sorted page numbers written since the
+// previous snapshot and clears the bitmap: the caller is taking a
+// checkpoint that, from now on, describes this memory. Pages that
+// were dirtied and then unmapped are not reported (they no longer
+// have backing storage).
+func (m *Memory) SnapshotDirty() []uint64 {
+	out := make([]uint64, 0, len(m.dirty))
+	for pn := range m.dirty {
+		if _, populated := m.pages[pn]; populated {
+			out = append(out, pn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	m.dirty = map[uint64]struct{}{}
+	return out
+}
+
+// ClearDirty discards the dirty bitmap without reading it — used
+// after a restore, when memory is by construction identical to the
+// image set it was rebuilt from.
+func (m *Memory) ClearDirty() { m.dirty = map[uint64]struct{}{} }

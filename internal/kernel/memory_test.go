@@ -192,6 +192,93 @@ func TestPopulatedPagesAndSetPage(t *testing.T) {
 	}
 }
 
+// TestPageDataReturnsCopy: mutating the slice PageData hands out must
+// not write through into live guest memory (that is what made a
+// "read" accessor silently dangerous).
+func TestPageDataReturnsCopy(t *testing.T) {
+	m := newMemory()
+	if err := m.Map(rwVMA(0x1000, 0x4000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(0x1000, []byte{0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	got := m.PageData(1)
+	if got == nil || got[0] != 0xAA {
+		t.Fatalf("PageData(1) = %v", got)
+	}
+	got[0] = 0x55
+	if live, _ := m.Read(0x1000, 1); live[0] != 0xAA {
+		t.Fatalf("PageData aliased live memory: %#x", live[0])
+	}
+	// The unsafe variant is the aliasing one, by contract.
+	raw := m.PageDataUnsafe(1)
+	if raw == nil || raw[0] != 0xAA {
+		t.Fatalf("PageDataUnsafe(1) = %v", raw)
+	}
+}
+
+// TestDirtyPageTracking: the dirty bitmap records exactly the pages
+// written (or first populated) since the last snapshot, and
+// SnapshotDirty drains it.
+func TestDirtyPageTracking(t *testing.T) {
+	m := newMemory()
+	if err := m.Map(rwVMA(0x1000, 0x10000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(0x3000, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(0x5ff8, make([]byte, 16)); err != nil { // crosses into page 6
+		t.Fatal(err)
+	}
+	dirty := m.SnapshotDirty()
+	if len(dirty) != 3 || dirty[0] != 3 || dirty[1] != 5 || dirty[2] != 6 {
+		t.Fatalf("SnapshotDirty = %v, want [3 5 6]", dirty)
+	}
+	if n := m.DirtyPageCount(); n != 0 {
+		t.Fatalf("bitmap not cleared: %d", n)
+	}
+	// No writes since the snapshot: an idle memory reports nothing.
+	if dirty := m.SnapshotDirty(); len(dirty) != 0 {
+		t.Fatalf("idle SnapshotDirty = %v", dirty)
+	}
+	// Reads of already-populated pages stay clean; SetPage dirties.
+	if _, err := m.Read(0x3000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.DirtyPageCount(); n != 0 {
+		t.Fatalf("read dirtied pages: %d", n)
+	}
+	if err := m.SetPage(9, make([]byte, PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if dirty := m.SnapshotDirty(); len(dirty) != 1 || dirty[0] != 9 {
+		t.Fatalf("SetPage dirty = %v, want [9]", dirty)
+	}
+	// A page dirtied then unmapped is not reported (no backing left).
+	if err := m.Write(0x4000, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unmap(0x4000, 0x5000); err != nil {
+		t.Fatal(err)
+	}
+	if dirty := m.SnapshotDirty(); len(dirty) != 0 {
+		t.Fatalf("unmapped page reported dirty: %v", dirty)
+	}
+	// Clone carries the bitmap.
+	if err := m.Write(0x3000, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	if dirty := c.SnapshotDirty(); len(dirty) != 1 || dirty[0] != 3 {
+		t.Fatalf("clone dirty = %v, want [3]", dirty)
+	}
+	if n := m.DirtyPageCount(); n != 1 {
+		t.Fatalf("clone snapshot leaked into original: %d", n)
+	}
+}
+
 // Property: writes then reads at random offsets round-trip inside a
 // mapped region.
 func TestQuickMemoryRoundTrip(t *testing.T) {

@@ -18,10 +18,12 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Just the fault-injection / transactional-rewrite suites.
-chaos:
-	$(GO) test -race -run 'Chaos|Rollback|Rolls|Transient|Retried|Revalidated|Corrupt|BitFlip|Truncation' \
-		./internal/core/ ./internal/criu/ ./internal/faultinject/ .
+# Just the fault-injection / transactional-rewrite suites, plus the
+# observability assertions that every injected fault lands in the
+# trace. Runs vet first: the chaos gate is also the lint gate.
+chaos: vet
+	$(GO) test -race -run 'Chaos|Rollback|Rolls|Transient|Retried|Revalidated|Corrupt|BitFlip|Truncation|Observer|Overflow' \
+		./internal/core/ ./internal/criu/ ./internal/faultinject/ ./internal/obs/ .
 
 # Short fuzz smoke over the image decoder (corpus seeds always run
 # as part of `test`; this adds a few seconds of mutation).
@@ -34,12 +36,17 @@ check: build vet test race
 # Perf trajectory: run the headline figure benchmarks plus the
 # incremental-checkpoint benchmark and record the numbers as JSON so
 # each PR's results are comparable to the last (BENCH_pr2.json here on).
-BENCH_JSON ?= BENCH_pr2.json
+BENCH_JSON ?= BENCH_pr3.json
 
 bench:
-	$(GO) test -run '^$$' -bench 'Figure6_|Figure7_|Figure8_|IncrementalDump' -benchmem -benchtime 1x . \
+	$(GO) test -run '^$$' -bench 'Figure6_|Figure7_|Figure8_|IncrementalDump|Observer_' -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 # The historical full sweep (every figure, table, ablation and micro).
 bench-all:
 	$(GO) test -bench . -benchmem .
+
+# One traced rewrite under fault injection: prints the phase summary
+# and writes the JSONL trace next to the benchmark records.
+trace-demo:
+	$(GO) run ./cmd/tracedemo -o trace.jsonl

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"github.com/dynacut/dynacut"
+	"github.com/dynacut/dynacut/internal/crit"
 	"github.com/dynacut/dynacut/internal/experiments"
 )
 
@@ -289,6 +290,60 @@ func BenchmarkIncrementalDump(b *testing.B) {
 	b.ReportMetric(float64(fullBytes), "full-page-bytes")
 	b.ReportMetric(float64(deltaBytes), "delta-page-bytes")
 	b.ReportMetric(float64(skipped), "pages-skipped")
+}
+
+// ---------------------------------------------------------------------------
+// Observer overhead: the same rewrite and incremental-dump loops with
+// the observability layer detached (nil — the zero-overhead contract)
+// and attached, so BENCH json records both sides of the comparison.
+
+func benchmarkObserverRewrite(b *testing.B, o *dynacut.Observer) {
+	sess := buildBenchSession(b)
+	cust, err := dynacut.NewCustomizer(sess.Machine, sess.PID(), dynacut.CustomizerOptions{
+		Observer: o,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cust.Rewrite(func(ed *crit.Editor, pids []int) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if o != nil {
+		b.ReportMetric(float64(o.Seq()), "trace-events")
+	}
+}
+
+func BenchmarkObserver_RewriteNil(b *testing.B) { benchmarkObserverRewrite(b, nil) }
+func BenchmarkObserver_RewriteAttached(b *testing.B) {
+	benchmarkObserverRewrite(b, dynacut.NewObserver(0))
+}
+
+func benchmarkObserverIncrementalDump(b *testing.B, o *dynacut.Observer) {
+	sess := buildBenchSession(b)
+	if o != nil {
+		sess.Machine.SetObserver(o)
+	}
+	parent, err := dynacut.Dump(sess.Machine, sess.PID(), dynacut.DumpOpts{ExecPages: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dynacut.Dump(sess.Machine, sess.PID(), dynacut.DumpOpts{
+			ExecPages: true, Parent: parent,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObserver_IncrementalDumpNil(b *testing.B) { benchmarkObserverIncrementalDump(b, nil) }
+func BenchmarkObserver_IncrementalDumpAttached(b *testing.B) {
+	benchmarkObserverIncrementalDump(b, dynacut.NewObserver(0))
 }
 
 func BenchmarkMicro_DumpRestoreCycle(b *testing.B) {

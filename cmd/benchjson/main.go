@@ -4,6 +4,11 @@
 // human-readable benchmark log stays visible — and writes the parsed
 // results to the file named by -o.
 //
+// With -trace it also reads a JSONL trace (as written by
+// Observer.WriteJSONL / cmd/tracedemo) and embeds its per-phase
+// summary in the report, tying the benchmark numbers to the observed
+// rewrite timeline.
+//
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -o BENCH.json
@@ -17,6 +22,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"github.com/dynacut/dynacut/internal/obs"
 )
 
 // Result is one benchmark line: name, iteration count, and every
@@ -35,6 +42,9 @@ type Report struct {
 	Pkg     string   `json:"pkg,omitempty"`
 	CPU     string   `json:"cpu,omitempty"`
 	Results []Result `json:"results"`
+	// Trace is the per-phase summary of the JSONL trace named by
+	// -trace, when given.
+	Trace *obs.TraceSummary `json:"trace,omitempty"`
 }
 
 func parseLine(line string) (Result, bool) {
@@ -59,6 +69,7 @@ func parseLine(line string) (Result, bool) {
 
 func main() {
 	out := flag.String("o", "", "output JSON file (required)")
+	tracePath := flag.String("trace", "", "JSONL trace file to summarize into the report")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -o output file is required")
@@ -66,6 +77,20 @@ func main() {
 	}
 
 	rep := Report{Results: []Result{}}
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		events, err := obs.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: reading trace: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Trace = obs.Summarize(events)
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {

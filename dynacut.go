@@ -40,6 +40,7 @@ import (
 	"github.com/dynacut/dynacut/internal/disasm"
 	"github.com/dynacut/dynacut/internal/faultinject"
 	"github.com/dynacut/dynacut/internal/kernel"
+	"github.com/dynacut/dynacut/internal/obs"
 	"github.com/dynacut/dynacut/internal/trace"
 )
 
@@ -84,6 +85,16 @@ type (
 	ImageSet = criu.ImageSet
 	// DumpOpts controls checkpointing.
 	DumpOpts = criu.DumpOpts
+
+	// Observer collects structured trace events (phase spans, injected
+	// faults, point events) and metrics from the rewrite pipeline.
+	// Install via CustomizerOptions.Observer; a nil observer costs
+	// nothing.
+	Observer = obs.Observer
+	// ObsEvent is one structured trace event in an Observer's ring.
+	ObsEvent = obs.Event
+	// TraceSummary aggregates a trace into per-phase statistics.
+	TraceSummary = obs.TraceSummary
 
 	// FaultInjector deterministically injects failures into the
 	// checkpoint/rewrite/restore machinery (install with
@@ -158,6 +169,15 @@ func NewMachine() *Machine { return kernel.NewMachine() }
 // NewFaultInjector creates a deterministic, seeded fault injector;
 // install it with Machine.SetFaultHook.
 func NewFaultInjector(seed int64) *FaultInjector { return faultinject.New(seed) }
+
+// NewObserver creates a trace observer with a bounded event ring of
+// the given capacity (<= 0 selects the default).
+func NewObserver(capacity int) *Observer { return obs.New(capacity) }
+
+// SummarizeTrace aggregates a slice of trace events (e.g. read back
+// from a JSONL file via obs tooling, or Observer.Events) into
+// per-phase statistics.
+func SummarizeTrace(events []ObsEvent) *TraceSummary { return obs.Summarize(events) }
 
 // NewCustomizer wraps the guest process rooted at pid.
 func NewCustomizer(m *Machine, pid int, opts CustomizerOptions) (*Customizer, error) {

@@ -23,6 +23,7 @@ import (
 	"github.com/dynacut/dynacut/internal/delf"
 	"github.com/dynacut/dynacut/internal/faultinject"
 	"github.com/dynacut/dynacut/internal/kernel"
+	"github.com/dynacut/dynacut/internal/obs"
 )
 
 // Policy selects how undesired code is removed (§3.2.2).
@@ -90,6 +91,13 @@ type Options struct {
 	// fails if the restored root exits or dies on a signal within the
 	// budget.
 	HealthBudget uint64
+	// Observer, when non-nil, receives a typed event for every rewrite
+	// phase (checkpoint, edit, validate, kill, restore, health,
+	// rollback) plus pipeline counters. New also installs it as the
+	// machine's observer if the machine has none, so kernel, criu and
+	// fault-injection telemetry land in the same sink. nil = zero
+	// overhead: no events, no metrics, no allocations.
+	Observer *obs.Observer
 }
 
 // Stats reports the cost of one rewrite cycle, matching the segments
@@ -204,6 +212,9 @@ func New(m *kernel.Machine, pid int, opts Options) (*Customizer, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Observer != nil && m.Observer() == nil {
+		m.SetObserver(opts.Observer)
+	}
 	return &Customizer{
 		machine:    m,
 		pid:        pid,
@@ -212,6 +223,27 @@ func New(m *kernel.Machine, pid int, opts Options) (*Customizer, error) {
 		saved:      map[uint64][]byte{},
 		disabled:   map[string][]coverage.AbsBlock{},
 	}, nil
+}
+
+// span opens an observability span for one rewrite phase and returns
+// its closer. With no observer configured both directions are no-ops
+// (the returned closure is static, so the nil path does not allocate).
+func (c *Customizer) span(name string, attempt int) func(err error) {
+	o := c.opts.Observer
+	if o == nil {
+		return noopSpanEnd
+	}
+	o.PhaseStart(name, attempt)
+	return func(err error) { o.PhaseEnd(name, attempt, err) }
+}
+
+func noopSpanEnd(error) {}
+
+// point emits an instantaneous observability event if observing.
+func (c *Customizer) point(name string, n int64) {
+	if o := c.opts.Observer; o != nil {
+		o.Point(name, n)
+	}
 }
 
 // PID returns the current root process ID (it changes after each
@@ -248,9 +280,11 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 	// last committed images. Dump's fault prepass guarantees a failed
 	// dump clears no dirty bitmap, so c.parent stays valid on error.
 	t0 := time.Now()
+	endCkpt := c.span("checkpoint", 0)
 	set, err := criu.Dump(c.machine, c.pid, criu.DumpOpts{
 		ExecPages: true, Tree: c.opts.Tree, Parent: c.parent,
 	})
+	endCkpt(err)
 	if err != nil {
 		return stats, fmt.Errorf("checkpoint: %w", err)
 	}
@@ -262,7 +296,10 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 
 	// Validate while the guest is still running: a bad image set must
 	// be rejected before it can cost us a live process.
-	if err := set.Validate(c.machine); err != nil {
+	endVal := c.span("validate", 0)
+	err = set.Validate(c.machine)
+	endVal(err)
+	if err != nil {
 		// The dump reset the dirty bitmaps, so older parents no longer
 		// cover the guest's writes — and this set is not trustworthy.
 		// Force the next checkpoint to be a full dump.
@@ -315,6 +352,7 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 		c.verifierCount = verifierSnap
 		c.handler = handlerSnap
 
+		endDecode := c.span("decode", attempt)
 		work, err := criu.Unmarshal(pristine)
 		if err == nil {
 			// A delta blob comes back detached; re-attach its ancestry.
@@ -322,6 +360,7 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 			// corrupted in flight — caught like any other corruption.
 			err = work.BindParent(blobParent)
 		}
+		endDecode(err)
 		if err != nil {
 			// The serialized images are corrupt; the checksum caught it
 			// before anything was killed. The guest is untouched, and
@@ -335,9 +374,11 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 		// injection survives re-dumps of restored procs (the library
 		// VMAs were dumped), so only re-inject when absent.
 		t1 := time.Now()
+		endEdit := c.span("edit", attempt)
 		err = c.ensureHandler(ed, work.PIDs)
 		stats.InsertHandler += time.Since(t1)
 		if err != nil {
+			endEdit(err)
 			lastErr = err
 			continue // guest untouched; retry or give up below
 		}
@@ -345,6 +386,7 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 		t2 := time.Now()
 		err = edit(ed, work.PIDs)
 		stats.CodeUpdate += time.Since(t2)
+		endEdit(err)
 		if err != nil {
 			lastErr = fmt.Errorf("rewrite: %w", err)
 			continue // guest untouched
@@ -352,7 +394,10 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 
 		// The edited images must still describe a restorable process
 		// tree — checked while the originals are alive.
-		if err := work.Validate(c.machine); err != nil {
+		endVal := c.span("validate", attempt)
+		err = work.Validate(c.machine)
+		endVal(err)
+		if err != nil {
 			lastErr = fmt.Errorf("rewrite: %w", err)
 			continue // guest untouched
 		}
@@ -366,18 +411,24 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 		// no ports; a genuinely stuck port surfaces as a restore failure
 		// below.)
 		tKill := time.Now()
+		endKill := c.span("kill", attempt)
 		for _, pid := range curPIDs {
 			c.machine.Kill(pid)
 		}
+		endKill(nil)
 
 		t3 := time.Now()
+		endRestore := c.span("restore", attempt)
 		procs, pidMap, err := criu.Restore(c.machine, work)
+		endRestore(err)
 		stats.Restore += time.Since(t3)
 		if err != nil {
 			// Restore is atomic: its partial procs are already gone.
 			restoreErr := fmt.Errorf("%w (attempt %d): %w", ErrRestoreFailed, attempt, err)
+			endRB := c.span("rollback", attempt)
 			var rbErr error
 			curPIDs, rbErr = c.rollbackOr(&stats, pristine, blobParent, rootOld, restoreErr)
+			endRB(rbErr)
 			stats.Downtime += time.Since(tKill) // down from kill through the rollback restore
 			if rbErr != nil {
 				return stats, rbErr
@@ -394,7 +445,9 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 		}
 
 		t4 := time.Now()
+		endHealth := c.span("health", attempt)
 		hcErr := c.healthCheck(newRoot, procs)
+		endHealth(hcErr)
 		stats.HealthCheck += time.Since(t4)
 		if hcErr != nil {
 			// Tear down the unhealthy restored tree, then roll back. The
@@ -405,8 +458,10 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 				c.machine.Kill(procs[i].PID())
 				c.machine.Remove(procs[i].PID())
 			}
+			endRB := c.span("rollback", attempt)
 			var rbErr error
 			curPIDs, rbErr = c.rollbackOr(&stats, pristine, blobParent, rootOld, hcErr)
+			endRB(rbErr)
 			stats.Downtime += time.Since(tDown)
 			if rbErr != nil {
 				return stats, rbErr
@@ -422,6 +477,10 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 		c.pid = newRoot
 		c.parent = work.RemapPIDs(pidMap)
 		stats.RolledBack = false
+		c.point("rewrite.commit", int64(attempt))
+		if o := c.opts.Observer; o != nil {
+			o.Add("core.commits", 1)
+		}
 		return stats, nil
 	}
 
@@ -448,6 +507,9 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 // marks the transaction dead and returns an ErrRollbackFailed error
 // carrying both failures.
 func (c *Customizer) rollbackOr(stats *Stats, pristine []byte, blobParent *criu.ImageSet, rootOld int, cause error) ([]int, error) {
+	if o := c.opts.Observer; o != nil {
+		o.Add("core.rollbacks", 1)
+	}
 	c.parent = nil
 	set, err := criu.Unmarshal(pristine)
 	if err == nil {
@@ -765,31 +827,47 @@ func (c *Customizer) TrapHits() (uint64, error) {
 }
 
 // FalseRemovals reads the verifier log: addresses whose removal the
-// handler reverted at run time (§3.2.3).
+// handler reverted at run time (§3.2.3). The log holds at most
+// maxVerifierEntries addresses; use FalseRemovalsSeen to detect
+// whether the guest healed more than that.
 func (c *Customizer) FalseRemovals() ([]uint64, error) {
+	out, _, err := c.FalseRemovalsSeen()
+	return out, err
+}
+
+// FalseRemovalsSeen reads the verifier log and also returns how many
+// reverts the guest performed in total. The in-guest handler counts
+// every revert in flog_len but stores only the first
+// maxVerifierEntries addresses, so seen > len(addrs) means the log
+// overflowed and the excess addresses were dropped — surfaced here
+// (and as a "verifier.flog.truncated" trace event) rather than
+// silently capped.
+func (c *Customizer) FalseRemovalsSeen() (addrs []uint64, seen uint64, err error) {
 	if c.handler == nil {
-		return nil, fmt.Errorf("core: no handler injected")
+		return nil, 0, fmt.Errorf("core: no handler injected")
 	}
 	p, err := c.machine.Process(c.pid)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	n, err := p.Mem().ReadU64(c.handler.FLogLen)
+	seen, err = p.Mem().ReadU64(c.handler.FLogLen)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if n > 256 {
-		n = 256
+	n := seen
+	if n > maxVerifierEntries {
+		n = maxVerifierEntries
+		c.point("verifier.flog.truncated", int64(seen-n))
 	}
-	out := make([]uint64, 0, n)
+	addrs = make([]uint64, 0, n)
 	for i := uint64(0); i < n; i++ {
 		a, err := p.Mem().ReadU64(c.handler.FLog + 8*i)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		out = append(out, a)
+		addrs = append(addrs, a)
 	}
-	return out, nil
+	return addrs, seen, nil
 }
 
 // AdoptFalseRemovals completes the §3.2.3 validation loop: every
@@ -826,8 +904,15 @@ func (c *Customizer) AdoptFalseRemovals() ([]uint64, error) {
 
 // splitPageCoverage partitions blocks into page ranges fully covered
 // by them (safe to unmap) and leftover blocks (wiped instead).
+//
+// Coverage profiles routinely contain overlapping blocks (a function
+// recorded both whole and as its inner basic blocks), so the covered
+// bytes of each page are counted as the measure of the *union* of the
+// block spans on it — summing raw lengths would double-count overlaps
+// and could declare a partially-covered page full, unmapping live code.
 func splitPageCoverage(blocks []coverage.AbsBlock) ([]pageRange, []coverage.AbsBlock) {
-	bytesOn := map[uint64]uint64{} // page -> undesired bytes on it
+	type span struct{ lo, hi uint64 }
+	spansOn := map[uint64][]span{} // page -> covered spans on it
 	for _, b := range blocks {
 		for a := b.Addr; a < b.Addr+b.Size; {
 			pn := a / kernel.PageSize
@@ -836,14 +921,29 @@ func splitPageCoverage(blocks []coverage.AbsBlock) ([]pageRange, []coverage.AbsB
 			if hi > end {
 				hi = end
 			}
-			bytesOn[pn] += hi - a
+			spansOn[pn] = append(spansOn[pn], span{lo: a, hi: hi})
 			a = hi
 		}
 	}
 	var full []pageRange
 	fullSet := map[uint64]bool{}
-	for pn, n := range bytesOn {
-		if n >= kernel.PageSize {
+	for pn, spans := range spansOn {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+		var union, hi uint64
+		lo := spans[0].lo
+		hi = spans[0].hi
+		for _, s := range spans[1:] {
+			if s.lo <= hi {
+				if s.hi > hi {
+					hi = s.hi
+				}
+				continue
+			}
+			union += hi - lo
+			lo, hi = s.lo, s.hi
+		}
+		union += hi - lo
+		if union >= kernel.PageSize {
 			fullSet[pn] = true
 		}
 	}

@@ -54,12 +54,15 @@ vfound:
 	store [r3], r2       ; retry the restored instruction on sigreturn
 	lea r9, flog_len
 	load r10, [r9]
+	cmp r10, 256         ; flog holds 256 entries; past that only count
+	jge vlogfull
 	lea r11, flog
 	mov r13, r10
 	shl r13, 3
 	add r11, r13
 	store [r11], r2      ; log the falsely-removed address
-	add r10, 1
+vlogfull:
+	add r10, 1           ; flog_len counts every revert, stored or not
 	store [r9], r10
 	ret
 

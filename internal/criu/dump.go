@@ -115,6 +115,13 @@ func Dump(m *kernel.Machine, pid int, opts DumpOpts) (*ImageSet, error) {
 		set.Parent = opts.Parent
 	}
 	sortPIDsParentFirst(set.PIDs, parent)
+	if o := m.Observer(); o != nil {
+		o.Add("criu.dumps", 1)
+		o.Add("criu.pages.dumped", int64(set.PagesDumped))
+		o.Add("criu.pages.skipped", int64(set.PagesSkipped))
+		o.SetGauge("criu.parent.depth", int64(set.Depth()))
+		o.Observe("criu.dump.pages", int64(set.PagesDumped))
+	}
 	return set, nil
 }
 

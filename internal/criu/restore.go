@@ -55,6 +55,10 @@ func Restore(m *kernel.Machine, set *ImageSet) ([]*kernel.Process, map[int]int, 
 		pidMap[oldPID] = p.PID()
 		out = append(out, p)
 	}
+	if o := m.Observer(); o != nil {
+		o.Add("criu.restores", 1)
+		o.Add("criu.procs.restored", int64(len(out)))
+	}
 	return out, pidMap, nil
 }
 

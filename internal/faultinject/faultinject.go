@@ -96,13 +96,14 @@ type blobPlan struct {
 // kernel.FaultHook and kernel.BlobMutator interfaces. The zero value
 // is not usable; construct with New.
 type Injector struct {
-	mu    sync.Mutex
-	seed  int64
-	rng   *rand.Rand
-	plans []*plan
-	blobs []*blobPlan
-	hits  map[string]int
-	log   []Event
+	mu       sync.Mutex
+	seed     int64
+	rng      *rand.Rand
+	plans    []*plan
+	blobs    []*blobPlan
+	hits     map[string]int
+	log      []Event
+	reporter func(site string, hit int, injected bool)
 }
 
 // New creates an injector whose random choices (corruption offsets,
@@ -117,6 +118,27 @@ func New(seed int64) *Injector {
 
 // Seed returns the seed the injector was built with.
 func (in *Injector) Seed() int64 { return in.seed }
+
+// SetReporter installs a callback invoked for every injected fault
+// (blob mutations included) — the kernel.FaultReporter contract. A
+// machine with both this injector and an observer installed wires the
+// callback so each injection lands in the trace as a fault event,
+// making chaos runs self-explaining. nil disables reporting.
+func (in *Injector) SetReporter(f func(site string, hit int, injected bool)) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.reporter = f
+}
+
+// report invokes the reporter for an injected fault. Caller holds
+// in.mu; the callback only feeds the observer, which never calls back
+// into the injector, so holding the lock is safe and keeps the event
+// order identical to the decision log.
+func (in *Injector) report(site string, hit int) {
+	if in.reporter != nil {
+		in.reporter(site, hit, true)
+	}
+}
 
 // FailAt arms the nth (1-based) hit of any site matching sitePrefix
 // to fail. An exact site name is a valid prefix of itself.
@@ -181,6 +203,7 @@ func (in *Injector) Fault(site string, detail int) error {
 		pl.count++
 		if pl.count >= pl.at && pl.active() {
 			in.log = append(in.log, Event{Site: site, Hit: pl.count, Fail: true})
+			in.report(site, pl.count)
 			return fmt.Errorf("%w: %s (hit %d, detail %d, seed %d)",
 				ErrInjected, site, pl.count, detail, in.seed)
 		}
@@ -216,6 +239,7 @@ func (in *Injector) MutateBlob(site string, blob []byte) []byte {
 			mutated[off] ^= byte(1 << in.rng.Intn(8))
 		}
 		in.log = append(in.log, Event{Site: site, Hit: 1, Fail: true})
+		in.report(site, 1)
 		out = mutated
 	}
 	return out

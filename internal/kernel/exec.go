@@ -261,6 +261,12 @@ func (m *Machine) pop(p *Process) (uint64, bool) {
 // is terminated with 128+signo (the default action — what static
 // debloaters do when removed code is reached).
 func (m *Machine) fault(p *Process, sig Signal, faultAddr uint64) {
+	if m.obs != nil {
+		m.obs.Add("kernel.signals", 1)
+		if sig == SIGTRAP {
+			m.obs.Add("kernel.traps", 1)
+		}
+	}
 	act, ok := p.sig[sig]
 	if !ok || act.Handler == 0 {
 		m.terminate(p, 128+int(sig), sig)

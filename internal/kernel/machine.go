@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"github.com/dynacut/dynacut/internal/obs"
 )
 
 // Tracer observes basic-block execution; internal/trace implements it
@@ -46,6 +48,16 @@ type BlobMutator interface {
 	MutateBlob(site string, blob []byte) []byte
 }
 
+// FaultReporter is an optional FaultHook extension: hooks that
+// implement it are handed a callback to invoke for every fault they
+// actually inject (blob mutations included, which Machine.Fault cannot
+// see fail). The machine wires the callback to the installed observer,
+// so every injected fault becomes a trace event.
+type FaultReporter interface {
+	// SetReporter installs the callback (nil disables reporting).
+	SetReporter(func(site string, hit int, injected bool))
+}
+
 // Machine is the simulated computer: processes, network, virtual
 // clock, and the "disk" of loaded binaries.
 type Machine struct {
@@ -57,6 +69,7 @@ type Machine struct {
 	nudge     NudgeFunc
 	syshook   SyscallHook
 	faultHook FaultHook
+	obs       *obs.Observer
 	disk      map[string][]byte // serialized DELF files by name
 }
 
@@ -86,7 +99,47 @@ func (m *Machine) SetNudgeFunc(f NudgeFunc) { m.nudge = f }
 func (m *Machine) SetSyscallHook(f SyscallHook) { m.syshook = f }
 
 // SetFaultHook installs (or removes, with nil) the fault injector.
-func (m *Machine) SetFaultHook(h FaultHook) { m.faultHook = h }
+func (m *Machine) SetFaultHook(h FaultHook) {
+	m.faultHook = h
+	m.wireFaultReporter()
+}
+
+// SetObserver installs (or removes, with nil) the observability sink.
+// The observer's virtual-clock source is wired to this machine's tick
+// counter, so its events carry deterministic timestamps; if the fault
+// hook reports injections (FaultReporter), those are wired through as
+// fault events too. With no observer attached, every emit site is a
+// nil check — zero overhead.
+func (m *Machine) SetObserver(o *obs.Observer) {
+	m.obs = o
+	if o != nil {
+		o.SetClock(func() uint64 { return m.clock })
+	}
+	m.wireFaultReporter()
+}
+
+// Observer returns the installed observability sink (nil when
+// unobserved); criu and core emit their pipeline metrics through it.
+func (m *Machine) Observer() *obs.Observer { return m.obs }
+
+// wireFaultReporter connects a reporting fault hook to the observer so
+// each injected fault (blob mutations included) becomes an event.
+func (m *Machine) wireFaultReporter() {
+	fr, ok := m.faultHook.(FaultReporter)
+	if !ok {
+		return
+	}
+	o := m.obs
+	if o == nil {
+		fr.SetReporter(nil)
+		return
+	}
+	fr.SetReporter(func(site string, hit int, injected bool) {
+		if injected {
+			o.Fault(site, hit)
+		}
+	})
+}
 
 // Fault consults the installed fault hook at a named site; without a
 // hook it always succeeds.
@@ -94,7 +147,14 @@ func (m *Machine) Fault(site string, detail int) error {
 	if m.faultHook == nil {
 		return nil
 	}
-	return m.faultHook.Fault(site, detail)
+	err := m.faultHook.Fault(site, detail)
+	if err != nil && m.obs != nil {
+		// Reporting hooks already emitted the event themselves.
+		if _, reports := m.faultHook.(FaultReporter); !reports {
+			m.obs.Fault(site, 0)
+		}
+	}
+	return err
 }
 
 // MutateBlob passes a serialized blob through the installed fault
@@ -333,6 +393,9 @@ func (m *Machine) Run(maxSteps uint64) uint64 {
 		if !progress {
 			break
 		}
+	}
+	if m.obs != nil && executed > 0 {
+		m.obs.Add("kernel.ticks", int64(executed))
 	}
 	return executed
 }

@@ -33,6 +33,9 @@ func (m *Machine) syscall(p *Process, next uint64) bool {
 	if m.syshook != nil {
 		m.syshook(p.pid, nr)
 	}
+	if m.obs != nil {
+		m.obs.Add("kernel.syscalls", 1)
+	}
 	if p.sysFilter != nil && !p.sysFilter[nr] {
 		// seccomp SECCOMP_RET_KILL semantics.
 		m.terminate(p, 128+int(SIGSYS), SIGSYS)

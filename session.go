@@ -128,6 +128,12 @@ func (s *Session) Request(req string) (string, error) {
 	return resp, err
 }
 
+// drainWindow is how long requestOnce keeps running the guest while
+// waiting for the next response byte before concluding the response
+// is complete. It must comfortably exceed the longest inter-segment
+// computation a guest performs mid-response.
+const drainWindow = 50_000
+
 func (s *Session) requestOnce(req string) (string, error) {
 	conn, err := s.Machine.Dial(s.Port)
 	if err != nil {
@@ -137,10 +143,41 @@ func (s *Session) requestOnce(req string) (string, error) {
 	if _, err := conn.Write([]byte(req)); err != nil {
 		return "", err
 	}
+	// Run until the first byte (or close), then drain adaptively: as
+	// long as bytes keep arriving, keep granting drain windows — a
+	// fixed post-first-byte budget would truncate responses written in
+	// several segments. The whole exchange stays bounded by
+	// requestBudget of guest ticks.
+	start := s.Machine.Clock()
+	budgetLeft := func() uint64 {
+		used := s.Machine.Clock() - start
+		if used >= requestBudget {
+			return 0
+		}
+		return requestBudget - used
+	}
 	s.Machine.RunUntil(func() bool {
 		return len(conn.ReadAllPeek()) > 0 || conn.Closed()
 	}, requestBudget)
-	s.Machine.Run(20000) // drain trailing bytes
+	got := len(conn.ReadAllPeek())
+	for !conn.Closed() {
+		left := budgetLeft()
+		if left == 0 {
+			break
+		}
+		window := uint64(drainWindow)
+		if window > left {
+			window = left
+		}
+		s.Machine.RunUntil(func() bool {
+			return len(conn.ReadAllPeek()) > got || conn.Closed()
+		}, window)
+		n := len(conn.ReadAllPeek())
+		if n == got {
+			break // a full quiet window: the response is done
+		}
+		got = n
+	}
 	resp := string(conn.ReadAll())
 	if resp == "" && conn.Closed() {
 		return "", ErrNoResponse
@@ -168,7 +205,11 @@ func (s *Session) CanaryProbe(req, want string) func(m *Machine, pid int) error 
 		if m != s.Machine {
 			return errors.New("dynacut: canary probe bound to a different machine")
 		}
-		resp, err := s.Request(req)
+		// Deliberately not s.Request: the probe runs in the middle of a
+		// rewrite, and a routine canary success (or its transient
+		// failure, already reported via the transaction's own error
+		// path) must not clobber the LastErr the caller is tracking.
+		resp, err := s.requestOnce(req)
 		if err != nil {
 			return fmt.Errorf("canary %q: %w", req, err)
 		}

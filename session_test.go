@@ -154,6 +154,130 @@ func TestSessionSymbolAddrErrors(t *testing.T) {
 	}
 }
 
+// TestCanaryProbePreservesLastErr: the canary health probe runs in
+// the middle of a rewrite transaction; it must not clobber the
+// LastErr a caller is tracking across the rewrite (regression: the
+// probe used to go through s.Request, which overwrites LastErr).
+func TestCanaryProbePreservesLastErr(t *testing.T) {
+	app, err := BuildWebServer(WebServerConfig{Port: 8080})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := StartServer(app.Exe, []*Binary{app.Libc}, app.Config.Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := sess.ProfileFeatures(
+		[]string{"GET /\n", "HEAD /\n"},
+		[]string{"PUT /f data\n", "DELETE /f\n"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errAddr, err := sess.SymbolAddr("resp_403")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := sess.CanaryProbe("GET /\n", "200")
+	probeRan := false
+	cust, err := NewCustomizer(sess.Machine, sess.PID(), CustomizerOptions{
+		RedirectTo: errAddr,
+		HealthCheck: func(m *Machine, pid int) error {
+			probeRan = true
+			return probe(m, pid)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("sentinel: pre-rewrite outcome")
+	sess.LastErr = sentinel
+	if _, err := cust.DisableBlocks("webdav", blocks, PolicyBlockEntry); err != nil {
+		t.Fatal(err)
+	}
+	if !probeRan {
+		t.Fatal("canary probe never ran")
+	}
+	if sess.LastErr != sentinel {
+		t.Fatalf("LastErr clobbered by canary probe: %v", sess.LastErr)
+	}
+	if resp := sess.MustRequest("GET /\n"); !strings.Contains(resp, "200") {
+		t.Fatalf("GET after canaried rewrite -> %q", resp)
+	}
+}
+
+// TestRequestDrainsMultiSegmentResponse: a guest that writes its
+// response in several widely-spaced segments (here one byte every
+// ~36k ticks, wider than the old fixed 20k-tick drain) must still
+// yield the complete response (regression: requestOnce drained a
+// fixed window after the first byte and truncated the rest).
+func TestRequestDrainsMultiSegmentResponse(t *testing.T) {
+	exe, err := Assemble("slowwriter", `
+.text
+.global _start
+_start:
+	mov r0, 4
+	syscall
+	mov r8, r0
+	mov r0, 5
+	mov r1, r8
+	mov r2, 7373
+	syscall
+	mov r0, 15
+	mov r1, 0
+	syscall              ; nudge: init done
+loop:
+	mov r0, 7
+	mov r1, r8
+	syscall
+	mov r9, r0
+	mov r0, 3
+	mov r1, r9
+	mov r2, =buf
+	mov r3, 16
+	syscall
+	; respond "SLOW!" one byte at a time, spinning between bytes
+	mov r14, 0
+seg:
+	mov r10, 0
+spin:
+	add r10, 1
+	cmp r10, 12000
+	jl spin
+	lea r2, resp
+	add r2, r14
+	mov r0, 2
+	mov r1, r9
+	mov r3, 1
+	syscall
+	add r14, 1
+	cmp r14, 5
+	jl seg
+	mov r0, 8
+	mov r1, r9
+	syscall
+	jmp loop
+.rodata
+resp: .ascii "SLOW!"
+.bss
+buf: .space 16
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := StartServer(exe, nil, 7373)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := sess.Request("ping\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "SLOW!" {
+		t.Fatalf("response = %q, want %q (truncated drain?)", resp, "SLOW!")
+	}
+}
+
 // TestMustRequestSwallowsErrors.
 func TestMustRequestSwallowsErrors(t *testing.T) {
 	app, err := BuildWebServer(WebServerConfig{Port: 8080})

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race chaos fuzz check bench
+.PHONY: all build test vet race chaos fuzz check bench supervise-demo
 
 all: check
 
@@ -22,8 +22,8 @@ race:
 # observability assertions that every injected fault lands in the
 # trace. Runs vet first: the chaos gate is also the lint gate.
 chaos: vet
-	$(GO) test -race -run 'Chaos|Rollback|Rolls|Transient|Retried|Revalidated|Corrupt|BitFlip|Truncation|Observer|Overflow' \
-		./internal/core/ ./internal/criu/ ./internal/faultinject/ ./internal/obs/ .
+	$(GO) test -race -run 'Chaos|Rollback|Rolls|Transient|Retried|Revalidated|Corrupt|BitFlip|Truncation|Observer|Overflow|Supervisor|Breaker|Storm' \
+		./internal/core/ ./internal/criu/ ./internal/faultinject/ ./internal/obs/ ./internal/supervise/ .
 
 # Short fuzz smoke over the image decoder (corpus seeds always run
 # as part of `test`; this adds a few seconds of mutation).
@@ -36,10 +36,10 @@ check: build vet test race
 # Perf trajectory: run the headline figure benchmarks plus the
 # incremental-checkpoint benchmark and record the numbers as JSON so
 # each PR's results are comparable to the last (BENCH_pr2.json here on).
-BENCH_JSON ?= BENCH_pr3.json
+BENCH_JSON ?= BENCH_pr4.json
 
 bench:
-	$(GO) test -run '^$$' -bench 'Figure6_|Figure7_|Figure8_|IncrementalDump|Observer_' -benchmem -benchtime 1x . \
+	$(GO) test -run '^$$' -bench 'Figure6_|Figure7_|Figure8_|IncrementalDump|Observer_|SupervisorOverhead' -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 # The historical full sweep (every figure, table, ablation and micro).
@@ -50,3 +50,9 @@ bench-all:
 # and writes the JSONL trace next to the benchmark records.
 trace-demo:
 	$(GO) run ./cmd/tracedemo -o trace.jsonl
+
+# The closed loop end to end: disable a feature through the
+# supervisor, drive a trap storm, and watch the degradation ladder
+# re-enable it and open its circuit breaker.
+supervise-demo:
+	$(GO) run ./cmd/supervisedemo

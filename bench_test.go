@@ -501,3 +501,46 @@ func BenchmarkMicro_BuildWebServer(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSupervisorOverhead measures the request-path cost of the
+// attached closed-loop supervisor. "bare" is the baseline; "attached"
+// adds the tick watchdog firing every DefaultPollEvery ticks with
+// nothing to heal (the pure poll cost); "canaried" adds the
+// end-to-end health probe on its DefaultCanaryEvery cadence — the
+// full steady-state configuration.
+func BenchmarkSupervisorOverhead(b *testing.B) {
+	run := func(b *testing.B, attach bool, canary bool) {
+		app, err := dynacut.BuildWebServer(dynacut.WebServerConfig{Name: "lighttpd", Port: 8080})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := dynacut.StartServer(app.Exe, []*dynacut.Binary{app.Libc}, app.Config.Port)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cust, err := dynacut.NewCustomizer(sess.Machine, sess.PID(), dynacut.CustomizerOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if attach {
+			cfg := dynacut.SupervisorConfig{}
+			if canary {
+				cfg.Canary = sess.Canary("GET /\n", "200")
+			}
+			sup := dynacut.NewSupervisor(sess.Machine, cust, cfg)
+			if err := sup.Attach(); err != nil {
+				b.Fatal(err)
+			}
+			defer sup.Detach()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if resp := sess.MustRequest("GET /\n"); !strings.Contains(resp, "200") {
+				b.Fatalf("GET -> %q (%v)", resp, sess.LastErr)
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, false, false) })
+	b.Run("attached", func(b *testing.B) { run(b, true, false) })
+	b.Run("canaried", func(b *testing.B) { run(b, true, true) })
+}

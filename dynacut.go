@@ -41,6 +41,7 @@ import (
 	"github.com/dynacut/dynacut/internal/faultinject"
 	"github.com/dynacut/dynacut/internal/kernel"
 	"github.com/dynacut/dynacut/internal/obs"
+	"github.com/dynacut/dynacut/internal/supervise"
 	"github.com/dynacut/dynacut/internal/trace"
 )
 
@@ -126,6 +127,19 @@ type (
 	// AutoNudge detects the end of initialization automatically by
 	// syscall monitoring (the paper's §5 future-work item).
 	AutoNudge = core.AutoNudge
+
+	// Supervisor is the self-healing closed-loop controller (§3.3):
+	// trap polling, false-removal adoption, canary probing, per-feature
+	// circuit breakers and the trap-storm degradation ladder.
+	Supervisor = supervise.Supervisor
+	// SupervisorConfig tunes the supervisor's cadences and thresholds.
+	SupervisorConfig = supervise.Config
+	// SupervisorStatus snapshots the supervisor's ledger.
+	SupervisorStatus = supervise.Status
+	// FeatureBreaker is one feature's circuit-breaker ledger.
+	FeatureBreaker = supervise.Breaker
+	// BreakerState is a circuit breaker's state (closed/open/half-open).
+	BreakerState = supervise.BreakerState
 )
 
 // Removal policies (§3.2.2), cheapest to strongest.
@@ -133,6 +147,13 @@ const (
 	PolicyBlockEntry = core.PolicyBlockEntry
 	PolicyWipeBlocks = core.PolicyWipeBlocks
 	PolicyUnmapPages = core.PolicyUnmapPages
+)
+
+// Circuit-breaker states.
+const (
+	BreakerClosed   = supervise.BreakerClosed
+	BreakerOpen     = supervise.BreakerOpen
+	BreakerHalfOpen = supervise.BreakerHalfOpen
 )
 
 // Signals.
@@ -161,6 +182,15 @@ var (
 	ErrInconsistentImage = criu.ErrInconsistentImage
 	// ErrFaultInjected: a failure came from the fault injector.
 	ErrFaultInjected = faultinject.ErrInjected
+	// ErrQuarantined: DisableFeature refused — the feature's breaker is
+	// open and under probation.
+	ErrQuarantined = supervise.ErrQuarantined
+	// ErrDisarmed: DisableFeature refused — the degradation ladder
+	// switched patching off; Rearm to resume.
+	ErrDisarmed = supervise.ErrDisarmed
+	// ErrGuestLost: the supervisor exhausted its pristine-restore
+	// attempts; the guest is gone.
+	ErrGuestLost = supervise.ErrGuestLost
 )
 
 // NewMachine creates an empty simulated machine.
@@ -182,6 +212,12 @@ func SummarizeTrace(events []ObsEvent) *TraceSummary { return obs.Summarize(even
 // NewCustomizer wraps the guest process rooted at pid.
 func NewCustomizer(m *Machine, pid int, opts CustomizerOptions) (*Customizer, error) {
 	return core.New(m, pid, opts)
+}
+
+// NewSupervisor builds the closed-loop controller for a customized
+// guest. Call Attach to snapshot the last-good images and start it.
+func NewSupervisor(m *Machine, cust *Customizer, cfg SupervisorConfig) *Supervisor {
+	return supervise.New(m, cust, cfg)
 }
 
 // DefaultInitEndSyscall is the accept(2) analogue used by AutoNudge

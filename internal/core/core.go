@@ -76,6 +76,12 @@ type Options struct {
 	// attempt's time is charged, so Figure 8-style interruption
 	// numbers stay honest.
 	TicksPerSecond uint64
+	// MaxChargeTicks, when nonzero, caps the virtual ticks charged per
+	// rewrite. The measured downtime is wall time, so a descheduled
+	// test host can inflate one rewrite's charge by orders of
+	// magnitude; timeline experiments set a cap a few buckets wide so
+	// a scheduling outlier cannot swallow the rest of the timeline.
+	MaxChargeTicks uint64
 	// MaxAttempts bounds how many times Rewrite retries the whole
 	// edit/restore cycle on failure before giving up (each failed
 	// attempt is rolled back first). 0 or 1 = no retry.
@@ -574,16 +580,27 @@ func (c *Customizer) charge(stats Stats) {
 	exact := stats.Interruption().Seconds()*float64(c.opts.TicksPerSecond) + c.tickCarry
 	ticks := math.Floor(exact + 0.5)
 	c.tickCarry = exact - ticks
+	if max := c.opts.MaxChargeTicks; max > 0 && ticks > float64(max) {
+		ticks = float64(max)
+		c.tickCarry = 0 // an outlier's excess is dropped, not deferred
+	}
 	if ticks > 0 {
 		c.machine.AdvanceClock(uint64(ticks))
 	}
 }
 
 // ensureHandler injects the signal-handler library into every dumped
-// process that does not already carry it.
+// process that does not already carry it. When the library is already
+// mapped but this customizer holds no handler state (a fresh or
+// rebound instance working on images from an earlier customization),
+// the export addresses are re-derived from the module entry so
+// verifier bookkeeping and trap counters keep working.
 func (c *Customizer) ensureHandler(ed *crit.Editor, pids []int) error {
 	for _, pid := range pids {
-		if _, err := ed.FindModule(pid, HandlerLibName); err == nil {
+		if mod, err := ed.FindModule(pid, HandlerLibName); err == nil {
+			if c.handler == nil {
+				c.handler = handlerFromModule(c.handlerLib, mod)
+			}
 			continue
 		}
 		h, err := injectHandler(ed, pid, c.handlerLib, c.opts.RedirectTo)
@@ -780,6 +797,106 @@ func (c *Customizer) EnableBlocks(name string) (Stats, error) {
 	return stats, nil
 }
 
+// EnableAll restores every currently disabled feature in a single
+// rewrite — the supervisor's "turn everything back on" rung. Features
+// whose pages were unmapped (PolicyUnmapPages) cannot be restored
+// byte-wise and make EnableAll fail like EnableBlocks would; callers
+// needing a guaranteed way back from that state restore images
+// instead. With nothing disabled it is a no-op.
+func (c *Customizer) EnableAll() (Stats, error) {
+	if len(c.disabled) == 0 {
+		return Stats{}, nil
+	}
+	names := make([]string, 0, len(c.disabled))
+	for name := range c.disabled {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	patched := 0
+	stats, err := c.Rewrite(func(ed *crit.Editor, pids []int) error {
+		patched = 0 // the closure re-runs on retried attempts
+		for _, pid := range pids {
+			for _, name := range names {
+				for _, b := range c.disabled[name] {
+					orig, ok := c.saved[b.Addr]
+					if !ok {
+						return fmt.Errorf("core: no saved bytes for %#x (feature %q)", b.Addr, name)
+					}
+					if err := ed.WriteMem(pid, b.Addr, orig); err != nil {
+						return err
+					}
+					patched++
+				}
+			}
+		}
+		return nil
+	})
+	stats.BlocksPatched = patched
+	if err != nil {
+		return stats, err
+	}
+	for _, name := range names {
+		for _, b := range c.disabled[name] {
+			delete(c.saved, b.Addr)
+		}
+		delete(c.disabled, name)
+	}
+	return stats, nil
+}
+
+// Checkpoint snapshots the live guest for external keeping (e.g. the
+// supervisor's last-good images). The tree is dumped incrementally
+// against the customizer's parent chain and — because any dump resets
+// the kernel's dirty-page tracking — adopted as the new incremental
+// parent, so taking a snapshot here never invalidates the chain the
+// next Rewrite depends on. The returned set is flattened: fully
+// self-contained, restorable with no ancestry attached. Callers that
+// checkpoint outside this method corrupt the incremental pipeline.
+func (c *Customizer) Checkpoint() (*criu.ImageSet, error) {
+	p, err := c.machine.Process(c.pid)
+	if err != nil || p.Exited() {
+		return nil, ErrDead
+	}
+	end := c.span("checkpoint", 0)
+	set, err := criu.Dump(c.machine, c.pid, criu.DumpOpts{
+		ExecPages: true, Tree: c.opts.Tree, Parent: c.parent,
+	})
+	end(err)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := set.Validate(c.machine); err != nil {
+		// Dirty bitmaps were reset by the dump but the set is not
+		// trustworthy: force the next checkpoint to be a full dump.
+		c.parent = nil
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	c.parent = set
+	flat, err := set.Flatten()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return flat, nil
+}
+
+// Rebind re-points the customizer at a guest tree that was restored
+// outside its own rewrite cycle — e.g. the supervisor materializing
+// its last-good pristine images after the degradation ladder bottoms
+// out. All customization bookkeeping is reset to "nothing disabled":
+// the restored images predate every edit this instance applied. If
+// the images do carry an injected handler, the next rewrite
+// re-derives its state from the module table instead of re-injecting.
+func (c *Customizer) Rebind(pid int) {
+	c.pid = pid
+	c.saved = map[uint64][]byte{}
+	c.disabled = map[string][]coverage.AbsBlock{}
+	c.unmapped = nil
+	c.verifierCount = 0
+	c.handler = nil
+	c.parent = nil
+	c.tickCarry = 0
+}
+
 // Disabled reports the currently disabled block groups.
 func (c *Customizer) Disabled() map[string][]coverage.AbsBlock {
 	out := make(map[string][]coverage.AbsBlock, len(c.disabled))
@@ -870,11 +987,38 @@ func (c *Customizer) FalseRemovalsSeen() (addrs []uint64, seen uint64, err error
 	return addrs, seen, nil
 }
 
+// InHandler reports whether any live guest process is currently
+// executing inside the injected SIGTRAP handler library. Host-side
+// verifier maintenance (AdoptFalseRemovals) rewrites the vtable the
+// handler scans; doing that while a guest is mid-scan corrupts the
+// lookup, so asynchronous callers (the supervisor's closed loop) must
+// defer adoption until the guest is out of the handler.
+func (c *Customizer) InHandler() bool {
+	if c.handler == nil {
+		return false
+	}
+	for _, p := range c.machine.Processes() {
+		if p.Exited() {
+			continue
+		}
+		for _, mod := range p.Modules() {
+			if mod.Name == HandlerLibName && mod.Contains(p.RIP()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // AdoptFalseRemovals completes the §3.2.3 validation loop: every
 // address the in-guest verifier healed is accepted as wanted code —
 // dropped from the disabled bookkeeping so later EnableBlocks /
-// DisableBlocks cycles treat it as never removed. It returns the
-// adopted addresses.
+// DisableBlocks cycles treat it as never removed. The in-guest
+// verifier state is reset to match: the false-removal log is cleared
+// and the adopted addresses' vtable slots are compacted away, so a
+// later adoption cycle cannot re-adopt stale addresses and the
+// 256-entry table does not fill one-way across disable/adopt cycles.
+// It returns the adopted addresses.
 func (c *Customizer) AdoptFalseRemovals() ([]uint64, error) {
 	healed, err := c.FalseRemovals()
 	if err != nil {
@@ -899,7 +1043,76 @@ func (c *Customizer) AdoptFalseRemovals() ([]uint64, error) {
 			c.disabled[name] = keep
 		}
 	}
+	if len(healed) > 0 {
+		if err := c.resetGuestVerifier(healedSet); err != nil {
+			return healed, fmt.Errorf("core: adopt: %w", err)
+		}
+		c.point("verifier.adopted", int64(len(healed)))
+	}
 	return healed, nil
+}
+
+// resetGuestVerifier clears the in-guest false-removal log and
+// compacts adopted addresses out of the live vtable, restoring
+// vtable_len (and the host-side slot cursor) so freed slots are
+// reusable. The live guest's memory is authoritative here — the
+// handler mutates these words at trap time — and the next checkpoint
+// naturally carries the compacted table into the images.
+func (c *Customizer) resetGuestVerifier(healedSet map[uint64]bool) error {
+	p, err := c.machine.Process(c.pid)
+	if err != nil {
+		return err
+	}
+	mem := p.Mem()
+	vlen, err := mem.ReadU64(c.handler.VTableLen)
+	if err != nil {
+		return err
+	}
+	if vlen > maxVerifierEntries {
+		vlen = maxVerifierEntries
+	}
+	kept := uint64(0)
+	for i := uint64(0); i < vlen; i++ {
+		addr, err := mem.ReadU64(c.handler.VTable + 16*i)
+		if err != nil {
+			return err
+		}
+		if healedSet[addr] {
+			continue
+		}
+		if kept != i {
+			orig, err := mem.ReadU64(c.handler.VTable + 16*i + 8)
+			if err != nil {
+				return err
+			}
+			if err := mem.WriteU64(c.handler.VTable+16*kept, addr); err != nil {
+				return err
+			}
+			if err := mem.WriteU64(c.handler.VTable+16*kept+8, orig); err != nil {
+				return err
+			}
+		}
+		kept++
+	}
+	// Zero the freed tail so stale entries cannot be matched by a
+	// handler racing a partially-updated length (and so the compaction
+	// is visible to tests and trace tooling).
+	for i := kept; i < vlen; i++ {
+		if err := mem.WriteU64(c.handler.VTable+16*i, 0); err != nil {
+			return err
+		}
+		if err := mem.WriteU64(c.handler.VTable+16*i+8, 0); err != nil {
+			return err
+		}
+	}
+	if err := mem.WriteU64(c.handler.VTableLen, kept); err != nil {
+		return err
+	}
+	if err := mem.WriteU64(c.handler.FLogLen, 0); err != nil {
+		return err
+	}
+	c.verifierCount = int(kept)
+	return nil
 }
 
 // splitPageCoverage partitions blocks into page ranges fully covered

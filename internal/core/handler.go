@@ -5,8 +5,10 @@ import (
 
 	"github.com/dynacut/dynacut/internal/asm"
 	"github.com/dynacut/dynacut/internal/crit"
+	"github.com/dynacut/dynacut/internal/criu"
 	"github.com/dynacut/dynacut/internal/delf"
 	"github.com/dynacut/dynacut/internal/delf/link"
+	"github.com/dynacut/dynacut/internal/faultinject"
 )
 
 // handlerLibSrc is the DynaCut signal-handler shared library injected
@@ -137,10 +139,24 @@ type Handler struct {
 // injectHandler inserts the handler library into pid's image and arms
 // the SIGTRAP sigaction. redirectTo configures the error-path target
 // (0 = terminate on unexpected traps).
+//
+// Injection is all-or-nothing: if arming fails after InsertLibrary
+// succeeded (sigaction update, redirect-target write, or the
+// SiteInjectArm fault window between them), the freshly mapped
+// library is unwound from the image so a failed injection never
+// leaves an orphaned, handle-less mapping behind. If even the unwind
+// fails, the leaked mapping is surfaced in the returned error.
 func injectHandler(ed *crit.Editor, pid int, lib *delf.File, redirectTo uint64) (*Handler, error) {
 	exports, err := ed.InsertLibrary(pid, lib, 0)
 	if err != nil {
 		return nil, fmt.Errorf("inject handler: %w", err)
+	}
+	unwind := func(cause error) error {
+		if uerr := ed.RemoveLibrary(pid, lib.Name); uerr != nil {
+			return fmt.Errorf("arm handler: %w (unwind failed: %v; library %q leaked at %#x in pid %d image)",
+				cause, uerr, lib.Name, exports["dynacut_handler"], pid)
+		}
+		return fmt.Errorf("arm handler: %w (injected library unwound)", cause)
 	}
 	h := &Handler{
 		HandlerAddr:  exports["dynacut_handler"],
@@ -153,17 +169,46 @@ func injectHandler(ed *crit.Editor, pid int, lib *delf.File, redirectTo uint64) 
 		FLog:         exports["flog"],
 	}
 	if h.HandlerAddr == 0 || h.RestorerAddr == 0 {
-		return nil, fmt.Errorf("handler lib missing exports")
+		return nil, unwind(fmt.Errorf("handler lib missing exports"))
+	}
+	if err := ed.Fault(faultinject.SiteInjectArm, pid); err != nil {
+		return nil, unwind(err)
 	}
 	if err := ed.SetSigaction(pid, 5 /* SIGTRAP */, h.HandlerAddr, h.RestorerAddr); err != nil {
-		return nil, err
+		return nil, unwind(err)
 	}
 	if redirectTo != 0 {
 		if err := writeU64(ed, pid, h.RedirectAddr, redirectTo); err != nil {
-			return nil, err
+			return nil, unwind(err)
 		}
 	}
 	return h, nil
+}
+
+// handlerFromModule re-derives the per-process handler view from an
+// already-mapped module entry: the injected base is the module's low
+// address minus the library's image start, and every export is base +
+// symbol value (exactly how InsertLibrary computed them).
+func handlerFromModule(lib *delf.File, mod criu.ModuleEntry) *Handler {
+	lo, _ := lib.ImageSpan()
+	base := mod.Lo - lo
+	at := func(name string) uint64 {
+		sym, err := lib.Symbol(name)
+		if err != nil {
+			return 0
+		}
+		return base + sym.Value
+	}
+	return &Handler{
+		HandlerAddr:  at("dynacut_handler"),
+		RestorerAddr: at("dynacut_restorer"),
+		HitsAddr:     at("hits"),
+		RedirectAddr: at("redirect_to"),
+		VTableLen:    at("vtable_len"),
+		VTable:       at("vtable"),
+		FLogLen:      at("flog_len"),
+		FLog:         at("flog"),
+	}
 }
 
 // addVerifierEntry appends (addr, origByte) to the in-guest table.

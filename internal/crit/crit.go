@@ -69,6 +69,14 @@ func (e *Editor) fault(site string, pid int) error {
 	return nil
 }
 
+// Fault consults the editor's fault hook (the machine backing its
+// FileStore) at a named site, for callers layering their own
+// chaos-testable steps — core's handler injection — on top of the
+// editor's primitives. Without a hook it always succeeds.
+func (e *Editor) Fault(site string, detail int) error {
+	return e.fault(site, detail)
+}
+
 // vmaAt finds the VMA entry containing addr.
 func vmaAt(pi *criu.ProcImage, addr uint64) (criu.VMAEntry, bool) {
 	for _, v := range pi.MM.VMAs {
@@ -445,6 +453,44 @@ func (e *Editor) InsertLibrary(pid int, lib *delf.File, base uint64) (map[string
 		}
 	}
 	return exports, nil
+}
+
+// RemoveLibrary unwinds an InsertLibrary: the module entry named name
+// is dropped and every section VMA the injection added (named
+// "<name>:<section>") is removed along with its pages. It is the
+// partial-failure cleanup path for handler injection — deliberately
+// free of fault-hook sites, so an unwind cannot itself be chaos-killed
+// into leaking the mapping it exists to reclaim.
+func (e *Editor) RemoveLibrary(pid int, name string) error {
+	pi, err := e.proc(pid)
+	if err != nil {
+		return err
+	}
+	prefix := name + ":"
+	kept := pi.MM.VMAs[:0:0]
+	removed := false
+	for _, v := range pi.MM.VMAs {
+		if len(v.Name) > len(prefix) && v.Name[:len(prefix)] == prefix {
+			pi.DropPages(v.Start/kernel.PageSize, v.End/kernel.PageSize)
+			removed = true
+			continue
+		}
+		kept = append(kept, v)
+	}
+	mods := pi.MM.Modules[:0:0]
+	for _, mod := range pi.MM.Modules {
+		if mod.Name == name {
+			removed = true
+			continue
+		}
+		mods = append(mods, mod)
+	}
+	if !removed {
+		return fmt.Errorf("%w: %q", ErrNoModule, name)
+	}
+	pi.MM.VMAs = kept
+	pi.MM.Modules = mods
+	return nil
 }
 
 // findFreeRange picks a page-aligned hole of the given size, below

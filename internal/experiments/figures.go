@@ -485,6 +485,11 @@ func figure8Run(rewrite bool) ([]F8Point, *loadgen.Result, bool, error) {
 	cust, err := dynacut.NewCustomizer(sess.Machine, sess.PID(), dynacut.CustomizerOptions{
 		RedirectTo:     errAddr,
 		TicksPerSecond: figure8TickRate,
+		// A rewrite normally charges 1–2 buckets; cap the charge so a
+		// descheduled host (a loaded -race run) cannot inflate one
+		// rewrite's wall time into an interruption that swallows the
+		// rest of the 70-bucket timeline.
+		MaxChargeTicks: 8 * figure8BucketTicks,
 	})
 	if err != nil {
 		return nil, nil, false, err

@@ -51,14 +51,37 @@ const (
 	// SitePristine is the blob-mutation site for the serialized
 	// pre-edit checkpoint (models tmpfs image corruption).
 	SitePristine = "core.pristine"
+	// SiteInjectArm fires between mapping the handler library and
+	// arming its sigaction — the partial-failure window where a fault
+	// would otherwise leak the injected mapping into the image.
+	SiteInjectArm = "core.inject.arm"
+
+	// Supervisor hook sites (internal/supervise): each fires at the
+	// start of one closed-loop action, so chaos runs can kill any rung
+	// of the heal → re-enable → disarm → restore ladder.
+	//
+	// SiteSuperviseHeal fires before false removals are adopted.
+	SiteSuperviseHeal = "supervise.heal"
+	// SiteSuperviseCanary fires before a scheduled canary probe runs.
+	SiteSuperviseCanary = "supervise.canary"
+	// SiteSuperviseReenable fires before a feature is force re-enabled
+	// (breaker trip / ladder rung 2).
+	SiteSuperviseReenable = "supervise.reenable"
+	// SiteSuperviseDisarm fires before the everything-back-on rung
+	// (EnableAll + patching disarmed).
+	SiteSuperviseDisarm = "supervise.disarm"
+	// SiteSuperviseRestore fires before the last-good pristine images
+	// are restored (the ladder's final rung).
+	SiteSuperviseRestore = "supervise.restore"
 )
 
 // Step-prefix groups: FailDumpAtStep / FailRestoreAtStep count every
 // site sharing the prefix.
 const (
-	PrefixDump    = "criu.dump."
-	PrefixRestore = "criu.restore."
-	PrefixEdit    = "crit.edit."
+	PrefixDump      = "criu.dump."
+	PrefixRestore   = "criu.restore."
+	PrefixEdit      = "crit.edit."
+	PrefixSupervise = "supervise."
 )
 
 // ErrInjected is the sentinel wrapped by every injected failure.

@@ -71,6 +71,16 @@ type Machine struct {
 	faultHook FaultHook
 	obs       *obs.Observer
 	disk      map[string][]byte // serialized DELF files by name
+
+	// Tick-progress watchdog: fn fires between scheduler rounds once
+	// the virtual clock has advanced by at least wdEvery ticks since
+	// the last firing. The callback may run the machine itself
+	// (probes, rewrites); wdBusy suppresses nested firings so a
+	// watchdog-driven Run cannot recurse into the watchdog.
+	wdEvery uint64
+	wdLast  uint64
+	wdFn    func(clock uint64)
+	wdBusy  bool
 }
 
 // NewMachine creates an empty machine.
@@ -139,6 +149,35 @@ func (m *Machine) wireFaultReporter() {
 			o.Fault(site, hit)
 		}
 	})
+}
+
+// SetTickWatchdog installs (or, with fn == nil, removes) the
+// tick-progress watchdog: fn fires between scheduler rounds whenever
+// the virtual clock has advanced every or more ticks since it last
+// fired. It is the hook a closed-loop controller (internal/supervise)
+// attaches to so its decisions are driven purely by virtual time —
+// deterministic across reruns. The callback runs synchronously on the
+// Run path and may itself run the machine; nested firings are
+// suppressed while a callback is in flight.
+func (m *Machine) SetTickWatchdog(every uint64, fn func(clock uint64)) {
+	if every == 0 {
+		every = 1
+	}
+	m.wdEvery = every
+	m.wdLast = m.clock
+	m.wdFn = fn
+}
+
+// pokeWatchdog fires the watchdog if due. Called between scheduler
+// rounds (never mid-instruction), so the process table is stable.
+func (m *Machine) pokeWatchdog() {
+	if m.wdFn == nil || m.wdBusy || m.clock-m.wdLast < m.wdEvery {
+		return
+	}
+	m.wdBusy = true
+	m.wdLast = m.clock
+	m.wdFn(m.clock)
+	m.wdBusy = false
 }
 
 // Fault consults the installed fault hook at a named site; without a
@@ -390,6 +429,7 @@ func (m *Machine) Run(maxSteps uint64) uint64 {
 				progress = true
 			}
 		}
+		m.pokeWatchdog()
 		if !progress {
 			break
 		}

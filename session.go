@@ -34,6 +34,12 @@ type Session struct {
 var (
 	ErrBootTimeout = errors.New("dynacut: guest never finished initialization")
 	ErrNoResponse  = errors.New("dynacut: no response from guest")
+	// ErrTruncatedResponse: the per-request instruction budget ran out
+	// before the guest finished writing (no quiet drain window was
+	// observed and the connection is still open). The partial body is
+	// returned alongside the error, so callers can distinguish "slow
+	// but correct" from "served and complete".
+	ErrTruncatedResponse = errors.New("dynacut: response truncated by request budget")
 )
 
 // bootBudget bounds guest instruction counts for boot and request
@@ -160,6 +166,7 @@ func (s *Session) requestOnce(req string) (string, error) {
 		return len(conn.ReadAllPeek()) > 0 || conn.Closed()
 	}, requestBudget)
 	got := len(conn.ReadAllPeek())
+	quiet := false // a full drain window passed with no new bytes
 	for !conn.Closed() {
 		left := budgetLeft()
 		if left == 0 {
@@ -173,14 +180,22 @@ func (s *Session) requestOnce(req string) (string, error) {
 			return len(conn.ReadAllPeek()) > got || conn.Closed()
 		}, window)
 		n := len(conn.ReadAllPeek())
-		if n == got {
-			break // a full quiet window: the response is done
+		if n == got && window == drainWindow {
+			quiet = true // a full quiet window: the response is done
+			break
 		}
 		got = n
 	}
 	resp := string(conn.ReadAll())
 	if resp == "" && conn.Closed() {
 		return "", ErrNoResponse
+	}
+	// Budget exhaustion is not completion: if the guest was still
+	// mid-response (connection open, never a quiet window), the body
+	// is partial — say so instead of passing it off as success.
+	if !conn.Closed() && !quiet && budgetLeft() == 0 {
+		return resp, fmt.Errorf("%w after %d ticks (%d bytes read)",
+			ErrTruncatedResponse, uint64(requestBudget), len(resp))
 	}
 	return resp, nil
 }
@@ -209,6 +224,25 @@ func (s *Session) CanaryProbe(req, want string) func(m *Machine, pid int) error 
 		// rewrite, and a routine canary success (or its transient
 		// failure, already reported via the transaction's own error
 		// path) must not clobber the LastErr the caller is tracking.
+		resp, err := s.requestOnce(req)
+		if err != nil {
+			return fmt.Errorf("canary %q: %w", req, err)
+		}
+		if !strings.Contains(resp, want) {
+			return fmt.Errorf("canary %q: response %q does not contain %q", req, resp, want)
+		}
+		return nil
+	}
+}
+
+// Canary returns a zero-argument end-to-end probe for the
+// supervisor's closed loop (SupervisorConfig.Canary): each invocation
+// sends req over a fresh connection and fails unless the response
+// contains want. Like CanaryProbe it bypasses LastErr — supervisor
+// probes run on their own cadence and must not clobber the error the
+// application flow is tracking.
+func (s *Session) Canary(req, want string) func() error {
+	return func() error {
 		resp, err := s.requestOnce(req)
 		if err != nil {
 			return fmt.Errorf("canary %q: %w", req, err)

@@ -295,3 +295,70 @@ func TestMustRequestSwallowsErrors(t *testing.T) {
 		t.Fatalf("MustRequest on dead server = %q", got)
 	}
 }
+
+// TestRequestReportsTruncatedResponse: a guest that drips response
+// bytes forever without ever closing the connection must exhaust the
+// per-request instruction budget; Request has to surface the partial
+// body alongside ErrTruncatedResponse instead of passing the
+// truncation off as a complete response (regression: budget
+// exhaustion used to return the partial body with a nil error,
+// indistinguishable from success).
+func TestRequestReportsTruncatedResponse(t *testing.T) {
+	exe, err := Assemble("dripd", `
+.text
+.global _start
+_start:
+	mov r0, 4
+	syscall
+	mov r8, r0
+	mov r0, 5
+	mov r1, r8
+	mov r2, 7474
+	syscall
+	mov r0, 15
+	mov r1, 0
+	syscall              ; nudge: init done
+	mov r0, 7
+	mov r1, r8
+	syscall
+	mov r9, r0
+	mov r0, 3
+	mov r1, r9
+	mov r2, =buf
+	mov r3, 16
+	syscall
+drip:                    ; one "." every ~36k ticks, forever, no close
+	mov r10, 0
+spin:
+	add r10, 1
+	cmp r10, 12000
+	jl spin
+	mov r0, 2
+	mov r1, r9
+	lea r2, dot
+	mov r3, 1
+	syscall
+	jmp drip
+.rodata
+dot: .ascii "."
+.bss
+buf: .space 16
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := StartServer(exe, nil, 7474)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := sess.Request("ping\n")
+	if !errors.Is(err, ErrTruncatedResponse) {
+		t.Fatalf("drip request error = %v, want ErrTruncatedResponse", err)
+	}
+	if len(resp) == 0 || strings.Trim(resp, ".") != "" {
+		t.Fatalf("partial body = %q, want non-empty run of dots", resp)
+	}
+	if !errors.Is(sess.LastErr, ErrTruncatedResponse) {
+		t.Fatalf("LastErr = %v, want ErrTruncatedResponse", sess.LastErr)
+	}
+}

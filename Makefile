@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race chaos fuzz check bench supervise-demo
+.PHONY: all build test vet race chaos fuzz check bench cover supervise-demo fleet-demo
 
 all: check
 
@@ -20,10 +20,23 @@ race:
 
 # Just the fault-injection / transactional-rewrite suites, plus the
 # observability assertions that every injected fault lands in the
-# trace. Runs vet first: the chaos gate is also the lint gate.
+# trace. Runs vet first and the coverage floor last: the chaos gate is
+# also the lint and coverage gate.
 chaos: vet
-	$(GO) test -race -run 'Chaos|Rollback|Rolls|Transient|Retried|Revalidated|Corrupt|BitFlip|Truncation|Observer|Overflow|Supervisor|Breaker|Storm' \
-		./internal/core/ ./internal/criu/ ./internal/faultinject/ ./internal/obs/ ./internal/supervise/ .
+	$(GO) test -race -run 'Chaos|Rollback|Rolls|Transient|Retried|Revalidated|Corrupt|BitFlip|Truncation|Observer|Overflow|Supervisor|Breaker|Storm|Fleet' \
+		./internal/core/ ./internal/criu/ ./internal/faultinject/ ./internal/fleet/ ./internal/obs/ ./internal/supervise/ .
+	$(MAKE) cover
+
+# Whole-suite statement coverage against the checked-in floor
+# (COVERAGE_FLOOR). Raise the floor when coverage rises; the gate
+# fails if a change drops below it.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./... > /dev/null
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	floor=$$(cat COVERAGE_FLOOR); \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { \
+		if (t + 0 < f + 0) { printf "FAIL: coverage %.1f%% below floor %.1f%%\n", t, f; exit 1 } \
+		printf "coverage %.1f%% (floor %.1f%%)\n", t, f }'
 
 # Short fuzz smoke over the image decoder (corpus seeds always run
 # as part of `test`; this adds a few seconds of mutation).
@@ -36,10 +49,10 @@ check: build vet test race
 # Perf trajectory: run the headline figure benchmarks plus the
 # incremental-checkpoint benchmark and record the numbers as JSON so
 # each PR's results are comparable to the last (BENCH_pr2.json here on).
-BENCH_JSON ?= BENCH_pr4.json
+BENCH_JSON ?= BENCH_pr5.json
 
 bench:
-	$(GO) test -run '^$$' -bench 'Figure6_|Figure7_|Figure8_|IncrementalDump|Observer_|SupervisorOverhead' -benchmem -benchtime 1x . \
+	$(GO) test -run '^$$' -bench 'Figure6_|Figure7_|Figure8_|IncrementalDump|Observer_|SupervisorOverhead|FleetRollout' -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 # The historical full sweep (every figure, table, ablation and micro).
@@ -56,3 +69,9 @@ trace-demo:
 # re-enable it and open its circuit breaker.
 supervise-demo:
 	$(GO) run ./cmd/supervisedemo
+
+# Fleet-scale customization end to end: CoW replicas over the shared
+# page store, staged canary/wave rollout, halt-and-restore on a
+# sabotaged replica (tune with -replicas/-failat).
+fleet-demo:
+	$(GO) run ./cmd/fleetdemo

@@ -1,0 +1,171 @@
+// Command fleetdemo runs a fleet-scale customization end to end: one
+// web-server guest is booted and profiled, cloned copy-on-write into N
+// replicas whose pristine checkpoints deduplicate into a shared page
+// store, and then a feature-removal rewrite rolls out across the fleet
+// in stages — canary shard first, then bounded waves. With -failat the
+// rewrite is sabotaged on one replica, demonstrating the halt: the
+// failed wave's committed siblings are restored to their pristine
+// checkpoints and later waves never run.
+//
+// Usage:
+//
+//	go run ./cmd/fleetdemo [-replicas 8] [-workers 4] [-wave 3] [-failat -1] [-o fleet.jsonl]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/dynacut/dynacut"
+)
+
+func run(replicas, workers, wave, failat int, out string) error {
+	app, err := dynacut.BuildWebServer(dynacut.WebServerConfig{Name: "lighttpd", Port: 8080})
+	if err != nil {
+		return err
+	}
+	sess, err := dynacut.StartServer(app.Exe, []*dynacut.Binary{app.Libc}, app.Config.Port)
+	if err != nil {
+		return err
+	}
+	blocks, err := sess.ProfileFeatures(
+		[]string{"GET /\n", "HEAD /\n", "OPTIONS /\n", "POST /\n"},
+		[]string{"PUT /f data\n", "DELETE /f\n"},
+	)
+	if err != nil {
+		return err
+	}
+	errAddr, err := sess.SymbolAddr("resp_403")
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("== spawn %d CoW replicas from the template ==\n", replicas)
+	f, err := dynacut.NewFleetFromSession(sess, dynacut.FleetConfig{
+		Replicas:     replicas,
+		Workers:      workers,
+		CanaryShards: 1,
+		WaveSize:     wave,
+		Core: dynacut.CustomizerOptions{
+			RedirectTo:  errAddr,
+			HealthCheck: dynacut.HealthProbe(app.Config.Port, "GET /\n", "200"),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	st := f.Store().Stats()
+	fmt.Printf("page store: %d sets, %d unique pages (%d deduplicated), %d blob bytes\n\n",
+		st.Sets, st.UniquePages, st.DedupHits, st.StoredBytes)
+
+	fmt.Println("== staged rollout: disable webdav-write fleet-wide ==")
+	res, err := f.Rollout(func(r *dynacut.FleetReplica) (dynacut.RewriteStats, error) {
+		if r.Index == failat {
+			return dynacut.RewriteStats{}, fmt.Errorf("sabotaged replica %d", r.Index)
+		}
+		return r.Cust.DisableBlocks("webdav-write", blocks, dynacut.PolicyBlockEntry)
+	})
+	if err != nil {
+		return err
+	}
+	for _, w := range res.Waves {
+		kind := "wave  "
+		if w.Canary {
+			kind = "canary"
+		}
+		fmt.Printf("%s %d: replicas %v, failures %d\n", kind, w.Index, w.Replicas, w.Failures)
+	}
+	if res.Halted {
+		fmt.Printf("rollout HALTED at wave %d\n", res.HaltedWave)
+	}
+	fmt.Printf("serial cost %d vticks, %d-lane makespan %d vticks (%.1fx)\n\n",
+		res.SerialTicks, workers, res.FleetTicks,
+		float64(res.SerialTicks)/float64(max(res.FleetTicks, 1)))
+
+	fmt.Println("== per-replica convergence ==")
+	for _, o := range res.Outcomes {
+		r := f.Replicas()[o.Index]
+		put := firstLine(probe(r.Machine, app.Config.Port, "PUT /f data\n"))
+		get := firstLine(probe(r.Machine, app.Config.Port, "GET /\n"))
+		note := ""
+		if o.Err != nil {
+			if errors.Is(o.Err, dynacut.ErrFleetHalted) {
+				note = "  (halted)"
+			} else {
+				note = fmt.Sprintf("  (%v)", firstLine(o.Err.Error()))
+			}
+		}
+		fmt.Printf("replica %2d  %-10s  PUT->%-28q GET->%q%s\n",
+			o.Index, o.Outcome, put, get, note)
+	}
+	fmt.Printf("committed: %d/%d\n", res.Committed(), replicas)
+
+	fmt.Println("\n== fleet timeline (merged per-replica streams) ==")
+	shown := 0
+	for _, ev := range f.Timeline() {
+		if !strings.Contains(ev.Name, "fleet.") {
+			continue
+		}
+		line := fmt.Sprintf("%10d  %-11s %s", ev.VClock, ev.Kind, ev.Name)
+		if ev.N != 0 {
+			line += fmt.Sprintf("  n=%d", ev.N)
+		}
+		fmt.Println(line)
+		if shown++; shown >= 24 {
+			fmt.Println("  ...")
+			break
+		}
+	}
+
+	if out != "" {
+		fh, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		for _, ev := range f.Timeline() {
+			fmt.Fprintf(fh, "%+v\n", ev)
+		}
+		fmt.Printf("\nwrote merged timeline to %s\n", out)
+	}
+	return nil
+}
+
+// probe sends one request to a replica guest and returns the response.
+func probe(m *dynacut.Machine, port uint16, req string) string {
+	conn, err := m.Dial(port)
+	if err != nil {
+		return ""
+	}
+	if _, err := conn.Write([]byte(req)); err != nil {
+		return ""
+	}
+	m.RunUntil(func() bool { return len(conn.ReadAllPeek()) > 0 || conn.Closed() }, 2_000_000)
+	m.Run(20000)
+	return string(conn.ReadAll())
+}
+
+func firstLine(s string) string {
+	for i := range s {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func main() {
+	replicas := flag.Int("replicas", 8, "fleet size")
+	workers := flag.Int("workers", 4, "rewrite worker pool size")
+	wave := flag.Int("wave", 3, "replicas per post-canary wave")
+	failat := flag.Int("failat", -1, "sabotage the rewrite on this replica index (-1: none)")
+	out := flag.String("o", "", "write the merged timeline to this file")
+	flag.Parse()
+	if err := run(*replicas, *workers, *wave, *failat, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "fleetdemo: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"github.com/dynacut/dynacut/internal/delf/link"
 	"github.com/dynacut/dynacut/internal/disasm"
 	"github.com/dynacut/dynacut/internal/faultinject"
+	"github.com/dynacut/dynacut/internal/fleet"
 	"github.com/dynacut/dynacut/internal/kernel"
 	"github.com/dynacut/dynacut/internal/obs"
 	"github.com/dynacut/dynacut/internal/supervise"
@@ -140,6 +141,46 @@ type (
 	FeatureBreaker = supervise.Breaker
 	// BreakerState is a circuit breaker's state (closed/open/half-open).
 	BreakerState = supervise.BreakerState
+	// SupervisorAggregate is a fleet-wide merge of supervisor ledgers
+	// (worst-state breakers, level histogram, loss counts).
+	SupervisorAggregate = supervise.AggregateStatus
+
+	// Fleet owns N replicas cloned copy-on-write from one booted
+	// template guest and applies customizations across them as staged
+	// canary/wave rollouts with automatic halt and pristine rollback.
+	Fleet = fleet.Fleet
+	// FleetConfig sizes and tunes a fleet.
+	FleetConfig = fleet.Config
+	// FleetReplica is one cloned guest plus its customizer.
+	FleetReplica = fleet.Replica
+	// FleetStatus pairs per-replica supervisor ledgers with their
+	// fleet-wide aggregate.
+	FleetStatus = fleet.Status
+	// ReplicaOutcome records where one replica ended after a rollout.
+	ReplicaOutcome = fleet.ReplicaOutcome
+	// RolloutOutcome classifies one replica's end state.
+	RolloutOutcome = fleet.Outcome
+	// RolloutResult is the full record of one staged rollout.
+	RolloutResult = fleet.RolloutResult
+	// WaveResult summarizes one canary shard or rollout wave.
+	WaveResult = fleet.WaveResult
+
+	// PageStore is the content-addressed checkpoint store replicas
+	// deduplicate their pristine images into.
+	PageStore = criu.PageStore
+	// PageStoreStats reports dedup effectiveness.
+	PageStoreStats = criu.StoreStats
+)
+
+// Replica end states after a staged rollout.
+const (
+	OutcomePending    = fleet.OutcomePending
+	OutcomeCommitted  = fleet.OutcomeCommitted
+	OutcomeAborted    = fleet.OutcomeAborted
+	OutcomeFailed     = fleet.OutcomeFailed
+	OutcomeRolledBack = fleet.OutcomeRolledBack
+	OutcomeRestored   = fleet.OutcomeRestored
+	OutcomeLost       = fleet.OutcomeLost
 )
 
 // Removal policies (§3.2.2), cheapest to strongest.
@@ -191,6 +232,12 @@ var (
 	// ErrGuestLost: the supervisor exhausted its pristine-restore
 	// attempts; the guest is gone.
 	ErrGuestLost = supervise.ErrGuestLost
+	// ErrRewriteAborted: a rewrite stopped at its pre-commit gate; the
+	// guest is untouched.
+	ErrRewriteAborted = core.ErrAborted
+	// ErrFleetHalted: a staged rollout halted (canary or wave failure)
+	// before this replica's rewrite committed.
+	ErrFleetHalted = fleet.ErrHalted
 )
 
 // NewMachine creates an empty simulated machine.
@@ -218,6 +265,35 @@ func NewCustomizer(m *Machine, pid int, opts CustomizerOptions) (*Customizer, er
 // guest. Call Attach to snapshot the last-good images and start it.
 func NewSupervisor(m *Machine, cust *Customizer, cfg SupervisorConfig) *Supervisor {
 	return supervise.New(m, cust, cfg)
+}
+
+// AggregateSupervisors merges per-replica supervisor ledgers into one
+// fleet-wide view (worst breaker state wins, strikes are summed).
+func AggregateSupervisors(sts ...SupervisorStatus) SupervisorAggregate {
+	return supervise.Aggregate(sts...)
+}
+
+// NewFleet clones the booted guest rooted at rootPID on template into
+// cfg.Replicas copy-on-write replicas whose pristine checkpoints
+// deduplicate into a shared PageStore. The template itself is never
+// part of the fleet and stays untouched.
+func NewFleet(template *Machine, rootPID int, cfg FleetConfig) (*Fleet, error) {
+	return fleet.New(template, rootPID, cfg)
+}
+
+// NewFleetFromSession builds a fleet from a profiled Session (the
+// session's guest becomes the template).
+func NewFleetFromSession(s *Session, cfg FleetConfig) (*Fleet, error) {
+	return fleet.New(s.Machine, s.PID(), cfg)
+}
+
+// NewPageStore creates an empty content-addressed checkpoint store.
+func NewPageStore() *PageStore { return criu.NewPageStore() }
+
+// RestoreFromStore materializes the checkpoint named by ident out of
+// the store into fresh processes on m.
+func RestoreFromStore(m *Machine, store *PageStore, ident uint32) ([]*Process, map[int]int, error) {
+	return criu.RestoreFromStore(m, store, ident)
 }
 
 // DefaultInitEndSyscall is the accept(2) analogue used by AutoNudge

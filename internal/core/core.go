@@ -97,6 +97,17 @@ type Options struct {
 	// fails if the restored root exits or dies on a signal within the
 	// budget.
 	HealthBudget uint64
+	// BeforeCommit, when non-nil, runs immediately before the commit
+	// point of every attempt (killing the originals). A non-nil error
+	// aborts the transaction with ErrAborted and the guest untouched —
+	// the last moment an external controller (a halted fleet rollout)
+	// can stop an in-flight rewrite without paying a rollback.
+	BeforeCommit func(attempt int) error
+	// OnOutcome, when non-nil, is called after every Rewrite with its
+	// final stats and error (nil on commit). Fleet supervisors use it
+	// to aggregate per-replica outcomes without wrapping every call
+	// site.
+	OnOutcome func(Stats, error)
 	// Observer, when non-nil, receives a typed event for every rewrite
 	// phase (checkpoint, edit, validate, kill, restore, health,
 	// rollback) plus pipeline counters. New also installs it as the
@@ -175,6 +186,10 @@ var (
 	// after the commit point and restoring the pristine images failed
 	// too, so the guest is gone.
 	ErrRollbackFailed = errors.New("core: rollback failed, guest lost")
+	// ErrAborted reports a rewrite stopped by Options.BeforeCommit
+	// before the commit point: nothing was killed, the guest is
+	// untouched and still running its pre-rewrite code.
+	ErrAborted = errors.New("core: rewrite aborted before commit")
 )
 
 // defaultHealthBudget is the instruction budget of the built-in
@@ -275,6 +290,14 @@ func (c *Customizer) Handler() *Handler { return c.handler }
 // live connections intact. Options.MaxAttempts > 1 retries the whole
 // cycle after any rolled-back (or pre-commit) failure.
 func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stats, error) {
+	stats, err := c.rewrite(edit)
+	if c.opts.OnOutcome != nil {
+		c.opts.OnOutcome(stats, err)
+	}
+	return stats, err
+}
+
+func (c *Customizer) rewrite(edit func(ed *crit.Editor, pids []int) error) (Stats, error) {
 	var stats Stats
 	p, err := c.machine.Process(c.pid)
 	if err != nil || p.Exited() {
@@ -406,6 +429,22 @@ func (c *Customizer) Rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 		if err != nil {
 			lastErr = fmt.Errorf("rewrite: %w", err)
 			continue // guest untouched
+		}
+
+		// Last exit before the commit point: an external controller (a
+		// fleet rollout that halted) can still abort with the guest
+		// untouched. Bookkeeping is restored to the pre-rewrite snapshot
+		// since ensureHandler/edit already mutated it this attempt.
+		if c.opts.BeforeCommit != nil {
+			if err := c.opts.BeforeCommit(attempt); err != nil {
+				c.saved = savedSnap
+				c.unmapped = unmappedSnap
+				c.verifierCount = verifierSnap
+				c.handler = handlerSnap
+				stats.RolledBack = rolledBack
+				c.point("rewrite.abort", int64(attempt))
+				return stats, fmt.Errorf("%w: %v", ErrAborted, err)
+			}
 		}
 
 		// Commit point: kill the originals so their ports free up for

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -416,5 +417,60 @@ func TestServiceInterruptionChargesVirtualClock(t *testing.T) {
 	}
 	if tb.m.Clock() <= before {
 		t.Error("virtual clock not charged for the rewrite window")
+	}
+}
+
+// TestBeforeCommitAbortsWithGuestUntouched proves the fleet halt
+// contract: a BeforeCommit veto stops the rewrite before anything is
+// killed, the guest keeps serving its old code, and bookkeeping is
+// back to the pre-rewrite snapshot so a later rewrite starts clean.
+func TestBeforeCommitAbortsWithGuestUntouched(t *testing.T) {
+	tb := newTestbed(t, webserv.Config{Name: "lighttpd", Port: 8080})
+	blocks := tb.profileFeatures(t, wantedReqs, undesiredReqs)
+
+	halted := true
+	var outcomes []error
+	c, err := New(tb.m, tb.proc.PID(), Options{
+		RedirectTo: tb.errPathAddr(t),
+		BeforeCommit: func(attempt int) error {
+			if halted {
+				return errors.New("rollout halted")
+			}
+			return nil
+		},
+		OnOutcome: func(s Stats, err error) { outcomes = append(outcomes, err) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pidBefore := c.PID()
+
+	_, err = c.DisableBlocks("webdav-write", blocks, PolicyBlockEntry)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("halted rewrite error = %v, want ErrAborted", err)
+	}
+	if c.PID() != pidBefore {
+		t.Fatalf("abort changed the root PID: %d -> %d", pidBefore, c.PID())
+	}
+	// The guest was never touched: the undesired feature still works.
+	if got := tb.request(t, "PUT /f data\n"); !strings.Contains(got, "201") {
+		t.Fatalf("PUT after aborted rewrite -> %q, want untouched 201", got)
+	}
+
+	// Lift the halt: the same customizer commits cleanly.
+	halted = false
+	stats, err := c.DisableBlocks("webdav-write", blocks, PolicyBlockEntry)
+	if err != nil {
+		t.Fatalf("rewrite after abort: %v", err)
+	}
+	if stats.BlocksPatched != len(blocks) {
+		t.Errorf("patched %d blocks, want %d", stats.BlocksPatched, len(blocks))
+	}
+	if got := tb.request(t, "PUT /f data\n"); !strings.Contains(got, "403") {
+		t.Fatalf("PUT after commit -> %q, want 403", got)
+	}
+
+	if len(outcomes) != 2 || !errors.Is(outcomes[0], ErrAborted) || outcomes[1] != nil {
+		t.Fatalf("OnOutcome saw %v, want [ErrAborted nil]", outcomes)
 	}
 }

@@ -1,0 +1,219 @@
+package criu
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"github.com/dynacut/dynacut/internal/kernel"
+)
+
+// PageStore is a content-addressed blob store for checkpoint images:
+// every page is keyed by the SHA-256 of its contents, so identical
+// pages — e.g. the pristine checkpoints of N replicas cloned from one
+// template guest — are stored once however many image sets reference
+// them. It is the fleet layer's shared storage backend: depositing N
+// clone checkpoints costs ~1 guest of page blobs plus per-set
+// metadata, and any deposited set (delta chains included) can be
+// re-materialized for restore.
+//
+// All methods are safe for concurrent use; a fleet's worker pool
+// deposits and materializes from many goroutines.
+type PageStore struct {
+	mu    sync.Mutex
+	pages map[[sha256.Size]byte][]byte
+	sets  map[uint32]*storedSet
+
+	interned uint64 // pages presented to the store
+	hits     uint64 // pages already present (dedup wins)
+}
+
+// storedSet is one deposited image set: per-proc metadata with the
+// page payload replaced by content keys, plus the parent identity for
+// delta chains.
+type storedSet struct {
+	pids      []int
+	shells    map[int]*ProcImage // Pages nil; everything else deep-copied
+	keys      map[int][][sha256.Size]byte
+	parentID  uint32
+	hasParent bool
+}
+
+// StoreStats is a snapshot of the store's dedup accounting.
+type StoreStats struct {
+	// Sets is how many image sets the store holds.
+	Sets int
+	// UniquePages / StoredBytes measure what the store actually keeps.
+	UniquePages int
+	StoredBytes int
+	// PagesInterned / DedupHits measure what was offered: every page of
+	// every deposit, and how many of those were already present.
+	PagesInterned uint64
+	DedupHits     uint64
+}
+
+// NewPageStore creates an empty content-addressed page store.
+func NewPageStore() *PageStore {
+	return &PageStore{
+		pages: map[[sha256.Size]byte][]byte{},
+		sets:  map[uint32]*storedSet{},
+	}
+}
+
+// cloneProcShell deep-copies a proc image's metadata, leaving Pages
+// nil: the store keeps page payloads only under their content keys.
+func cloneProcShell(pi *ProcImage) *ProcImage {
+	c := &ProcImage{
+		Core:  pi.Core,
+		Files: FilesImage{Files: append([]FileEntry(nil), pi.Files.Files...)},
+		Delta: pi.Delta,
+		Holes: append([]uint64(nil), pi.Holes...),
+	}
+	c.Core.Sigs = append([]SigEntry(nil), pi.Core.Sigs...)
+	c.Core.SysFilter = append([]uint64(nil), pi.Core.SysFilter...)
+	c.MM.VMAs = append([]VMAEntry(nil), pi.MM.VMAs...)
+	c.MM.Modules = append([]ModuleEntry(nil), pi.MM.Modules...)
+	c.PageMap.PageNumbers = append([]uint64(nil), pi.PageMap.PageNumbers...)
+	return c
+}
+
+// Deposit interns an image set: every page is stored under its content
+// hash (duplicates shared, not copied) and the set's structure is
+// recorded under its Ident. A delta set's ancestors are deposited
+// first, so materializing the set later can rebuild the whole chain.
+// Depositing a set that is already present is a cheap no-op. Returns
+// the set's identity.
+func (s *PageStore) Deposit(set *ImageSet) (uint32, error) {
+	if set == nil {
+		return 0, fmt.Errorf("%w: nil image set", ErrBadImage)
+	}
+	if set.Parent != nil {
+		if _, err := s.Deposit(set.Parent); err != nil {
+			return 0, err
+		}
+	}
+	ident := set.Ident()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sets[ident]; ok {
+		return ident, nil
+	}
+	st := &storedSet{
+		pids:   append([]int(nil), set.PIDs...),
+		shells: make(map[int]*ProcImage, len(set.Procs)),
+		keys:   make(map[int][][sha256.Size]byte, len(set.Procs)),
+	}
+	if set.Parent != nil {
+		st.parentID = set.Parent.Ident()
+		st.hasParent = true
+	} else if pid, ok := set.ParentRef(); ok {
+		// Decoded-but-unbound delta: keep the recorded reference so a
+		// later materialize can still find the chain if it is deposited.
+		st.parentID = pid
+		st.hasParent = true
+	}
+	for pid, pi := range set.Procs {
+		if len(pi.Pages) != len(pi.PageMap.PageNumbers)*kernel.PageSize {
+			return 0, fmt.Errorf("%w: pid %d pages/pagemap mismatch", ErrBadImage, pid)
+		}
+		keys := make([][sha256.Size]byte, len(pi.PageMap.PageNumbers))
+		for i := range pi.PageMap.PageNumbers {
+			pg := pi.Pages[i*kernel.PageSize : (i+1)*kernel.PageSize]
+			key := sha256.Sum256(pg)
+			s.interned++
+			if _, ok := s.pages[key]; ok {
+				s.hits++
+			} else {
+				s.pages[key] = append([]byte(nil), pg...)
+			}
+			keys[i] = key
+		}
+		st.shells[pid] = cloneProcShell(pi)
+		st.keys[pid] = keys
+	}
+	s.sets[ident] = st
+	return ident, nil
+}
+
+// Contains reports whether the store holds a set with this identity.
+func (s *PageStore) Contains(ident uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.sets[ident]
+	return ok
+}
+
+// Materialize rebuilds a deposited image set, re-assembling page
+// payloads from the shared blobs and re-binding delta chains through
+// their deposited ancestors. The returned set is private to the
+// caller: mutating it (crit edits) does not touch the store.
+func (s *PageStore) Materialize(ident uint32) (*ImageSet, error) {
+	s.mu.Lock()
+	st, ok := s.sets[ident]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: set %#x not in page store", ErrNoImage, ident)
+	}
+	set := &ImageSet{
+		PIDs:  append([]int(nil), st.pids...),
+		Procs: make(map[int]*ProcImage, len(st.shells)),
+	}
+	for pid, shell := range st.shells {
+		pi := cloneProcShell(shell)
+		keys := st.keys[pid]
+		pi.Pages = make([]byte, 0, len(keys)*kernel.PageSize)
+		s.mu.Lock()
+		for _, key := range keys {
+			pg, ok := s.pages[key]
+			if !ok {
+				s.mu.Unlock()
+				return nil, fmt.Errorf("%w: page blob missing for set %#x pid %d", ErrCorruptImage, ident, pid)
+			}
+			pi.Pages = append(pi.Pages, pg...)
+		}
+		s.mu.Unlock()
+		set.Procs[pid] = pi
+	}
+	if st.hasParent {
+		parent, err := s.Materialize(st.parentID)
+		if err != nil {
+			return nil, fmt.Errorf("materializing parent of %#x: %w", ident, err)
+		}
+		set.parentID = st.parentID
+		set.hasPByRef = true
+		if err := set.BindParent(parent); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+// Stats returns a snapshot of the store's dedup accounting.
+func (s *PageStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bytes := 0
+	for _, pg := range s.pages {
+		bytes += len(pg)
+	}
+	return StoreStats{
+		Sets:          len(s.sets),
+		UniquePages:   len(s.pages),
+		StoredBytes:   bytes,
+		PagesInterned: s.interned,
+		DedupHits:     s.hits,
+	}
+}
+
+// RestoreFromStore materializes a deposited image set and restores it
+// into the machine — the fleet's pristine-rollback path: N replicas
+// share one deposited pristine checkpoint and each can be rebuilt from
+// it independently.
+func RestoreFromStore(m *kernel.Machine, store *PageStore, ident uint32) ([]*kernel.Process, map[int]int, error) {
+	set, err := store.Materialize(ident)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Restore(m, set)
+}

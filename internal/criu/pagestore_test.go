@@ -1,0 +1,175 @@
+package criu
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/kernel"
+)
+
+func TestPageStoreDepositMaterializeRoundTrip(t *testing.T) {
+	m, p := loadCounter(t)
+	store := NewPageStore()
+
+	set, err := Dump(m, p.PID(), DumpOpts{ExecPages: true, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ident := set.Ident()
+	if !store.Contains(ident) {
+		t.Fatal("dump with Store did not deposit the set")
+	}
+
+	got, err := store.Materialize(ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Marshal(), set.Marshal()) {
+		t.Fatal("materialized set is not byte-identical to the deposited one")
+	}
+	if got.Ident() != ident {
+		t.Fatalf("materialized ident %#x, want %#x", got.Ident(), ident)
+	}
+
+	// The materialized copy is private: editing it must not corrupt a
+	// second materialization.
+	pi := got.Procs[got.PIDs[0]]
+	if len(pi.PageMap.PageNumbers) == 0 {
+		t.Fatal("no pages in image")
+	}
+	junk := make([]byte, kernel.PageSize)
+	if err := pi.SetPage(pi.PageMap.PageNumbers[0], junk); err != nil {
+		t.Fatal(err)
+	}
+	again, err := store.Materialize(ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Marshal(), set.Marshal()) {
+		t.Fatal("editing a materialized set leaked into the store")
+	}
+}
+
+func TestPageStoreDeltaChainRoundTrip(t *testing.T) {
+	m, p := loadCounter(t)
+	store := NewPageStore()
+
+	full, err := Dump(m, p.PID(), DumpOpts{ExecPages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(500)
+	delta, err := Dump(m, p.PID(), DumpOpts{ExecPages: true, Parent: full, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Delta() {
+		t.Fatal("expected a delta dump")
+	}
+	// Depositing the delta must have pulled its ancestor in too.
+	if !store.Contains(full.Ident()) {
+		t.Fatal("delta deposit did not deposit the parent chain")
+	}
+
+	got, err := store.Materialize(delta.Ident())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEff, err := delta.Procs[p.PID()].EffectivePages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEff, err := got.Procs[p.PID()].EffectivePages()
+	if err != nil {
+		t.Fatalf("materialized delta chain does not resolve: %v", err)
+	}
+	if len(gotEff) != len(wantEff) {
+		t.Fatalf("effective pages: got %d, want %d", len(gotEff), len(wantEff))
+	}
+	for pn, want := range wantEff {
+		if !bytes.Equal(gotEff[pn], want) {
+			t.Fatalf("page %d differs after materialize", pn)
+		}
+	}
+
+	// And the materialized chain restores into a live guest.
+	if err := m.Kill(p.PID()); err != nil {
+		t.Fatal(err)
+	}
+	procs, _, err := RestoreFromStore(m, store, delta.Ident())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 1 || procs[0].Exited() {
+		t.Fatalf("restore from store: procs=%v", procs)
+	}
+	if n := m.Run(500); n == 0 {
+		t.Fatal("restored guest does not execute")
+	}
+}
+
+// TestPageStoreDedupSubLinearGrowth is the fleet storage claim: the
+// pristine checkpoints of N replicas cloned from one template dedup to
+// ~1 guest of page blobs. Stored bytes must grow sub-linearly in N —
+// here, adding 15 more replicas is not allowed to even double the
+// single-guest footprint.
+func TestPageStoreDedupSubLinearGrowth(t *testing.T) {
+	m, p := loadCounter(t)
+	store := NewPageStore()
+
+	// Give the template a realistic footprint: 64 pages of distinct
+	// content that replicas inherit but never touch. The counter's own
+	// data pages diverge per replica; these stay pristine and shared.
+	const ballastPages = 64
+	const ballastBase = uint64(0x4000_0000)
+	if err := p.Mem().Map(kernel.VMA{
+		Start: ballastBase, End: ballastBase + ballastPages*kernel.PageSize,
+		Perm: delf.PermR | delf.PermW, Name: "ballast", Anon: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, kernel.PageSize)
+	for i := 0; i < ballastPages; i++ {
+		for j := range buf {
+			buf[j] = byte(i) ^ byte(j)
+		}
+		if err := p.Mem().Write(ballastBase+uint64(i)*kernel.PageSize, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var oneGuest int
+	replicas := make([]*kernel.Machine, 0, 16)
+	for i := 0; i < 16; i++ {
+		replicas = append(replicas, m.Clone())
+	}
+	for i, rm := range replicas {
+		// Each replica diverges slightly before its checkpoint, like a
+		// fleet member serving its own traffic.
+		rm.Run(uint64(100 * i))
+		rp, err := rm.Process(p.PID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Dump(rm, rp.PID(), DumpOpts{ExecPages: true, Store: store}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			oneGuest = store.Stats().StoredBytes
+		}
+	}
+	st := store.Stats()
+	if st.DedupHits == 0 {
+		t.Fatal("no page was deduplicated across 16 replica checkpoints")
+	}
+	if oneGuest == 0 {
+		t.Fatal("first checkpoint stored nothing")
+	}
+	if st.StoredBytes >= 2*oneGuest {
+		t.Fatalf("store grew linearly: 16 replicas cost %d bytes, 1 replica %d (want < 2x)",
+			st.StoredBytes, oneGuest)
+	}
+	t.Logf("1 replica: %d bytes; 16 replicas: %d bytes; interned %d pages, %d dedup hits",
+		oneGuest, st.StoredBytes, st.PagesInterned, st.DedupHits)
+}

@@ -1,0 +1,111 @@
+package link
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/dynacut/dynacut/internal/delf"
+)
+
+// INT3 is the trap fill byte written over a removed PLT trampoline so
+// any stale caller faults loudly instead of jumping through a dead
+// GOT slot.
+const INT3 = 0xCC
+
+// PLT surgery errors.
+var (
+	ErrNoPLT   = errors.New("link: no PLT entry for symbol")
+	ErrPatched = errors.New("link: GOT slot already patched")
+)
+
+// gotReloc returns the index of symbol's RelGOT64 import relocation,
+// or -1 if the import has been dropped (or never existed).
+func gotReloc(file *delf.File, symbol string) int {
+	for i, rel := range file.Relocs {
+		if rel.Kind == delf.RelGOT64 && rel.Symbol == symbol {
+			return i
+		}
+	}
+	return -1
+}
+
+// slotBytes bounds-checks the 8-byte field at addr and returns the
+// backing slice within its section.
+func slotBytes(file *delf.File, addr uint64) ([]byte, error) {
+	sec, err := file.SectionAt(addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: slot %#x outside image", ErrUnresolved, addr)
+	}
+	off := addr - sec.Addr
+	if off+8 > uint64(len(sec.Data)) {
+		return nil, fmt.Errorf("%w: slot %#x overruns %s", ErrUnresolved, addr, sec.Name)
+	}
+	return sec.Data[off : off+8], nil
+}
+
+// PatchGOTEntry resolves one import in place: the GOT slot for symbol
+// is written with target (plus the relocation's addend) and the
+// RelGOT64 entry is dropped, so a later DynamicPatches pass no longer
+// consults the resolver for it. Patching a symbol whose slot was
+// already patched returns ErrPatched; a symbol that was never
+// imported returns ErrUndefined; a relocation pointing outside the
+// image returns ErrUnresolved.
+func PatchGOTEntry(file *delf.File, symbol string, target uint64) error {
+	i := gotReloc(file, symbol)
+	if i < 0 {
+		// The @plt symbol outliving the relocation distinguishes
+		// "already patched" from "never imported".
+		if _, err := file.Symbol(symbol + PLTSuffix); err == nil {
+			return fmt.Errorf("%w: %q", ErrPatched, symbol)
+		}
+		return fmt.Errorf("%w: %q (no GOT import)", ErrUndefined, symbol)
+	}
+	rel := file.Relocs[i]
+	slot, err := slotBytes(file, rel.Off)
+	if err != nil {
+		return err
+	}
+	putU64(slot, uint64(int64(target)+rel.Addend))
+	file.Relocs = append(file.Relocs[:i], file.Relocs[i+1:]...)
+	return nil
+}
+
+// RemovePLTEntry severs an import the customized program no longer
+// needs: the PLT trampoline is overwritten with INT3 traps, the GOT
+// slot is zeroed, the import relocation is dropped, and the "@plt"
+// symbol is removed from the symbol table. A second removal (or a
+// symbol that never had a PLT entry) returns ErrNoPLT; a trampoline
+// lying outside the image returns ErrUnresolved.
+func RemovePLTEntry(file *delf.File, symbol string) error {
+	pltName := symbol + PLTSuffix
+	symIdx := -1
+	var entry delf.Symbol
+	for i, s := range file.Symbols {
+		if s.Name == pltName {
+			symIdx, entry = i, s
+			break
+		}
+	}
+	if symIdx < 0 {
+		return fmt.Errorf("%w: %q", ErrNoPLT, symbol)
+	}
+	sec, err := file.SectionAt(entry.Value)
+	if err != nil {
+		return fmt.Errorf("%w: PLT entry %#x outside image", ErrUnresolved, entry.Value)
+	}
+	off := entry.Value - sec.Addr
+	if off+PLTEntrySize > uint64(len(sec.Data)) {
+		return fmt.Errorf("%w: PLT entry %#x overruns %s", ErrUnresolved, entry.Value, sec.Name)
+	}
+	for i := uint64(0); i < PLTEntrySize; i++ {
+		sec.Data[off+i] = INT3
+	}
+	if ri := gotReloc(file, symbol); ri >= 0 {
+		if slot, err := slotBytes(file, file.Relocs[ri].Off); err == nil {
+			putU64(slot, 0)
+		}
+		file.Relocs = append(file.Relocs[:ri], file.Relocs[ri+1:]...)
+	}
+	file.Symbols = append(file.Symbols[:symIdx], file.Symbols[symIdx+1:]...)
+	return nil
+}

@@ -1,0 +1,250 @@
+package link
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/asm"
+	"github.com/dynacut/dynacut/internal/delf"
+)
+
+// buildImportingExe links an executable importing write and strcmp
+// through the PLT, the fixture every surgery table below operates on.
+func buildImportingExe(t *testing.T) *delf.File {
+	t.Helper()
+	lib := buildLib(t)
+	exe, err := Executable("prog", []*asm.Object{mustObj(t, `
+.text
+.global _start
+_start:
+	call write@plt
+	call strcmp@plt
+	mov r0, 60
+	syscall
+`)}, lib)
+	if err != nil {
+		t.Fatalf("Executable: %v", err)
+	}
+	return exe
+}
+
+func leU64At(t *testing.T, file *delf.File, addr uint64) uint64 {
+	t.Helper()
+	sec, err := file.SectionAt(addr)
+	if err != nil {
+		t.Fatalf("SectionAt(%#x): %v", addr, err)
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(sec.Data[addr-sec.Addr+i]) << (8 * i)
+	}
+	return v
+}
+
+func gotSlotAddr(t *testing.T, file *delf.File, symbol string) uint64 {
+	t.Helper()
+	for _, rel := range file.Relocs {
+		if rel.Kind == delf.RelGOT64 && rel.Symbol == symbol {
+			return rel.Off
+		}
+	}
+	t.Fatalf("no GOT reloc for %q", symbol)
+	return 0
+}
+
+func TestRemovePLTEntry(t *testing.T) {
+	tests := []struct {
+		name    string
+		prep    func(t *testing.T, exe *delf.File) // mutate before the call under test
+		symbol  string
+		wantErr error
+	}{
+		{name: "removes live entry", symbol: "write"},
+		{name: "missing symbol", symbol: "getpid", wantErr: ErrNoPLT},
+		{name: "internal symbol has no PLT", symbol: "_start", wantErr: ErrNoPLT},
+		{
+			name:   "already removed",
+			symbol: "write",
+			prep: func(t *testing.T, exe *delf.File) {
+				if err := RemovePLTEntry(exe, "write"); err != nil {
+					t.Fatalf("first removal: %v", err)
+				}
+			},
+			wantErr: ErrNoPLT,
+		},
+		{
+			name:   "out-of-range trampoline",
+			symbol: "write",
+			prep: func(t *testing.T, exe *delf.File) {
+				for i := range exe.Symbols {
+					if exe.Symbols[i].Name == "write"+PLTSuffix {
+						exe.Symbols[i].Value = 0xdead_0000 // no section there
+					}
+				}
+			},
+			wantErr: ErrUnresolved,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			exe := buildImportingExe(t)
+			if tc.prep != nil {
+				tc.prep(t, exe)
+			}
+			err := RemovePLTEntry(exe, tc.symbol)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("err = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The trampoline is INT3 fill.
+			entry, err2 := buildImportingExe(t).Symbol(tc.symbol + PLTSuffix)
+			if err2 != nil {
+				t.Fatal(err2)
+			}
+			sec, err2 := exe.SectionAt(entry.Value)
+			if err2 != nil {
+				t.Fatal(err2)
+			}
+			off := entry.Value - sec.Addr
+			if !bytes.Equal(sec.Data[off:off+PLTEntrySize], bytes.Repeat([]byte{INT3}, PLTEntrySize)) {
+				t.Errorf("trampoline not wiped: %x", sec.Data[off:off+PLTEntrySize])
+			}
+			// The @plt symbol and the import relocation are gone, the
+			// GOT slot is zeroed, and the surviving import is intact.
+			if _, err2 := exe.Symbol(tc.symbol + PLTSuffix); err2 == nil {
+				t.Error("@plt symbol survived removal")
+			}
+			for _, rel := range exe.Relocs {
+				if rel.Symbol == tc.symbol {
+					t.Errorf("import reloc survived removal: %+v", rel)
+				}
+			}
+			if got := leU64At(t, exe, gotSlotAddr(t, exe, "strcmp")-8); got != 0 {
+				// write's slot precedes strcmp's (first-use order).
+				t.Errorf("removed GOT slot = %#x, want 0", got)
+			}
+			if len(PLTEntries(exe)) != 1 {
+				t.Errorf("PLT entries after removal = %+v", PLTEntries(exe))
+			}
+		})
+	}
+}
+
+func TestPatchGOTEntry(t *testing.T) {
+	const target = uint64(0x7f00_1000)
+	tests := []struct {
+		name    string
+		prep    func(t *testing.T, exe *delf.File)
+		symbol  string
+		wantErr error
+	}{
+		{name: "patches live slot", symbol: "write"},
+		{name: "missing symbol", symbol: "getpid", wantErr: ErrUndefined},
+		{
+			name:   "already patched",
+			symbol: "write",
+			prep: func(t *testing.T, exe *delf.File) {
+				if err := PatchGOTEntry(exe, "write", target); err != nil {
+					t.Fatalf("first patch: %v", err)
+				}
+			},
+			wantErr: ErrPatched,
+		},
+		{
+			name:   "out-of-range relocation",
+			symbol: "write",
+			prep: func(t *testing.T, exe *delf.File) {
+				for i := range exe.Relocs {
+					if exe.Relocs[i].Symbol == "write" {
+						exe.Relocs[i].Off = 0xdead_0000
+					}
+				}
+			},
+			wantErr: ErrUnresolved,
+		},
+		{
+			name:   "slot overruns section",
+			symbol: "strcmp",
+			prep: func(t *testing.T, exe *delf.File) {
+				got, err := exe.Section(delf.SecGOT)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Push the slot past the section's last full 8 bytes.
+				for i := range exe.Relocs {
+					if exe.Relocs[i].Symbol == "strcmp" {
+						exe.Relocs[i].Off = got.Addr + uint64(len(got.Data)) - 4
+					}
+				}
+			},
+			wantErr: ErrUnresolved,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			exe := buildImportingExe(t)
+			if tc.prep != nil {
+				tc.prep(t, exe)
+			}
+			err := PatchGOTEntry(exe, tc.symbol, target)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("err = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			slot := gotSlotAddr(t, exe, "strcmp") - 8 // write's slot
+			if got := leU64At(t, exe, slot); got != target {
+				t.Errorf("patched slot = %#x, want %#x", got, target)
+			}
+			// DynamicPatches no longer consults the resolver for it.
+			patches, err := DynamicPatches(exe, 0, func(name string) (uint64, bool) {
+				if name == tc.symbol {
+					t.Errorf("resolver consulted for patched %q", name)
+				}
+				return 0x9000, true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(patches) != 1 {
+				t.Errorf("patches after in-place GOT fill = %+v", patches)
+			}
+			// The trampoline and @plt symbol survive: callers still work.
+			if _, err := exe.Symbol(tc.symbol + PLTSuffix); err != nil {
+				t.Errorf("@plt symbol lost by GOT patch: %v", err)
+			}
+		})
+	}
+}
+
+// TestRemoveThenPatchDistinguishes pins the error taxonomy: after a
+// removal the symbol is fully gone (ErrUndefined from the patcher,
+// ErrNoPLT from the remover), while after a patch the entry persists
+// and only re-patching is refused.
+func TestRemoveThenPatchDistinguishes(t *testing.T) {
+	exe := buildImportingExe(t)
+	if err := RemovePLTEntry(exe, "write"); err != nil {
+		t.Fatal(err)
+	}
+	if err := PatchGOTEntry(exe, "write", 0x1000); !errors.Is(err, ErrUndefined) {
+		t.Errorf("patch after removal = %v, want ErrUndefined", err)
+	}
+
+	exe = buildImportingExe(t)
+	if err := PatchGOTEntry(exe, "strcmp", 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := RemovePLTEntry(exe, "strcmp"); err != nil {
+		t.Errorf("removal after patch should still work: %v", err)
+	}
+}

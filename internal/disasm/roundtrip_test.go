@@ -1,0 +1,224 @@
+package disasm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/asm"
+	"github.com/dynacut/dynacut/internal/delf"
+	"github.com/dynacut/dynacut/internal/delf/link"
+	"github.com/dynacut/dynacut/internal/isa"
+)
+
+// buildTB/linkTB mirror build for fuzz targets (testing.TB).
+func buildTB(t testing.TB, src string) *delf.File {
+	t.Helper()
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return linkTB(t, obj)
+}
+
+func linkTB(t testing.TB, obj *asm.Object) *delf.File {
+	t.Helper()
+	exe, err := link.Executable("prog", []*asm.Object{obj})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return exe
+}
+
+// textOf extracts the linked executable's .text bytes.
+func textOf(t testing.TB, src string) []byte {
+	exe := buildTB(t, src)
+	for _, sec := range exe.Sections {
+		if sec.Name == ".text" {
+			return sec.Data
+		}
+	}
+	t.Fatal("no .text section")
+	return nil
+}
+
+// midBlockJumpSrc has branch targets that land in the middle of what
+// a linear scan would call one block — the shape DynaCut's INT3 block
+// surgery must never mis-decode.
+const midBlockJumpSrc = `
+.text
+.global _start
+_start:
+	mov r1, 0
+loop:
+	add r1, 1
+	cmp r1, 5
+	jne loop
+	je mid
+	nop
+mid:
+	mov r0, 1
+	syscall
+	ret
+`
+
+// FuzzDecodeEncodeRoundTrip: for arbitrary byte streams, every
+// successfully decoded instruction must re-encode to exactly the
+// bytes it was decoded from, and every failure must be one of the
+// three typed decode errors — never a panic, never an overrun.
+func FuzzDecodeEncodeRoundTrip(f *testing.F) {
+	f.Add([]byte{0xCC}) // 1-byte INT3: the block-wipe fill byte
+	text := textOf(f, midBlockJumpSrc)
+	f.Add(text)
+	if len(text) > 3 {
+		f.Add(text[:len(text)-3]) // truncated final instruction
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, code []byte) {
+		off := 0
+		for off < len(code) {
+			in, err := isa.Decode(code[off:])
+			if err != nil {
+				if !errors.Is(err, isa.ErrBadOpcode) && !errors.Is(err, isa.ErrTruncated) &&
+					!errors.Is(err, isa.ErrBadOperand) {
+					t.Fatalf("decode at %d: untyped error %v", off, err)
+				}
+				off++ // resync one byte, like the listing renderer
+				continue
+			}
+			if in.Size <= 0 || off+in.Size > len(code) {
+				t.Fatalf("decode at %d claims %d bytes of %d", off, in.Size, len(code)-off)
+			}
+			re, err := isa.Encode(nil, in)
+			if err != nil {
+				t.Fatalf("decoded instruction %v does not re-encode: %v", in, err)
+			}
+			if !bytes.Equal(re, code[off:off+in.Size]) {
+				t.Fatalf("round trip at %d: %x -> %v -> %x", off, code[off:off+in.Size], in, re)
+			}
+			off += in.Size
+		}
+	})
+}
+
+// genAsmProgram deterministically derives an assembly program from fuzz
+// bytes: a label before every instruction, jumps targeting labels
+// chosen by the input (often mid-run, splitting would-be blocks).
+func genAsmProgram(data []byte) string {
+	if len(data) == 0 {
+		data = []byte{0}
+	}
+	n := len(data)
+	var b strings.Builder
+	b.WriteString(".text\n.global _start\n_start:\n")
+	for i, d := range data {
+		fmt.Fprintf(&b, "L%d:\n", i)
+		reg := 1 + int(d>>4)%4
+		switch d % 8 {
+		case 0:
+			b.WriteString("\tnop\n")
+		case 1:
+			fmt.Fprintf(&b, "\tmov r%d, %d\n", reg, int(d)*3)
+		case 2:
+			fmt.Fprintf(&b, "\tadd r%d, %d\n", reg, int(d))
+		case 3:
+			fmt.Fprintf(&b, "\tcmp r%d, %d\n", reg, int(d)%7)
+		case 4:
+			fmt.Fprintf(&b, "\tje L%d\n", (i+int(d)/8)%n)
+		case 5:
+			fmt.Fprintf(&b, "\tjne L%d\n", (i*3+int(d))%n)
+		case 6:
+			fmt.Fprintf(&b, "\tjmp L%d\n", (i+1+int(d))%n)
+		case 7:
+			fmt.Fprintf(&b, "\tsub r%d, 1\n", reg)
+		}
+	}
+	b.WriteString("\tret\n")
+	return b.String()
+}
+
+// FuzzAssembleDisassembleReassemble is the toolchain round trip: a
+// generated program is assembled and linked, its .text disassembled
+// as a linear stream, and re-encoding that stream must reproduce the
+// section byte-identically with no undecoded gap. The CFG built from
+// the same binary must put every block boundary on an instruction
+// boundary.
+func FuzzAssembleDisassembleReassemble(f *testing.F) {
+	f.Add([]byte{0xCC})
+	f.Add([]byte{4, 12, 20, 28, 36, 44}) // all-jump program
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		src := genAsmProgram(data)
+		obj, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("generated program does not assemble: %v\n%s", err, src)
+		}
+		exe := linkTB(t, obj)
+		var text []byte
+		var base uint64
+		for _, sec := range exe.Sections {
+			if sec.Name == ".text" {
+				text, base = sec.Data, sec.Addr
+			}
+		}
+		insts, addrs := isa.Disassemble(text, base)
+		total := 0
+		re := make([]byte, 0, len(text))
+		for _, in := range insts {
+			total += in.Size
+			re = isa.MustEncode(re, in)
+		}
+		if total != len(text) {
+			t.Fatalf("disassembly stopped at %d of %d bytes", total, len(text))
+		}
+		if !bytes.Equal(re, text) {
+			t.Fatalf("reassembled .text differs:\n got %x\nwant %x", re, text)
+		}
+
+		boundaries := map[uint64]bool{}
+		for _, a := range addrs {
+			boundaries[a] = true
+		}
+		cfg := Analyze(exe)
+		for _, blk := range cfg.Sorted() {
+			if blk.Addr >= base && blk.Addr < base+uint64(len(text)) && !boundaries[blk.Addr] {
+				t.Fatalf("CFG block at %#x is not on an instruction boundary", blk.Addr)
+			}
+		}
+		if lst := Listing(exe); !strings.Contains(lst, "_start") {
+			t.Fatal("listing lost the entry symbol")
+		}
+	})
+}
+
+// TestInt3WipeKeepsStreamDecodable is the property DynaCut's block
+// surgery depends on: overwriting any instruction run with INT3 fill
+// leaves the rest of the stream decodable at the same boundaries.
+func TestInt3WipeKeepsStreamDecodable(t *testing.T) {
+	text := append([]byte(nil), textOf(t, midBlockJumpSrc)...)
+	// Wipe a middle run that crosses instruction boundaries.
+	lo, hi := 10, len(text)-2
+	for i := lo; i < hi; i++ {
+		text[i] = 0xCC
+	}
+	off := 0
+	for off < len(text) {
+		in, err := isa.Decode(text[off:])
+		if err != nil {
+			// Only the instruction torn at the wipe's start may break;
+			// resync must succeed within its original length.
+			off++
+			continue
+		}
+		off += in.Size
+	}
+	if off != len(text) {
+		t.Fatalf("stream ends mid-instruction after INT3 wipe: %d of %d", off, len(text))
+	}
+}

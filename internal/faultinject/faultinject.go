@@ -73,6 +73,20 @@ const (
 	// SiteSuperviseRestore fires before the last-good pristine images
 	// are restored (the ladder's final rung).
 	SiteSuperviseRestore = "supervise.restore"
+
+	// Fleet hook sites (internal/fleet): each fires at the start of
+	// one fleet-level action, so chaos runs can break replica spawn,
+	// any rollout wave, or the halt-and-roll-back path itself.
+	//
+	// SiteFleetClone fires before a replica is cloned from the
+	// template guest.
+	SiteFleetClone = "fleet.clone"
+	// SiteFleetWave fires before a replica's rewrite is applied during
+	// a rollout wave (canary included); detail is the replica index.
+	SiteFleetWave = "fleet.wave"
+	// SiteFleetRollback fires before a halted rollout restores a
+	// replica to its pristine checkpoint; detail is the replica index.
+	SiteFleetRollback = "fleet.rollback"
 )
 
 // Step-prefix groups: FailDumpAtStep / FailRestoreAtStep count every
@@ -82,6 +96,7 @@ const (
 	PrefixRestore   = "criu.restore."
 	PrefixEdit      = "crit.edit."
 	PrefixSupervise = "supervise."
+	PrefixFleet     = "fleet."
 )
 
 // ErrInjected is the sentinel wrapped by every injected failure.

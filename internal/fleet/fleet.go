@@ -1,0 +1,573 @@
+// Package fleet scales dynamic customization from one guest to N: a
+// Fleet owns N replica machines spawned by copy-on-write cloning of a
+// single booted template, shares their pristine checkpoints through a
+// content-addressed page store (so N replicas cost ~1 guest of blob
+// storage), and applies a rewrite across the fleet as a staged
+// rollout — canary shards first, then waves — halting and restoring
+// pristine state when a wave's failure rate crosses the threshold.
+//
+// The invariant the rollout maintains is per-replica atomicity lifted
+// to the fleet: every replica ends a rollout either committed to the
+// new version or running its pristine checkpoint. There is no torn
+// state in between — core.Rewrite's transaction guarantees it per
+// replica, and the halt path restores from the shared store whatever
+// a replica's own rollback could not recover.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dynacut/dynacut/internal/core"
+	"github.com/dynacut/dynacut/internal/criu"
+	"github.com/dynacut/dynacut/internal/faultinject"
+	"github.com/dynacut/dynacut/internal/kernel"
+	"github.com/dynacut/dynacut/internal/obs"
+	"github.com/dynacut/dynacut/internal/supervise"
+)
+
+// Fleet errors.
+var (
+	// ErrHalted aborts in-flight rewrites once the rollout has halted;
+	// it surfaces wrapped in core.ErrAborted.
+	ErrHalted = errors.New("fleet: rollout halted")
+	// ErrNoReplicas rejects a config without replicas.
+	ErrNoReplicas = errors.New("fleet: config needs at least one replica")
+)
+
+// rollbackTries bounds how often the halt path retries a pristine
+// restore per replica before declaring the replica lost.
+const rollbackTries = 3
+
+// Config sizes and tunes a fleet.
+type Config struct {
+	// Replicas is the fleet size (required, >= 1).
+	Replicas int
+	// Workers bounds how many rewrites run concurrently within a wave
+	// and sets the lane count of the virtual-time makespan model
+	// (0 = 4). Workers 1 is the serial baseline.
+	Workers int
+	// CanaryShards is the size of the first wave (0 = 1, clamped to
+	// Replicas). The canary wave must be fully healthy before the
+	// remaining waves run: any canary failure halts the rollout.
+	CanaryShards int
+	// WaveSize is the batch size of the post-canary waves (0 = 4).
+	WaveSize int
+	// FailureThreshold is the fraction of a post-canary wave that may
+	// fail without halting the rollout. 0 = any failure halts.
+	FailureThreshold float64
+	// Core is the per-replica customizer option template. Observer is
+	// replaced with a per-replica observer; BeforeCommit is chained
+	// after the fleet's halt check.
+	Core core.Options
+	// FaultHook, when non-nil, is installed on every replica machine
+	// and consulted at the fleet.* sites — the chaos-testing harness.
+	FaultHook kernel.FaultHook
+	// Observer, when non-nil, receives the fleet-level timeline (wave
+	// spans, halt/rollback points). nil allocates a private one.
+	Observer *obs.Observer
+}
+
+// Replica is one fleet member: an independent machine cloned from the
+// template, its customizer, its observer, and its pristine anchor in
+// the shared page store.
+type Replica struct {
+	Index   int
+	Machine *kernel.Machine
+	Cust    *core.Customizer
+	Obs     *obs.Observer
+	// PristineID is the replica's pristine checkpoint in the fleet's
+	// shared page store — the rollback anchor of the staged rollout.
+	PristineID uint32
+
+	pristineRoot int
+}
+
+// Outcome classifies where a replica ended up after a rollout.
+type Outcome int
+
+const (
+	// OutcomePending: the replica's wave never ran (halt upstream);
+	// the guest is untouched on the old version.
+	OutcomePending Outcome = iota
+	// OutcomeCommitted: the rewrite committed; new version.
+	OutcomeCommitted
+	// OutcomeAborted: the rewrite stopped pre-commit (halt arrived or
+	// the wave fault site fired); the guest is untouched.
+	OutcomeAborted
+	// OutcomeFailed: the rewrite failed before its commit point (bad
+	// dump, corrupt image, failed edit); the guest is untouched.
+	OutcomeFailed
+	// OutcomeRolledBack: the rewrite failed past the commit point and
+	// core restored the pre-edit images; old version, connections kept.
+	OutcomeRolledBack
+	// OutcomeRestored: the fleet restored the replica's pristine
+	// checkpoint from the shared store (halt path, or recovery of a
+	// replica whose own rollback failed).
+	OutcomeRestored
+	// OutcomeLost: unrecoverable — both core's rollback and the
+	// store-based restore failed.
+	OutcomeLost
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomePending:
+		return "pending"
+	case OutcomeCommitted:
+		return "committed"
+	case OutcomeAborted:
+		return "aborted"
+	case OutcomeFailed:
+		return "failed"
+	case OutcomeRolledBack:
+		return "rolled-back"
+	case OutcomeRestored:
+		return "restored"
+	case OutcomeLost:
+		return "lost"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// OldVersion reports whether the outcome leaves the replica running
+// its pre-rollout code. Exactly one of OldVersion, the committed new
+// version, and OutcomeLost holds for every final outcome.
+func (o Outcome) OldVersion() bool {
+	switch o {
+	case OutcomePending, OutcomeAborted, OutcomeFailed, OutcomeRolledBack, OutcomeRestored:
+		return true
+	default:
+		return false
+	}
+}
+
+// ReplicaOutcome is one replica's rollout result.
+type ReplicaOutcome struct {
+	Index   int
+	Outcome Outcome
+	// Stats is the core rewrite cost (zero if the rewrite never ran).
+	Stats core.Stats
+	// Ticks is the virtual time the replica's machine spent in the
+	// rollout (floored at 1 for an attempted replica, so makespan
+	// math never degenerates).
+	Ticks uint64
+	// Err is the rewrite or recovery failure, nil on commit.
+	Err error
+}
+
+// WaveResult summarizes one wave.
+type WaveResult struct {
+	Index    int
+	Canary   bool
+	Replicas []int
+	Failures int
+}
+
+// RolloutResult is the fleet-level outcome of one staged rollout.
+type RolloutResult struct {
+	Waves    []WaveResult
+	Outcomes []ReplicaOutcome
+	// Halted reports that a wave crossed the failure threshold:
+	// its committed replicas were restored to pristine and all later
+	// waves were cancelled. HaltedWave is that wave's index.
+	Halted     bool
+	HaltedWave int
+	// SerialTicks is the summed virtual-time cost of the attempted
+	// rewrites — the makespan a one-lane rollout would pay.
+	// FleetTicks is the modeled makespan under the config's worker
+	// lanes (longest-processing-time packing): what the pooled
+	// rollout pays on the fleet's shared virtual time axis.
+	SerialTicks uint64
+	FleetTicks  uint64
+}
+
+// Committed counts replicas that ended on the new version.
+func (r *RolloutResult) Committed() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Outcome == OutcomeCommitted {
+			n++
+		}
+	}
+	return n
+}
+
+// Fleet is a set of replica guests rewritten as one unit.
+type Fleet struct {
+	cfg      Config
+	store    *criu.PageStore
+	replicas []*Replica
+	obs      *obs.Observer
+	halted   atomic.Bool
+	sups     []*supervise.Supervisor
+}
+
+// New clones the template machine into cfg.Replicas independent
+// replicas and deposits each replica's pristine checkpoint into one
+// shared content-addressed page store. The template must hold a
+// booted guest rooted at rootPID; it is left untouched and is not
+// part of the fleet. Host-side instrumentation is per-replica: each
+// clone gets its own observer and customizer, plus cfg.FaultHook if
+// set.
+func New(template *kernel.Machine, rootPID int, cfg Config) (*Fleet, error) {
+	if cfg.Replicas < 1 {
+		return nil, ErrNoReplicas
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.CanaryShards <= 0 {
+		cfg.CanaryShards = 1
+	}
+	if cfg.CanaryShards > cfg.Replicas {
+		cfg.CanaryShards = cfg.Replicas
+	}
+	if cfg.WaveSize <= 0 {
+		cfg.WaveSize = 4
+	}
+	f := &Fleet{cfg: cfg, store: criu.NewPageStore(), obs: cfg.Observer}
+	if f.obs == nil {
+		f.obs = obs.New(obs.DefaultCapacity)
+	}
+
+	f.obs.PhaseStart("fleet.spawn", 0)
+	for i := 0; i < cfg.Replicas; i++ {
+		if cfg.FaultHook != nil {
+			if err := cfg.FaultHook.Fault(faultinject.SiteFleetClone, i); err != nil {
+				err = fmt.Errorf("fleet: cloning replica %d: %w", i, err)
+				f.obs.PhaseEnd("fleet.spawn", 0, err)
+				return nil, err
+			}
+		}
+		m := template.Clone()
+		if cfg.FaultHook != nil {
+			m.SetFaultHook(cfg.FaultHook)
+		}
+		ro := obs.New(obs.DefaultCapacity)
+		m.SetObserver(ro)
+
+		opts := cfg.Core
+		opts.Observer = ro
+		userBC := cfg.Core.BeforeCommit
+		opts.BeforeCommit = func(attempt int) error {
+			if f.halted.Load() {
+				return ErrHalted
+			}
+			if userBC != nil {
+				return userBC(attempt)
+			}
+			return nil
+		}
+		cust, err := core.New(m, rootPID, opts)
+		if err != nil {
+			f.obs.PhaseEnd("fleet.spawn", 0, err)
+			return nil, fmt.Errorf("fleet: replica %d customizer: %w", i, err)
+		}
+		pristine, err := cust.Checkpoint()
+		if err != nil {
+			f.obs.PhaseEnd("fleet.spawn", 0, err)
+			return nil, fmt.Errorf("fleet: replica %d pristine checkpoint: %w", i, err)
+		}
+		ident, err := f.store.Deposit(pristine)
+		if err != nil {
+			f.obs.PhaseEnd("fleet.spawn", 0, err)
+			return nil, fmt.Errorf("fleet: replica %d deposit: %w", i, err)
+		}
+		f.replicas = append(f.replicas, &Replica{
+			Index: i, Machine: m, Cust: cust, Obs: ro,
+			PristineID: ident, pristineRoot: cust.PID(),
+		})
+	}
+	f.obs.PhaseEnd("fleet.spawn", 0, nil)
+	st := f.store.Stats()
+	f.obs.Add("fleet.replicas", int64(len(f.replicas)))
+	f.obs.SetGauge("fleet.store.bytes", int64(st.StoredBytes))
+	f.obs.SetGauge("fleet.store.pages", int64(st.UniquePages))
+	return f, nil
+}
+
+// Replicas returns the fleet members in index order.
+func (f *Fleet) Replicas() []*Replica { return append([]*Replica(nil), f.replicas...) }
+
+// Store returns the shared content-addressed page store.
+func (f *Fleet) Store() *criu.PageStore { return f.store }
+
+// Halt stops the rollout: waves that have not started are cancelled
+// and in-flight rewrites abort at their next pre-commit check.
+func (f *Fleet) Halt() { f.halted.Store(true) }
+
+// Halted reports whether the fleet is in the halted state.
+func (f *Fleet) Halted() bool { return f.halted.Load() }
+
+// Resume clears the halted state so a new rollout can run.
+func (f *Fleet) Resume() { f.halted.Store(false) }
+
+// waves slices the replica indices into the canary wave followed by
+// batches of WaveSize.
+func (f *Fleet) waves() [][]int {
+	var out [][]int
+	idx := make([]int, len(f.replicas))
+	for i := range idx {
+		idx[i] = i
+	}
+	c := f.cfg.CanaryShards
+	out = append(out, idx[:c])
+	for lo := c; lo < len(idx); lo += f.cfg.WaveSize {
+		hi := lo + f.cfg.WaveSize
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		out = append(out, idx[lo:hi])
+	}
+	return out
+}
+
+// Rollout applies one rewrite across the fleet as a staged rollout:
+// the canary wave first, then the remaining replicas in waves, each
+// wave's rewrites running concurrently under the worker bound. A wave
+// whose failure rate crosses the threshold (any failure, for the
+// canary) halts the rollout: the failed wave's committed replicas are
+// restored to their pristine checkpoints from the shared store,
+// in-flight rewrites abort pre-commit, and later waves never start.
+// Replicas whose own rollback failed are restored from the store even
+// when the rollout is not halting — the fleet's second-chance
+// recovery. apply runs once per attempted replica and must touch only
+// that replica's state.
+func (f *Fleet) Rollout(apply func(r *Replica) (core.Stats, error)) (*RolloutResult, error) {
+	res := &RolloutResult{Outcomes: make([]ReplicaOutcome, len(f.replicas))}
+	for i := range res.Outcomes {
+		res.Outcomes[i].Index = i
+	}
+	waves := f.waves()
+	for wi, wave := range waves {
+		if f.halted.Load() {
+			break
+		}
+		canary := wi == 0
+		f.obs.PhaseStart("fleet.wave", wi)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, f.cfg.Workers)
+		for _, ri := range wave {
+			wg.Add(1)
+			go func(ri int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				f.applyOne(&res.Outcomes[ri], apply)
+			}(ri)
+		}
+		wg.Wait()
+
+		fails := 0
+		for _, ri := range wave {
+			if res.Outcomes[ri].Outcome != OutcomeCommitted {
+				fails++
+			}
+		}
+		wr := WaveResult{Index: wi, Canary: canary, Replicas: append([]int(nil), wave...), Failures: fails}
+		res.Waves = append(res.Waves, wr)
+		failRate := float64(fails) / float64(len(wave))
+		threshold := f.cfg.FailureThreshold
+		if canary {
+			threshold = 0 // any canary failure halts
+		}
+		halt := fails > 0 && failRate > threshold
+
+		// Second-chance recovery: a replica whose own rollback failed
+		// is dead, but its pristine checkpoint survives in the store.
+		for _, ri := range wave {
+			if res.Outcomes[ri].Outcome == OutcomeLost {
+				f.restorePristine(&res.Outcomes[ri])
+			}
+		}
+
+		if halt {
+			f.halted.Store(true)
+			res.Halted = true
+			res.HaltedWave = wi
+			f.obs.Point("fleet.halt", int64(wi))
+			// Un-commit the failed wave: a wave that crossed the
+			// threshold does not stay half-deployed.
+			for _, ri := range wave {
+				if res.Outcomes[ri].Outcome == OutcomeCommitted {
+					f.restorePristine(&res.Outcomes[ri])
+				}
+			}
+			f.obs.PhaseEnd("fleet.wave", wi, fmt.Errorf("wave %d: %d/%d failed, rollout halted", wi, fails, len(wave)))
+			break
+		}
+		f.obs.PhaseEnd("fleet.wave", wi, nil)
+	}
+
+	res.SerialTicks, res.FleetTicks = f.makespan(res)
+	f.obs.Point("fleet.rollout.done", int64(res.Committed()))
+	return res, nil
+}
+
+// applyOne runs the rewrite on one replica and classifies the result.
+func (f *Fleet) applyOne(out *ReplicaOutcome, apply func(r *Replica) (core.Stats, error)) {
+	r := f.replicas[out.Index]
+	before := r.Machine.Clock()
+	var err error
+	if err = r.Machine.Fault(faultinject.SiteFleetWave, r.Index); err != nil {
+		out.Outcome, out.Err = OutcomeAborted, err
+	} else {
+		out.Stats, err = apply(r)
+		out.Err = err
+		switch {
+		case err == nil:
+			out.Outcome = OutcomeCommitted
+		case errors.Is(err, core.ErrAborted):
+			out.Outcome = OutcomeAborted
+		case errors.Is(err, core.ErrRollbackFailed):
+			out.Outcome = OutcomeLost
+		case errors.Is(err, core.ErrRolledBack):
+			out.Outcome = OutcomeRolledBack
+		default:
+			out.Outcome = OutcomeFailed
+		}
+	}
+	out.Ticks = r.Machine.Clock() - before
+	if out.Ticks == 0 {
+		out.Ticks = 1
+	}
+}
+
+// restorePristine rebuilds a replica from its pristine checkpoint in
+// the shared store, with bounded retries against injected faults. On
+// success the replica's customizer is rebound to the restored root.
+func (f *Fleet) restorePristine(out *ReplicaOutcome) {
+	r := f.replicas[out.Index]
+	var lastErr error
+	for try := 1; try <= rollbackTries; try++ {
+		if err := r.Machine.Fault(faultinject.SiteFleetRollback, r.Index); err != nil {
+			lastErr = err
+			continue
+		}
+		// Tear down whatever tree is live (children before parents).
+		procs := r.Machine.Processes()
+		for i := len(procs) - 1; i >= 0; i-- {
+			r.Machine.Kill(procs[i].PID())
+			r.Machine.Remove(procs[i].PID())
+		}
+		procs2, pidMap, err := criu.RestoreFromStore(r.Machine, f.store, r.PristineID)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		newRoot := pidMap[r.pristineRoot]
+		if newRoot == 0 && len(procs2) > 0 {
+			newRoot = procs2[0].PID()
+		}
+		r.Cust.Rebind(newRoot)
+		out.Outcome = OutcomeRestored
+		out.Err = lastErr
+		f.obs.Point("fleet.rollback", int64(out.Index))
+		return
+	}
+	out.Outcome = OutcomeLost
+	out.Err = fmt.Errorf("fleet: replica %d pristine restore failed after %d tries: %w",
+		out.Index, rollbackTries, lastErr)
+}
+
+// makespan computes the rollout's virtual-time cost: SerialTicks is
+// the one-lane sum of the attempted replicas' tick costs, FleetTicks
+// the longest-processing-time packing of those costs into the
+// config's worker lanes. Virtual time is the fleet's deterministic
+// cost axis — each replica's machine charges the rewrite to its own
+// clock, and the packing models how many of those charges overlap
+// under the worker bound.
+func (f *Fleet) makespan(res *RolloutResult) (serial, fleet uint64) {
+	var costs []uint64
+	for _, o := range res.Outcomes {
+		if o.Outcome == OutcomePending {
+			continue
+		}
+		costs = append(costs, o.Ticks)
+		serial += o.Ticks
+	}
+	if len(costs) == 0 {
+		return 0, 0
+	}
+	sort.Slice(costs, func(i, j int) bool { return costs[i] > costs[j] })
+	lanes := make([]uint64, f.cfg.Workers)
+	for _, c := range costs {
+		min := 0
+		for i := 1; i < len(lanes); i++ {
+			if lanes[i] < lanes[min] {
+				min = i
+			}
+		}
+		lanes[min] += c
+	}
+	for _, l := range lanes {
+		if l > fleet {
+			fleet = l
+		}
+	}
+	return serial, fleet
+}
+
+// AttachSupervisors puts one supervisor on every replica. mk builds
+// the per-replica config (canary probes must target that replica's
+// machine). Supervisors observe through the replica's own observer
+// unless mk says otherwise.
+func (f *Fleet) AttachSupervisors(mk func(r *Replica) supervise.Config) error {
+	for _, r := range f.replicas {
+		cfg := mk(r)
+		if cfg.Observer == nil {
+			cfg.Observer = r.Obs
+		}
+		s := supervise.New(r.Machine, r.Cust, cfg)
+		if err := s.Attach(); err != nil {
+			return fmt.Errorf("fleet: attaching supervisor to replica %d: %w", r.Index, err)
+		}
+		f.sups = append(f.sups, s)
+	}
+	return nil
+}
+
+// Supervisors returns the attached per-replica supervisors (empty
+// before AttachSupervisors).
+func (f *Fleet) Supervisors() []*supervise.Supervisor {
+	return append([]*supervise.Supervisor(nil), f.sups...)
+}
+
+// Status aggregates the per-replica supervisor snapshots into one
+// fleet-level status. Before AttachSupervisors it reports zero
+// instances.
+type Status struct {
+	Replicas  []supervise.Status
+	Aggregate supervise.AggregateStatus
+}
+
+// Status snapshots every attached supervisor and folds the snapshots
+// into a fleet-level aggregate.
+func (f *Fleet) Status() Status {
+	var st Status
+	for _, s := range f.sups {
+		st.Replicas = append(st.Replicas, s.Status())
+	}
+	st.Aggregate = supervise.Aggregate(st.Replicas...)
+	return st
+}
+
+// Timeline merges the fleet-level event stream with every replica's,
+// each replica's events tagged "r<i>/", ordered on the shared virtual
+// clock. This is the one-pane-of-glass view of a rollout: wave spans
+// interleaved with each replica's checkpoint/edit/restore phases.
+func (f *Fleet) Timeline() []obs.Event {
+	streams := [][]obs.Event{f.obs.Events()}
+	for _, r := range f.replicas {
+		streams = append(streams, obs.Tag(r.Obs.Events(), fmt.Sprintf("r%d/", r.Index)))
+	}
+	return obs.MergeTimelines(streams...)
+}
+
+// Observer returns the fleet-level observer.
+func (f *Fleet) Observer() *obs.Observer { return f.obs }

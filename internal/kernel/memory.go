@@ -61,6 +61,13 @@ type Memory struct {
 	pages map[uint64][]byte   // page number -> PageSize bytes
 	dirty map[uint64]struct{} // pages written since the last snapshot
 	vmas  []VMA               // sorted by Start, non-overlapping
+
+	// cow marks pages whose backing slice is shared with another
+	// address space (CloneCoW). A shared page is copied privately the
+	// first time it is written, so N cloned guests cost one copy of
+	// their common pristine pages until they diverge. nil when nothing
+	// is shared.
+	cow map[uint64]struct{}
 }
 
 func newMemory() *Memory {
@@ -85,6 +92,49 @@ func (m *Memory) Clone() *Memory {
 	}
 	return c
 }
+
+// CloneCoW returns a copy-on-write copy of the address space: both
+// sides keep referencing the same page slices, and either side copies
+// a page privately the first time it writes it. Cloning N guests from
+// one booted template this way costs one copy of the pristine pages
+// plus only the pages each clone later dirties.
+func (m *Memory) CloneCoW() *Memory {
+	c := &Memory{
+		pages: make(map[uint64][]byte, len(m.pages)),
+		dirty: make(map[uint64]struct{}, len(m.dirty)),
+		vmas:  append([]VMA(nil), m.vmas...),
+		cow:   make(map[uint64]struct{}, len(m.pages)),
+	}
+	if m.cow == nil {
+		m.cow = make(map[uint64]struct{}, len(m.pages))
+	}
+	for pn, pg := range m.pages {
+		c.pages[pn] = pg
+		c.cow[pn] = struct{}{}
+		m.cow[pn] = struct{}{}
+	}
+	for pn := range m.dirty {
+		c.dirty[pn] = struct{}{}
+	}
+	return c
+}
+
+// breakCoW gives page pn private backing if its slice is shared with a
+// clone. Must be called before any in-place mutation of the page.
+func (m *Memory) breakCoW(pn uint64) {
+	if m.cow == nil {
+		return
+	}
+	if _, shared := m.cow[pn]; !shared {
+		return
+	}
+	m.pages[pn] = append([]byte(nil), m.pages[pn]...)
+	delete(m.cow, pn)
+}
+
+// SharedPageCount reports how many pages still share backing with a
+// clone (diagnostics; the fleet dedup experiments read it).
+func (m *Memory) SharedPageCount() int { return len(m.cow) }
 
 // VMAs returns a copy of the VMA table.
 func (m *Memory) VMAs() []VMA {
@@ -150,6 +200,7 @@ func (m *Memory) Unmap(start, end uint64) error {
 	for pn := start / PageSize; pn < end/PageSize; pn++ {
 		delete(m.pages, pn)
 		delete(m.dirty, pn)
+		delete(m.cow, pn)
 	}
 	return nil
 }
@@ -249,11 +300,13 @@ func (m *Memory) read(addr uint64, out []byte) error {
 func (m *Memory) Write(addr uint64, b []byte) error {
 	for done := 0; done < len(b); {
 		a := addr + uint64(done)
-		pg, ok := m.page(a)
-		if !ok {
+		if _, ok := m.page(a); !ok {
 			return fmt.Errorf("%w: %#x", ErrUnmapped, a)
 		}
-		m.dirty[a/PageSize] = struct{}{}
+		pn := a / PageSize
+		m.breakCoW(pn)
+		pg := m.pages[pn]
+		m.dirty[pn] = struct{}{}
 		off := a % PageSize
 		done += copy(pg[off:], b[done:])
 	}
@@ -372,6 +425,7 @@ func (m *Memory) SetPage(pn uint64, data []byte) error {
 	}
 	m.pages[pn] = append([]byte(nil), data...)
 	m.dirty[pn] = struct{}{}
+	delete(m.cow, pn)
 	return nil
 }
 

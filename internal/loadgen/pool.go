@@ -1,0 +1,86 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool drives per-replica workloads across a fleet: one Driver per
+// replica machine, run concurrently under a bounded worker count.
+// Machines are fully independent (each replica has its own virtual
+// clock and network), so drivers never contend on guest state — the
+// bound only models a load-generation host with finite parallelism.
+type Pool struct {
+	Drivers []*Driver
+	// Workers bounds how many drivers run concurrently (0 = all).
+	Workers int
+}
+
+// Run drives every driver for the given number of buckets and returns
+// the per-replica results in driver order. A driver failure leaves a
+// nil slot and is reported in the joined error; the other replicas
+// still complete.
+func (p *Pool) Run(buckets int) ([]*Result, error) {
+	results := make([]*Result, len(p.Drivers))
+	errs := make([]error, len(p.Drivers))
+	workers := p.Workers
+	if workers <= 0 || workers > len(p.Drivers) {
+		workers = len(p.Drivers)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, d := range p.Drivers {
+		wg.Add(1)
+		go func(i int, d *Driver) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := d.Run(buckets)
+			results[i], errs[i] = res, err
+		}(i, d)
+	}
+	wg.Wait()
+	var firstErr error
+	for i, err := range errs {
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("loadgen: replica %d: %w", i, err)
+		}
+	}
+	return results, firstErr
+}
+
+// Merge folds per-replica results into one fleet-level result:
+// bucket throughput summed by index, latency samples pooled, error
+// and request totals added. nil results (failed replicas) are skipped.
+func Merge(results ...*Result) *Result {
+	out := &Result{}
+	maxBuckets := 0
+	for _, r := range results {
+		if r != nil && len(r.Buckets) > maxBuckets {
+			maxBuckets = len(r.Buckets)
+		}
+	}
+	sums := make([]int, maxBuckets)
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		for _, b := range r.Buckets {
+			sums[b.Index] += b.Responses
+		}
+		for _, v := range r.Latency.samples {
+			out.Latency.Add(v)
+		}
+		out.Errors += r.Errors
+		out.Total += r.Total
+		for _, f := range r.Failures {
+			if len(out.Failures) < 4 {
+				out.Failures = append(out.Failures, f)
+			}
+		}
+	}
+	for i, n := range sums {
+		out.Buckets = append(out.Buckets, Bucket{Index: i, Responses: n})
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package loadgen
+
+import (
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/kernel"
+)
+
+// TestPoolDrivesClonedReplicas is the fleet traffic shape: one booted
+// template cloned into N replicas, each driven by its own Driver under
+// a bounded worker count, results merged into one fleet view.
+func TestPoolDrivesClonedReplicas(t *testing.T) {
+	m, port := bootKV(t)
+	const replicas = 4
+	mkDriver := func(rm *kernel.Machine) *Driver {
+		return &Driver{
+			Machine:     rm,
+			Port:        port,
+			Mix:         NewMix(Request{Payload: "PING\n"}),
+			BucketTicks: 50_000,
+		}
+	}
+	pool := &Pool{Workers: 2}
+	for i := 0; i < replicas; i++ {
+		pool.Drivers = append(pool.Drivers, mkDriver(m.Clone()))
+	}
+
+	results, err := pool.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != replicas {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r == nil || r.Errors != 0 || r.Total == 0 {
+			t.Fatalf("replica %d result = %+v", i, r)
+		}
+	}
+
+	merged := Merge(results...)
+	wantTotal := 0
+	for _, r := range results {
+		wantTotal += r.Total
+	}
+	if merged.Total != wantTotal || merged.Latency.Count() != wantTotal {
+		t.Fatalf("merged total = %d (samples %d), want %d", merged.Total, merged.Latency.Count(), wantTotal)
+	}
+	if len(merged.Buckets) != 3 {
+		t.Fatalf("merged buckets = %d", len(merged.Buckets))
+	}
+	for b := 0; b < 3; b++ {
+		sum := 0
+		for _, r := range results {
+			sum += r.Throughput(b)
+		}
+		if merged.Throughput(b) != sum {
+			t.Errorf("bucket %d: merged %d, want %d", b, merged.Throughput(b), sum)
+		}
+	}
+	// The template machine was not driven: its clock never moved past
+	// boot while the clones each advanced independently.
+	for i, d := range pool.Drivers {
+		if d.Machine.Clock() <= m.Clock() {
+			t.Errorf("replica %d clock %d did not advance past template %d", i, d.Machine.Clock(), m.Clock())
+		}
+	}
+}
+
+func TestPoolReportsPerReplicaFailure(t *testing.T) {
+	m, port := bootKV(t)
+	good := &Driver{Machine: m.Clone(), Port: port, Mix: NewMix(Request{Payload: "PING\n"}), BucketTicks: 50_000}
+	bad := &Driver{Machine: m.Clone(), Port: port} // no mix
+	pool := &Pool{Drivers: []*Driver{good, bad}}
+	results, err := pool.Run(2)
+	if err == nil {
+		t.Fatal("pool swallowed a driver failure")
+	}
+	if results[0] == nil || results[0].Total == 0 {
+		t.Fatal("healthy replica did not complete")
+	}
+	if results[1] != nil {
+		t.Fatal("failed replica produced a result")
+	}
+	if merged := Merge(results...); merged.Total != results[0].Total {
+		t.Fatalf("merge over nil slot = %+v", merged)
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// TestSummarizeGolden locks the operator-facing summary format: a
+// fully deterministic trace (stubbed wall and virtual clocks) rendered
+// by Summary() must match the checked-in golden byte-for-byte. Run
+// with -update after an intentional format change.
+func TestSummarizeGolden(t *testing.T) {
+	o := New(64)
+	now := int64(0)
+	o.SetWallClock(func() time.Time { now += 1_000_000; return time.Unix(0, now) })
+	vc := uint64(0)
+	o.SetClock(func() uint64 { vc += 500; return vc })
+
+	// One committed rewrite with a retried edit, a fault, and metrics —
+	// every branch of the summary renderer.
+	o.PhaseStart("checkpoint", 0)
+	o.PhaseEnd("checkpoint", 0, nil)
+	o.PhaseStart("edit", 1)
+	o.PhaseEnd("edit", 1, errors.New("injected"))
+	o.Fault("crit.edit.write", 1)
+	o.PhaseStart("edit", 2)
+	o.PhaseEnd("edit", 2, nil)
+	o.PhaseStart("restore", 2)
+	o.PhaseEnd("restore", 2, nil)
+	o.Point("rewrite.commit", 2)
+	o.Add("core.commits", 1)
+	o.SetGauge("criu.parent.depth", 3)
+	o.PhaseStart("dangling", 2) // crash mid-phase: counts as an error
+
+	got := o.Summary()
+	golden := filepath.Join("testdata", "summary.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("Summary() drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

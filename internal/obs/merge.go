@@ -1,0 +1,51 @@
+package obs
+
+import "sort"
+
+// Fleet-level timeline assembly: each replica carries its own
+// Observer, and the fleet view is the per-replica event streams tagged
+// with the replica's name and merged into one ordered trace. Tagging
+// matters beyond display — Summarize pairs phase-start/phase-end spans
+// by (name, attempt), so merging untagged streams from N replicas
+// running the same phases would cross-match spans between replicas.
+
+// Tag returns a copy of events with prefix prepended to every Name
+// (e.g. "replica3/checkpoint"). The input is not modified.
+func Tag(events []Event, prefix string) []Event {
+	out := make([]Event, len(events))
+	for i, ev := range events {
+		ev.Name = prefix + ev.Name
+		out[i] = ev
+	}
+	return out
+}
+
+// MergeTimelines interleaves several event streams into one timeline
+// ordered by virtual clock, breaking ties by wall clock and then by
+// sequence number. Each input stream must itself be ordered (as
+// Observer.Events returns it); the inputs are not modified. The
+// virtual clock leads because it is the deterministic axis: replicas
+// of a deterministic workload merge identically across reruns, with
+// wall time only arbitrating events from different machines whose
+// virtual clocks happen to agree.
+func MergeTimelines(streams ...[]Event) []Event {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]Event, 0, total)
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.VClock != b.VClock {
+			return a.VClock < b.VClock
+		}
+		if a.WallNS != b.WallNS {
+			return a.WallNS < b.WallNS
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTagPrefixesNamesWithoutMutating(t *testing.T) {
+	in := []Event{
+		{Kind: KindPhaseStart, Name: "checkpoint"},
+		{Kind: KindPoint, Name: "rewrite.commit"},
+	}
+	out := Tag(in, "replica3/")
+	if out[0].Name != "replica3/checkpoint" || out[1].Name != "replica3/rewrite.commit" {
+		t.Fatalf("tagged names = %q, %q", out[0].Name, out[1].Name)
+	}
+	if in[0].Name != "checkpoint" {
+		t.Fatal("Tag mutated its input")
+	}
+}
+
+func TestMergeTimelinesOrdersByVClockThenWallThenSeq(t *testing.T) {
+	a := []Event{
+		{Seq: 1, VClock: 10, WallNS: 100, Name: "a1"},
+		{Seq: 2, VClock: 30, WallNS: 300, Name: "a2"},
+	}
+	b := []Event{
+		{Seq: 1, VClock: 10, WallNS: 50, Name: "b1"},  // same vclock, earlier wall
+		{Seq: 2, VClock: 20, WallNS: 400, Name: "b2"}, // vclock wins over wall
+	}
+	got := MergeTimelines(a, b)
+	want := []string{"b1", "a1", "b2", "a2"}
+	for i, name := range want {
+		if got[i].Name != name {
+			t.Fatalf("merged[%d] = %s, want %s (full: %+v)", i, got[i].Name, name, got)
+		}
+	}
+	// Determinism: merging in the other order gives the same timeline.
+	again := MergeTimelines(b, a)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("merge is input-order sensitive at %d: %+v vs %+v", i, got[i], again[i])
+		}
+	}
+}
+
+// TestMergeTaggedStreamsSummarize is why Tag exists: two replicas run
+// the same phases with the same attempt numbers, and only the tagged
+// merge keeps their spans from cross-matching in Summarize.
+func TestMergeTaggedStreamsSummarize(t *testing.T) {
+	mkReplica := func(base int64, fail bool) []Event {
+		o := New(64)
+		now := base
+		o.SetWallClock(func() time.Time { now += 1000; return time.Unix(0, now) })
+		vc := uint64(base)
+		o.SetClock(func() uint64 { vc += 10; return vc })
+		o.PhaseStart("rewrite", 1)
+		if fail {
+			o.PhaseEnd("rewrite", 1, errors.New("boom"))
+		} else {
+			o.PhaseEnd("rewrite", 1, nil)
+		}
+		return o.Events()
+	}
+	merged := MergeTimelines(
+		Tag(mkReplica(0, false), "r0/"),
+		Tag(mkReplica(5000, true), "r1/"),
+	)
+	sum := Summarize(merged)
+	if len(sum.Phases) != 2 {
+		t.Fatalf("phases = %+v, want one per replica", sum.Phases)
+	}
+	byName := map[string]PhaseStat{}
+	for _, ps := range sum.Phases {
+		byName[ps.Name] = ps
+	}
+	if ps := byName["r0/rewrite"]; ps.Count != 1 || ps.Errors != 0 {
+		t.Errorf("r0 span: %+v", ps)
+	}
+	if ps := byName["r1/rewrite"]; ps.Count != 1 || ps.Errors != 1 {
+		t.Errorf("r1 span: %+v", ps)
+	}
+}

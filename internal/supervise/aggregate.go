@@ -1,0 +1,102 @@
+package supervise
+
+// Fleet aggregation: a fleet runs one supervisor per replica, and the
+// operator wants a single answer to "how is the fleet doing". Aggregate
+// folds N per-replica Status snapshots into one ledger — counts by
+// degradation level, summed canary/storm pressure, and a worst-state
+// merge of the per-feature breakers.
+
+// AggregateStatus is the fleet-level roll-up of per-replica
+// supervisor snapshots.
+type AggregateStatus struct {
+	// Instances is how many statuses were aggregated.
+	Instances int
+	// Attached / Disarmed / Restored / Lost count replicas in each
+	// state (Lost = unrecoverable, Status.Err non-nil).
+	Attached int
+	Disarmed int
+	Restored int
+	Lost     int
+	// MaxLevel is the worst degradation rung across the fleet, and
+	// ByLevel the replica count per rung (index = level).
+	MaxLevel int
+	ByLevel  []int
+	// CanaryFails / WindowHits are summed across replicas.
+	CanaryFails int
+	WindowHits  uint64
+	// Breakers merges the per-feature breakers across replicas by
+	// worst state: open beats half-open beats closed, and within a
+	// state the ledger with more trips wins. Strikes are summed, so
+	// the fleet view shows total pressure on each feature.
+	Breakers map[string]Breaker
+	// Errs collects the errors of lost replicas, in input order.
+	Errs []error
+}
+
+// breakerRank orders states by severity for the worst-state merge.
+func breakerRank(s BreakerState) int {
+	switch s {
+	case BreakerOpen:
+		return 2
+	case BreakerHalfOpen:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Aggregate folds per-replica supervisor snapshots into one
+// fleet-level status. Aggregating zero statuses yields a zero value;
+// the input order only matters for Errs.
+func Aggregate(sts ...Status) AggregateStatus {
+	agg := AggregateStatus{Instances: len(sts)}
+	for _, st := range sts {
+		if st.Attached {
+			agg.Attached++
+		}
+		if st.Disarmed {
+			agg.Disarmed++
+		}
+		if st.Restored {
+			agg.Restored++
+		}
+		if st.Err != nil {
+			agg.Lost++
+			agg.Errs = append(agg.Errs, st.Err)
+		}
+		if st.Level > agg.MaxLevel {
+			agg.MaxLevel = st.Level
+		}
+		for len(agg.ByLevel) <= st.Level {
+			agg.ByLevel = append(agg.ByLevel, 0)
+		}
+		agg.ByLevel[st.Level]++
+		agg.CanaryFails += st.CanaryFails
+		agg.WindowHits += st.WindowHits
+		for name, br := range st.Breakers {
+			if agg.Breakers == nil {
+				agg.Breakers = map[string]Breaker{}
+			}
+			cur, ok := agg.Breakers[name]
+			if !ok {
+				agg.Breakers[name] = br
+				continue
+			}
+			strikes := cur.Strikes + br.Strikes
+			worse := br
+			if breakerRank(cur.State) > breakerRank(br.State) ||
+				(breakerRank(cur.State) == breakerRank(br.State) && cur.Trips >= br.Trips) {
+				worse = cur
+			}
+			worse.Strikes = strikes
+			agg.Breakers[name] = worse
+		}
+	}
+	return agg
+}
+
+// Healthy reports whether the whole fleet is in its normal state: no
+// replica degraded, disarmed, restored-to-pristine, or lost.
+func (a AggregateStatus) Healthy() bool {
+	return a.Lost == 0 && a.MaxLevel == 0 && a.Disarmed == 0 && a.Restored == 0
+}

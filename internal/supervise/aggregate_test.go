@@ -1,0 +1,74 @@
+package supervise
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAggregateCountsAndWorstLevel(t *testing.T) {
+	lost := errors.New("guest lost")
+	agg := Aggregate(
+		Status{Attached: true, Level: 0},
+		Status{Attached: true, Level: 2, Disarmed: true, CanaryFails: 3, WindowHits: 7},
+		Status{Attached: true, Level: 3, Restored: true, Err: lost, CanaryFails: 1},
+	)
+	if agg.Instances != 3 || agg.Attached != 3 {
+		t.Fatalf("instances/attached = %d/%d", agg.Instances, agg.Attached)
+	}
+	if agg.MaxLevel != 3 {
+		t.Errorf("MaxLevel = %d, want 3", agg.MaxLevel)
+	}
+	wantByLevel := []int{1, 0, 1, 1}
+	if len(agg.ByLevel) != len(wantByLevel) {
+		t.Fatalf("ByLevel = %v, want %v", agg.ByLevel, wantByLevel)
+	}
+	for i, n := range wantByLevel {
+		if agg.ByLevel[i] != n {
+			t.Errorf("ByLevel[%d] = %d, want %d", i, agg.ByLevel[i], n)
+		}
+	}
+	if agg.Disarmed != 1 || agg.Restored != 1 || agg.Lost != 1 {
+		t.Errorf("disarmed/restored/lost = %d/%d/%d", agg.Disarmed, agg.Restored, agg.Lost)
+	}
+	if agg.CanaryFails != 4 || agg.WindowHits != 7 {
+		t.Errorf("canary/window = %d/%d", agg.CanaryFails, agg.WindowHits)
+	}
+	if len(agg.Errs) != 1 || !errors.Is(agg.Errs[0], lost) {
+		t.Errorf("Errs = %v", agg.Errs)
+	}
+	if agg.Healthy() {
+		t.Error("degraded fleet reported healthy")
+	}
+	if !Aggregate(Status{Attached: true}).Healthy() {
+		t.Error("single normal replica reported unhealthy")
+	}
+}
+
+func TestAggregateBreakersWorstStateMerge(t *testing.T) {
+	agg := Aggregate(
+		Status{Breakers: map[string]Breaker{
+			"webdav": {State: BreakerClosed, Strikes: 1},
+			"cgi":    {State: BreakerOpen, Trips: 1, Strikes: 2, Probation: 100},
+		}},
+		Status{Breakers: map[string]Breaker{
+			"webdav": {State: BreakerHalfOpen, Trips: 2, Strikes: 1},
+			"cgi":    {State: BreakerOpen, Trips: 3, Strikes: 1, Probation: 400},
+		}},
+	)
+	wd := agg.Breakers["webdav"]
+	if wd.State != BreakerHalfOpen || wd.Strikes != 2 || wd.Trips != 2 {
+		t.Errorf("webdav merge = %+v", wd)
+	}
+	cgi := agg.Breakers["cgi"]
+	// Same state: more trips wins the ledger; strikes still summed.
+	if cgi.Trips != 3 || cgi.Probation != 400 || cgi.Strikes != 3 {
+		t.Errorf("cgi merge = %+v", cgi)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	agg := Aggregate()
+	if agg.Instances != 0 || !agg.Healthy() || agg.Breakers != nil {
+		t.Errorf("empty aggregate = %+v", agg)
+	}
+}

@@ -235,6 +235,31 @@ func (s *Session) CanaryProbe(req, want string) func(m *Machine, pid int) error 
 	}
 }
 
+// HealthProbe returns a machine-generic end-to-end probe for use as
+// CustomizerOptions.HealthCheck: unlike Session.CanaryProbe, which is
+// deliberately bound to its session's machine, the probe dials
+// whatever machine it is invoked on — so one probe serves every CoW
+// replica of a fleet rollout. Each call opens a fresh connection,
+// sends req, pumps the virtual clock until the guest answers, and
+// fails unless the response contains want.
+func HealthProbe(port uint16, req, want string) func(m *Machine, pid int) error {
+	return func(m *Machine, pid int) error {
+		conn, err := m.Dial(port)
+		if err != nil {
+			return fmt.Errorf("probe %q: %w", req, err)
+		}
+		if _, err := conn.Write([]byte(req)); err != nil {
+			return fmt.Errorf("probe %q: %w", req, err)
+		}
+		m.RunUntil(func() bool { return len(conn.ReadAllPeek()) > 0 || conn.Closed() }, 2_000_000)
+		m.Run(20000)
+		if resp := string(conn.ReadAll()); !strings.Contains(resp, want) {
+			return fmt.Errorf("probe %q: response %q does not contain %q", req, resp, want)
+		}
+		return nil
+	}
+}
+
 // Canary returns a zero-argument end-to-end probe for the
 // supervisor's closed loop (SupervisorConfig.Canary): each invocation
 // sends req over a fresh connection and fails unless the response

@@ -23,7 +23,7 @@ race:
 # trace. Runs vet first and the coverage floor last: the chaos gate is
 # also the lint and coverage gate.
 chaos: vet
-	$(GO) test -race -run 'Chaos|Rollback|Rolls|Transient|Retried|Revalidated|Corrupt|BitFlip|Truncation|Observer|Overflow|Supervisor|Breaker|Storm|Fleet' \
+	$(GO) test -race -run 'Chaos|Rollback|Rolls|Transient|Retried|Revalidated|Corrupt|BitFlip|Truncation|Observer|Overflow|Supervisor|Breaker|Storm|Fleet|Controller|Journal|Lease|MidWave|Pristine|PageStore' \
 		./internal/core/ ./internal/criu/ ./internal/faultinject/ ./internal/fleet/ ./internal/obs/ ./internal/supervise/ .
 	$(MAKE) cover
 
@@ -49,10 +49,10 @@ check: build vet test race
 # Perf trajectory: run the headline figure benchmarks plus the
 # incremental-checkpoint benchmark and record the numbers as JSON so
 # each PR's results are comparable to the last (BENCH_pr2.json here on).
-BENCH_JSON ?= BENCH_pr5.json
+BENCH_JSON ?= BENCH_pr6.json
 
 bench:
-	$(GO) test -run '^$$' -bench 'Figure6_|Figure7_|Figure8_|IncrementalDump|Observer_|SupervisorOverhead|FleetRollout' -benchmem -benchtime 1x . \
+	$(GO) test -run '^$$' -bench 'Figure6_|Figure7_|Figure8_|IncrementalDump|Observer_|SupervisorOverhead|FleetRollout|FleetControllerScale|PageStoreParallel' -benchmem -benchtime 1x . ./internal/criu/ \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 # The historical full sweep (every figure, table, ablation and micro).
@@ -72,6 +72,7 @@ supervise-demo:
 
 # Fleet-scale customization end to end: CoW replicas over the shared
 # page store, staged canary/wave rollout, halt-and-restore on a
-# sabotaged replica (tune with -replicas/-failat).
+# sabotaged replica (tune with -replicas/-failat), or controller
+# crash-and-resume from the rollout journal (-crash N).
 fleet-demo:
 	$(GO) run ./cmd/fleetdemo

@@ -616,3 +616,69 @@ func BenchmarkFleetRollout(b *testing.B) {
 		b.Run(fmt.Sprintf("replicas=%d/pooled", replicas), func(b *testing.B) { run(b, replicas, 8) })
 	}
 }
+
+// BenchmarkFleetControllerScale pushes the event-driven rollout
+// controller to fleet scale: 256 and 1024 replicas through the leased
+// work queue with a pool of 8 worker lanes. The headline is makespan —
+// fleet-vticks, the virtual-clock finish time of the last lane —
+// against serial-vticks, the one-lane sum; journal-records and
+// journal-bytes size the crash-recovery log the rollout leaves behind.
+func BenchmarkFleetControllerScale(b *testing.B) {
+	app, err := dynacut.BuildWebServer(dynacut.WebServerConfig{Name: "lighttpd", Port: 8080})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := dynacut.StartServer(app.Exe, []*dynacut.Binary{app.Libc}, app.Config.Port)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks, err := sess.ProfileFeatures(
+		[]string{"GET /\n", "HEAD /\n", "OPTIONS /\n", "POST /\n"},
+		[]string{"PUT /f data\n", "DELETE /f\n"},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	errAddr, err := sess.SymbolAddr("resp_403")
+	if err != nil {
+		b.Fatal(err)
+	}
+	health := dynacut.HealthProbe(app.Config.Port, "GET /\n", "200")
+
+	for _, replicas := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("replicas=%d/pooled", replicas), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f, err := dynacut.NewFleetFromSession(sess, dynacut.FleetConfig{
+					Replicas: replicas,
+					Workers:  8,
+					WaveSize: replicas, // one canary, then everything in one wave
+					Core: dynacut.CustomizerOptions{
+						RedirectTo:  errAddr,
+						HealthCheck: health,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				c := dynacut.NewRolloutController(f, nil)
+				res, err := c.Run(func(r *dynacut.FleetReplica) (dynacut.RewriteStats, error) {
+					return r.Cust.DisableBlocks("webdav-write", blocks, dynacut.PolicyBlockEntry)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := res.Committed(); got != replicas {
+					b.Fatalf("committed %d/%d", got, replicas)
+				}
+				if i == 0 {
+					j := c.Journal()
+					b.ReportMetric(float64(res.SerialTicks), "serial-vticks")
+					b.ReportMetric(float64(res.FleetTicks), "fleet-vticks")
+					b.ReportMetric(float64(res.SerialTicks)/float64(res.FleetTicks), "vtick-speedup")
+					b.ReportMetric(float64(j.Len()), "journal-records")
+					b.ReportMetric(float64(len(j.Bytes())), "journal-bytes")
+				}
+			}
+		})
+	}
+}

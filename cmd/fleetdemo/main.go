@@ -5,11 +5,15 @@
 // in stages — canary shard first, then bounded waves. With -failat the
 // rewrite is sabotaged on one replica, demonstrating the halt: the
 // failed wave's committed siblings are restored to their pristine
-// checkpoints and later waves never run.
+// checkpoints and later waves never run. With -crash the rollout
+// controller itself is killed at the Nth crash-site consultation,
+// demonstrating crash recovery: the append-only journal it left behind
+// seeds a resumed controller that skips every committed replica and
+// finishes the rollout without re-rewriting anything.
 //
 // Usage:
 //
-//	go run ./cmd/fleetdemo [-replicas 8] [-workers 4] [-wave 3] [-failat -1] [-o fleet.jsonl]
+//	go run ./cmd/fleetdemo [-replicas 8] [-workers 4] [-wave 3] [-failat -1] [-crash -1] [-o fleet.jsonl]
 package main
 
 import (
@@ -22,7 +26,7 @@ import (
 	"github.com/dynacut/dynacut"
 )
 
-func run(replicas, workers, wave, failat int, out string) error {
+func run(replicas, workers, wave, failat, crash int, out string) error {
 	app, err := dynacut.BuildWebServer(dynacut.WebServerConfig{Name: "lighttpd", Port: 8080})
 	if err != nil {
 		return err
@@ -44,7 +48,7 @@ func run(replicas, workers, wave, failat int, out string) error {
 	}
 
 	fmt.Printf("== spawn %d CoW replicas from the template ==\n", replicas)
-	f, err := dynacut.NewFleetFromSession(sess, dynacut.FleetConfig{
+	cfg := dynacut.FleetConfig{
 		Replicas:     replicas,
 		Workers:      workers,
 		CanaryShards: 1,
@@ -53,7 +57,16 @@ func run(replicas, workers, wave, failat int, out string) error {
 			RedirectTo:  errAddr,
 			HealthCheck: dynacut.HealthProbe(app.Config.Port, "GET /\n", "200"),
 		},
-	})
+	}
+	if crash >= 0 {
+		// Arm the controller's death at its Nth crash-site consultation
+		// (the controller checks the site before and after every journal
+		// append, so hit N lands mid-rollout for small N).
+		inj := dynacut.NewFaultInjector(1)
+		inj.FailAt("fleet.controller.crash", crash)
+		cfg.FaultHook = inj
+	}
+	f, err := dynacut.NewFleetFromSession(sess, cfg)
 	if err != nil {
 		return err
 	}
@@ -62,12 +75,34 @@ func run(replicas, workers, wave, failat int, out string) error {
 		st.Sets, st.UniquePages, st.DedupHits, st.StoredBytes)
 
 	fmt.Println("== staged rollout: disable webdav-write fleet-wide ==")
-	res, err := f.Rollout(func(r *dynacut.FleetReplica) (dynacut.RewriteStats, error) {
+	apply := func(r *dynacut.FleetReplica) (dynacut.RewriteStats, error) {
 		if r.Index == failat {
 			return dynacut.RewriteStats{}, fmt.Errorf("sabotaged replica %d", r.Index)
 		}
 		return r.Cust.DisableBlocks("webdav-write", blocks, dynacut.PolicyBlockEntry)
-	})
+	}
+	c := dynacut.NewRolloutController(f, nil)
+	res, err := c.Run(apply)
+	if errors.Is(err, dynacut.ErrControllerCrashed) {
+		jb := c.Journal().Bytes()
+		recs, derr := dynacut.DecodeRolloutJournal(jb)
+		if derr != nil {
+			return derr
+		}
+		fmt.Printf("\ncontroller CRASHED mid-rollout: %v\n", firstLine(err.Error()))
+		fmt.Printf("journal left behind: %d records, %d bytes; committed so far: %d/%d\n",
+			len(recs), len(jb), res.Committed(), replicas)
+		fmt.Println("\n== resume from the journal ==")
+		c, err = dynacut.ResumeRolloutController(f, jb)
+		if err != nil {
+			return err
+		}
+		res, err = c.Run(apply)
+		if err == nil {
+			fmt.Printf("resumed: %d replicas skipped as already committed, 0 rewrites repeated\n",
+				res.SkippedCommitted)
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -162,9 +197,10 @@ func main() {
 	workers := flag.Int("workers", 4, "rewrite worker pool size")
 	wave := flag.Int("wave", 3, "replicas per post-canary wave")
 	failat := flag.Int("failat", -1, "sabotage the rewrite on this replica index (-1: none)")
+	crash := flag.Int("crash", -1, "kill the controller at the Nth crash-site hit, then resume from the journal (-1: none)")
 	out := flag.String("o", "", "write the merged timeline to this file")
 	flag.Parse()
-	if err := run(*replicas, *workers, *wave, *failat, *out); err != nil {
+	if err := run(*replicas, *workers, *wave, *failat, *crash, *out); err != nil {
 		fmt.Fprintf(os.Stderr, "fleetdemo: %v\n", err)
 		os.Exit(1)
 	}

@@ -165,6 +165,23 @@ type (
 	// WaveResult summarizes one canary shard or rollout wave.
 	WaveResult = fleet.WaveResult
 
+	// RolloutController is the crash-resumable rollout engine behind
+	// Fleet.Rollout: worker lanes lease per-replica steps off a work
+	// queue under virtual-clock deadlines, and every scheduling
+	// decision is journaled so a dead controller can be resumed.
+	RolloutController = fleet.Controller
+	// ControllerStatus snapshots a controller mid-rollout.
+	ControllerStatus = fleet.ControllerStatus
+	// StepEvent is one scheduling event streamed through
+	// FleetConfig.OnStep (lease, expire, requeue, outcome, ...).
+	StepEvent = fleet.StepEvent
+	// RolloutJournal is the append-only CRC-framed log of a rollout.
+	RolloutJournal = fleet.Journal
+	// JournalRecord is one rollout-journal entry.
+	JournalRecord = fleet.Record
+	// JournalRecKind enumerates rollout-journal record types.
+	JournalRecKind = fleet.RecKind
+
 	// PageStore is the content-addressed checkpoint store replicas
 	// deduplicate their pristine images into.
 	PageStore = criu.PageStore
@@ -181,6 +198,17 @@ const (
 	OutcomeRolledBack = fleet.OutcomeRolledBack
 	OutcomeRestored   = fleet.OutcomeRestored
 	OutcomeLost       = fleet.OutcomeLost
+)
+
+// Rollout-journal record kinds.
+const (
+	RecStart    = fleet.RecStart
+	RecIntent   = fleet.RecIntent
+	RecOutcome  = fleet.RecOutcome
+	RecWaveDone = fleet.RecWaveDone
+	RecHalt     = fleet.RecHalt
+	RecResume   = fleet.RecResume
+	RecDone     = fleet.RecDone
 )
 
 // Removal policies (§3.2.2), cheapest to strongest.
@@ -238,6 +266,16 @@ var (
 	// ErrFleetHalted: a staged rollout halted (canary or wave failure)
 	// before this replica's rewrite committed.
 	ErrFleetHalted = fleet.ErrHalted
+	// ErrControllerCrashed: the rollout controller died mid-rollout
+	// (injected crash or torn journal append); resume from its journal
+	// with ResumeRolloutController.
+	ErrControllerCrashed = fleet.ErrControllerCrashed
+	// ErrJournalCorrupt: a rollout journal has CRC or framing damage
+	// before its final record — damage a crash cannot explain.
+	ErrJournalCorrupt = fleet.ErrJournalCorrupt
+	// ErrJournalMagic: bytes handed to DecodeRolloutJournal are not a
+	// rollout journal.
+	ErrJournalMagic = fleet.ErrJournalMagic
 )
 
 // NewMachine creates an empty simulated machine.
@@ -285,6 +323,27 @@ func NewFleet(template *Machine, rootPID int, cfg FleetConfig) (*Fleet, error) {
 // session's guest becomes the template).
 func NewFleetFromSession(s *Session, cfg FleetConfig) (*Fleet, error) {
 	return fleet.New(s.Machine, s.PID(), cfg)
+}
+
+// NewRolloutController builds a crash-resumable rollout controller
+// over the fleet. A nil journal starts a fresh log; Fleet.Rollout is
+// shorthand for NewRolloutController(f, nil).Run(apply).
+func NewRolloutController(f *Fleet, j *RolloutJournal) *RolloutController {
+	return fleet.NewController(f, j)
+}
+
+// ResumeRolloutController rebuilds a controller from a dead
+// controller's serialized journal: committed replicas are skipped,
+// torn intent windows re-verified, and an interrupted halt protocol
+// completed. Run the returned controller to finish the rollout.
+func ResumeRolloutController(f *Fleet, journal []byte) (*RolloutController, error) {
+	return fleet.ResumeController(f, journal)
+}
+
+// DecodeRolloutJournal parses a serialized rollout journal, tolerating
+// the torn final frame a crash mid-append leaves behind.
+func DecodeRolloutJournal(data []byte) ([]JournalRecord, error) {
+	return fleet.DecodeJournal(data)
 }
 
 // NewPageStore creates an empty content-addressed checkpoint store.

@@ -11,7 +11,7 @@ import (
 	"github.com/dynacut/dynacut/internal/kernel"
 )
 
-func buildExe(t *testing.T, name, src string) *delf.File {
+func buildExe(t testing.TB, name, src string) *delf.File {
 	t.Helper()
 	obj, err := asm.Assemble(src)
 	if err != nil {

@@ -324,10 +324,10 @@ type ImageSet struct {
 	PagesDumped  int
 	PagesSkipped int
 
-	ident     uint32 // cached Ident(); valid when identSet
-	identSet  bool
-	parentID  uint32 // parent identity recorded in the blob
-	hasPByRef bool   // blob carried a parent reference
+	ident     uint32    // cached Ident(); computed under identOnce
+	identOnce sync.Once // concurrent depositors may all ask for Ident
+	parentID  uint32    // parent identity recorded in the blob
+	hasPByRef bool      // blob carried a parent reference
 }
 
 // Delta reports whether any proc image in the set is incremental.
@@ -354,13 +354,14 @@ func (s *ImageSet) Depth() int {
 
 // Ident returns the set's identity: the CRC-32C of its serialized
 // form. Children record it so BindParent can refuse to graft a delta
-// onto the wrong (or corrupted) ancestor. Computed once and cached —
-// do not mutate a set after using it as a dump parent.
+// onto the wrong (or corrupted) ancestor. Computed once and cached
+// (safe for concurrent callers — fleet workers deposit the shared
+// pristine set from many goroutines) — do not mutate a set after
+// using it as a dump parent.
 func (s *ImageSet) Ident() uint32 {
-	if !s.identSet {
+	s.identOnce.Do(func() {
 		s.ident = crc32.Checksum(s.Marshal(), crcTable)
-		s.identSet = true
-	}
+	})
 	return s.ident
 }
 

@@ -11,7 +11,7 @@ import (
 
 // loadCounter boots the counter guest and returns the machine and
 // process, with some initial progress so memory is non-trivial.
-func loadCounter(t *testing.T) (*kernel.Machine, *kernel.Process) {
+func loadCounter(t testing.TB) (*kernel.Machine, *kernel.Process) {
 	t.Helper()
 	m := kernel.NewMachine()
 	exe := buildExe(t, "counter", counterSrc)

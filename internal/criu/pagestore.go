@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/dynacut/dynacut/internal/kernel"
 )
@@ -17,16 +18,31 @@ import (
 // metadata, and any deposited set (delta chains included) can be
 // re-materialized for restore.
 //
-// All methods are safe for concurrent use; a fleet's worker pool
-// deposits and materializes from many goroutines.
+// All methods are safe for concurrent use. The page map is sharded by
+// hash prefix (the first key byte picks the bucket), so a rollout
+// controller's worker pool — hundreds of concurrent Deposit and
+// Materialize calls at fleet scale — contends on independent bucket
+// locks instead of serializing on one map.
 type PageStore struct {
-	mu    sync.Mutex
-	pages map[[sha256.Size]byte][]byte
+	shards []pageShard
+
+	setMu sync.RWMutex
 	sets  map[uint32]*storedSet
 
-	interned uint64 // pages presented to the store
-	hits     uint64 // pages already present (dedup wins)
+	interned atomic.Uint64 // pages presented to the store
+	hits     atomic.Uint64 // pages already present (dedup wins)
 }
+
+// pageShard is one hash-prefix bucket of the page map.
+type pageShard struct {
+	mu    sync.Mutex
+	pages map[[sha256.Size]byte][]byte
+}
+
+// defaultPageShards is the bucket count — a power of two so the
+// prefix mask is a single AND. 64 buckets keep 1000+ workers' expected
+// lock collisions low while costing ~nothing for small stores.
+const defaultPageShards = 64
 
 // storedSet is one deposited image set: per-proc metadata with the
 // page payload replaced by content keys, plus the parent identity for
@@ -53,11 +69,45 @@ type StoreStats struct {
 }
 
 // NewPageStore creates an empty content-addressed page store.
-func NewPageStore() *PageStore {
-	return &PageStore{
-		pages: map[[sha256.Size]byte][]byte{},
-		sets:  map[uint32]*storedSet{},
+func NewPageStore() *PageStore { return newPageStoreShards(defaultPageShards) }
+
+// newPageStoreShards sizes the hash-prefix bucket count explicitly —
+// the sharding benchmark's before/after lever. n is rounded down to a
+// power of two, minimum 1 (the pre-sharding single-lock behavior).
+func newPageStoreShards(n int) *PageStore {
+	shards := 1
+	for shards*2 <= n {
+		shards *= 2
 	}
+	s := &PageStore{
+		shards: make([]pageShard, shards),
+		sets:   map[uint32]*storedSet{},
+	}
+	for i := range s.shards {
+		s.shards[i].pages = map[[sha256.Size]byte][]byte{}
+	}
+	return s
+}
+
+// shard picks the bucket owning a content key by hash prefix.
+func (s *PageStore) shard(key [sha256.Size]byte) *pageShard {
+	return &s.shards[int(key[0])&(len(s.shards)-1)]
+}
+
+// internPage stores one page under its content key (or finds it
+// already present) and returns the key.
+func (s *PageStore) internPage(pg []byte) [sha256.Size]byte {
+	key := sha256.Sum256(pg)
+	s.interned.Add(1)
+	sh := s.shard(key)
+	sh.mu.Lock()
+	if _, ok := sh.pages[key]; ok {
+		s.hits.Add(1)
+	} else {
+		sh.pages[key] = append([]byte(nil), pg...)
+	}
+	sh.mu.Unlock()
+	return key
 }
 
 // cloneProcShell deep-copies a proc image's metadata, leaving Pages
@@ -94,11 +144,20 @@ func (s *PageStore) Deposit(set *ImageSet) (uint32, error) {
 	}
 	ident := set.Ident()
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.sets[ident]; ok {
+	s.setMu.RLock()
+	_, ok := s.sets[ident]
+	s.setMu.RUnlock()
+	if ok {
 		return ident, nil
 	}
+
+	// Validate before interning so a bad set deposits nothing.
+	for pid, pi := range set.Procs {
+		if len(pi.Pages) != len(pi.PageMap.PageNumbers)*kernel.PageSize {
+			return 0, fmt.Errorf("%w: pid %d pages/pagemap mismatch", ErrBadImage, pid)
+		}
+	}
+
 	st := &storedSet{
 		pids:   append([]int(nil), set.PIDs...),
 		shells: make(map[int]*ProcImage, len(set.Procs)),
@@ -114,32 +173,26 @@ func (s *PageStore) Deposit(set *ImageSet) (uint32, error) {
 		st.hasParent = true
 	}
 	for pid, pi := range set.Procs {
-		if len(pi.Pages) != len(pi.PageMap.PageNumbers)*kernel.PageSize {
-			return 0, fmt.Errorf("%w: pid %d pages/pagemap mismatch", ErrBadImage, pid)
-		}
 		keys := make([][sha256.Size]byte, len(pi.PageMap.PageNumbers))
 		for i := range pi.PageMap.PageNumbers {
-			pg := pi.Pages[i*kernel.PageSize : (i+1)*kernel.PageSize]
-			key := sha256.Sum256(pg)
-			s.interned++
-			if _, ok := s.pages[key]; ok {
-				s.hits++
-			} else {
-				s.pages[key] = append([]byte(nil), pg...)
-			}
-			keys[i] = key
+			keys[i] = s.internPage(pi.Pages[i*kernel.PageSize : (i+1)*kernel.PageSize])
 		}
 		st.shells[pid] = cloneProcShell(pi)
 		st.keys[pid] = keys
 	}
-	s.sets[ident] = st
+
+	s.setMu.Lock()
+	if _, ok := s.sets[ident]; !ok {
+		s.sets[ident] = st
+	}
+	s.setMu.Unlock()
 	return ident, nil
 }
 
 // Contains reports whether the store holds a set with this identity.
 func (s *PageStore) Contains(ident uint32) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.setMu.RLock()
+	defer s.setMu.RUnlock()
 	_, ok := s.sets[ident]
 	return ok
 }
@@ -149,9 +202,9 @@ func (s *PageStore) Contains(ident uint32) bool {
 // their deposited ancestors. The returned set is private to the
 // caller: mutating it (crit edits) does not touch the store.
 func (s *PageStore) Materialize(ident uint32) (*ImageSet, error) {
-	s.mu.Lock()
+	s.setMu.RLock()
 	st, ok := s.sets[ident]
-	s.mu.Unlock()
+	s.setMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: set %#x not in page store", ErrNoImage, ident)
 	}
@@ -163,16 +216,16 @@ func (s *PageStore) Materialize(ident uint32) (*ImageSet, error) {
 		pi := cloneProcShell(shell)
 		keys := st.keys[pid]
 		pi.Pages = make([]byte, 0, len(keys)*kernel.PageSize)
-		s.mu.Lock()
 		for _, key := range keys {
-			pg, ok := s.pages[key]
+			sh := s.shard(key)
+			sh.mu.Lock()
+			pg, ok := sh.pages[key]
+			sh.mu.Unlock()
 			if !ok {
-				s.mu.Unlock()
 				return nil, fmt.Errorf("%w: page blob missing for set %#x pid %d", ErrCorruptImage, ident, pid)
 			}
 			pi.Pages = append(pi.Pages, pg...)
 		}
-		s.mu.Unlock()
 		set.Procs[pid] = pi
 	}
 	if st.hasParent {
@@ -191,19 +244,23 @@ func (s *PageStore) Materialize(ident uint32) (*ImageSet, error) {
 
 // Stats returns a snapshot of the store's dedup accounting.
 func (s *PageStore) Stats() StoreStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	bytes := 0
-	for _, pg := range s.pages {
-		bytes += len(pg)
+	stats := StoreStats{
+		PagesInterned: s.interned.Load(),
+		DedupHits:     s.hits.Load(),
 	}
-	return StoreStats{
-		Sets:          len(s.sets),
-		UniquePages:   len(s.pages),
-		StoredBytes:   bytes,
-		PagesInterned: s.interned,
-		DedupHits:     s.hits,
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		stats.UniquePages += len(sh.pages)
+		for _, pg := range sh.pages {
+			stats.StoredBytes += len(pg)
+		}
+		sh.mu.Unlock()
 	}
+	s.setMu.RLock()
+	stats.Sets = len(s.sets)
+	s.setMu.RUnlock()
+	return stats
 }
 
 // RestoreFromStore materializes a deposited image set and restores it

@@ -2,6 +2,7 @@ package criu
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"github.com/dynacut/dynacut/internal/delf"
@@ -172,4 +173,94 @@ func TestPageStoreDedupSubLinearGrowth(t *testing.T) {
 	}
 	t.Logf("1 replica: %d bytes; 16 replicas: %d bytes; interned %d pages, %d dedup hits",
 		oneGuest, st.StoredBytes, st.PagesInterned, st.DedupHits)
+}
+
+// TestPageStoreConcurrentDepositMaterialize is the sharding race test:
+// depositors racing each other (including on the *same* set, so the
+// dedup fast path and the double-checked set insert both fire) while
+// readers Materialize, Contains and Stats concurrently. Run under
+// -race this pins down the shard-lock discipline; the final checks pin
+// down that no deposit was lost or mangled by the races.
+func TestPageStoreConcurrentDepositMaterialize(t *testing.T) {
+	m, p := loadCounter(t)
+	store := NewPageStore()
+
+	// Eight divergent clone checkpoints: heavy page overlap (dedup
+	// contention on shared keys) plus per-replica divergence.
+	const nsets = 8
+	sets := make([]*ImageSet, nsets)
+	for i := range sets {
+		rm := m.Clone()
+		rm.Run(uint64(50 * i))
+		rp, err := rm.Process(p.PID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := Dump(rm, rp.PID(), DumpOpts{ExecPages: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets[i] = set
+	}
+
+	// Seed one set so the reader goroutines always have a target.
+	ident0, err := store.Deposit(sets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, s := range sets {
+				if _, err := store.Deposit(s); err != nil {
+					t.Errorf("concurrent deposit: %v", err)
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				got, err := store.Materialize(ident0)
+				if err != nil {
+					t.Errorf("concurrent materialize: %v", err)
+					return
+				}
+				if got.Ident() != ident0 {
+					t.Errorf("materialize under load: ident %#x, want %#x", got.Ident(), ident0)
+				}
+				if !store.Contains(ident0) {
+					t.Error("seeded set vanished from the store")
+				}
+				_ = store.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every set survived the races, byte-identical.
+	for i, s := range sets {
+		got, err := store.Materialize(s.Ident())
+		if err != nil {
+			t.Fatalf("set %d after races: %v", i, err)
+		}
+		if !bytes.Equal(got.Marshal(), s.Marshal()) {
+			t.Fatalf("set %d corrupted by concurrent deposits", i)
+		}
+	}
+	// Intern accounting balances: every offered page either hit an
+	// existing blob or became a unique one.
+	st := store.Stats()
+	if st.PagesInterned != st.DedupHits+uint64(st.UniquePages) {
+		t.Fatalf("intern accounting torn by races: interned %d != hits %d + unique %d",
+			st.PagesInterned, st.DedupHits, st.UniquePages)
+	}
+	if st.Sets != nsets {
+		t.Fatalf("store holds %d sets, deposited %d", st.Sets, nsets)
+	}
 }

@@ -87,6 +87,22 @@ const (
 	// SiteFleetRollback fires before a halted rollout restores a
 	// replica to its pristine checkpoint; detail is the replica index.
 	SiteFleetRollback = "fleet.rollback"
+	// SiteFleetJournalAppend fires before a record is appended to the
+	// rollout journal; an injected fault models a torn write (the
+	// frame is half-written) and kills the controller. detail is the
+	// record kind.
+	SiteFleetJournalAppend = "fleet.journal.append"
+	// SiteFleetLeaseExpire fires when a worker leases a rollout step;
+	// an injected fault kills that worker mid-lease, so the step must
+	// be recovered by lease expiry and requeue. detail is the replica
+	// index.
+	SiteFleetLeaseExpire = "fleet.lease.expire"
+	// SiteFleetControllerCrash fires at every journal record boundary
+	// inside the rollout controller; an injected fault kills the
+	// controller there (Run returns ErrControllerCrashed), leaving the
+	// journal for a later ResumeController. detail identifies the
+	// boundary (a crashAt* constant in internal/fleet).
+	SiteFleetControllerCrash = "fleet.controller.crash"
 )
 
 // Step-prefix groups: FailDumpAtStep / FailRestoreAtStep count every

@@ -1,0 +1,852 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/dynacut/dynacut/internal/core"
+	"github.com/dynacut/dynacut/internal/faultinject"
+	"github.com/dynacut/dynacut/internal/supervise"
+)
+
+// Controller is the event-driven rollout engine: a work queue of
+// per-replica rollout steps, worker lanes that lease steps against a
+// virtual-clock deadline, and an append-only CRC-checked journal of
+// every intent and outcome. Fleet.Rollout is a thin wrapper that runs
+// a fresh controller; ResumeController rebuilds one from a dead
+// controller's journal and finishes the rollout without re-rewriting
+// replicas the journal proves committed.
+//
+// Scheduling is deterministic by construction. Each dispatch round
+// leases at most one step per worker lane, chosen by (not-before
+// time, replica index); the leased rewrites then run concurrently for
+// real, but their outcomes are journaled in lane order, so the same
+// fleet, payload and fault seed always produce byte-identical
+// journals — the property the resume path's tests stand on. A lease
+// whose worker dies (the fleet.lease.expire fault site) is recovered
+// at its virtual-clock deadline and requeued with capped exponential
+// backoff until the step's retry budget runs out.
+//
+// Crash coverage: the fleet.controller.crash site is consulted at
+// every journal record boundary (before and after each append), and a
+// failed append itself (fleet.journal.append, a torn write) also
+// kills the controller. Either way Run stops scheduling, returns
+// ErrControllerCrashed, and leaves Journal() behind for resume.
+
+// ErrControllerCrashed reports an injected controller death; the
+// journal survives for ResumeController.
+var ErrControllerCrashed = errors.New("fleet: rollout controller crashed")
+
+// Crash boundary identifiers: the detail argument the controller
+// passes to the fleet.controller.crash site. crashBefore* fires with
+// the record unwritten; crashAfter* fires with it committed.
+const (
+	crashBeforeRecord = iota + 1
+	crashAfterRecord
+)
+
+// Controller scheduling defaults.
+const (
+	// defaultLeaseTicks is the lease duration on the controller's
+	// virtual clock — comfortably above a typical rewrite cost (~65
+	// vticks on the webserv guest), so healthy workers never expire.
+	defaultLeaseTicks = 1024
+	// defaultRetryBudget bounds lease attempts per step.
+	defaultRetryBudget = 3
+	// defaultBackoffBase / defaultBackoffCap shape the capped
+	// exponential requeue backoff after a lease expires.
+	defaultBackoffBase = 64
+	defaultBackoffCap  = 1024
+)
+
+// StepEvent is one increment of rollout progress, streamed to
+// Config.OnStep as the controller dispatches. Kind is one of "lease",
+// "expire", "requeue", "budget-exhausted", "outcome", "skip",
+// "resume", "halt" or "crash".
+type StepEvent struct {
+	Kind    string
+	Replica int
+	Wave    int
+	Attempt int
+	Outcome Outcome
+	VClock  uint64
+}
+
+// ControllerStatus is an incremental snapshot of a rollout in flight:
+// per-replica outcomes so far, queue/lease accounting, and the
+// supervise.Aggregate fold of any attached per-replica supervisors —
+// one struct answering "how is the rollout doing" mid-wave.
+type ControllerStatus struct {
+	VClock        uint64
+	Wave          int
+	Done          int
+	Skipped       int
+	LeaseExpiries int
+	Requeues      int
+	Halted        bool
+	Crashed       bool
+	Resumed       bool
+	Outcomes      []Outcome
+	Attempts      []int
+	Supervise     supervise.AggregateStatus
+}
+
+// step is one unit of rollout work: rewrite one replica, attempt n.
+type step struct {
+	replica   int
+	wave      int
+	attempt   int
+	notBefore uint64 // virtual-clock gate set by requeue backoff
+}
+
+// lease is a step granted to a worker lane for one dispatch round.
+type lease struct {
+	step     *step
+	lane     int
+	start    uint64
+	deadline uint64
+	died     bool // fleet.lease.expire fired: the worker never ran
+	ident    uint32
+	out      ReplicaOutcome
+}
+
+// Controller runs one rollout over a fleet. Construct with
+// NewController or ResumeController; drive with Run.
+type Controller struct {
+	f     *Fleet
+	j     *Journal
+	lanes []uint64
+
+	prior    []Record // journal records from a dead predecessor
+	hasStart bool
+
+	mu            sync.Mutex
+	vclock        uint64
+	wave          int
+	done          int
+	skipped       int
+	leaseExpiries int
+	requeues      int
+	crashed       bool
+	resumed       bool
+	outcomes      []Outcome
+	attempts      []int
+}
+
+// NewController builds a fresh controller over the fleet with an
+// empty journal (or the one provided, for callers that keep journal
+// bytes elsewhere).
+func NewController(f *Fleet, j *Journal) *Controller {
+	if j == nil {
+		j = NewJournal()
+	}
+	if f.cfg.FaultHook != nil {
+		j.SetFaultHook(f.cfg.FaultHook)
+	}
+	return &Controller{
+		f:        f,
+		j:        j,
+		lanes:    make([]uint64, f.cfg.Workers),
+		outcomes: make([]Outcome, len(f.replicas)),
+		attempts: make([]int, len(f.replicas)),
+	}
+}
+
+// ResumeController rebuilds a controller from a dead controller's
+// journal bytes. The journal's torn tail (a crash mid-append) is
+// dropped; interior corruption is rejected. The fleet must be the one
+// the journal describes — replica count is cross-checked.
+func ResumeController(f *Fleet, journal []byte) (*Controller, error) {
+	recs, err := DecodeJournal(journal)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) > 0 {
+		if recs[0].Kind != RecStart {
+			return nil, fmt.Errorf("%w: first record is %s, want start", ErrJournalCorrupt, recs[0].Kind)
+		}
+		if int(recs[0].Replica) != len(f.replicas) {
+			return nil, fmt.Errorf("fleet: journal describes %d replicas, fleet has %d",
+				recs[0].Replica, len(f.replicas))
+		}
+	}
+	c := NewController(f, journalFrom(journal, recs))
+	c.prior = recs
+	c.resumed = true
+	return c, nil
+}
+
+// Journal returns the controller's journal (live: it keeps growing
+// while Run is in flight).
+func (c *Controller) Journal() *Journal { return c.j }
+
+// Status snapshots the rollout's incremental progress, folding any
+// attached per-replica supervisors through supervise.Aggregate.
+func (c *Controller) Status() ControllerStatus {
+	c.mu.Lock()
+	st := ControllerStatus{
+		VClock:        c.vclock,
+		Wave:          c.wave,
+		Done:          c.done,
+		Skipped:       c.skipped,
+		LeaseExpiries: c.leaseExpiries,
+		Requeues:      c.requeues,
+		Halted:        c.f.halted.Load(),
+		Crashed:       c.crashed,
+		Resumed:       c.resumed,
+		Outcomes:      append([]Outcome(nil), c.outcomes...),
+		Attempts:      append([]int(nil), c.attempts...),
+	}
+	c.mu.Unlock()
+	var sups []supervise.Status
+	for _, s := range c.f.sups {
+		sups = append(sups, s.Status())
+	}
+	st.Supervise = supervise.Aggregate(sups...)
+	return st
+}
+
+// emit streams one step event to the configured callback.
+func (c *Controller) emit(ev StepEvent) {
+	if c.f.cfg.OnStep != nil {
+		c.f.cfg.OnStep(ev)
+	}
+}
+
+// note records a replica's current outcome for Status snapshots.
+func (c *Controller) note(replica int, o Outcome, skipped bool) {
+	c.mu.Lock()
+	c.outcomes[replica] = o
+	if skipped {
+		c.skipped++
+	} else {
+		c.done++
+	}
+	c.mu.Unlock()
+}
+
+// setClock advances the published virtual clock (monotonic).
+func (c *Controller) setClock(v uint64) {
+	c.mu.Lock()
+	if v > c.vclock {
+		c.vclock = v
+	}
+	c.mu.Unlock()
+}
+
+// crashPoint consults the fleet.controller.crash site at a journal
+// record boundary; an injected fault flips the controller into the
+// crashed state, after which nothing more is scheduled or journaled.
+func (c *Controller) crashPoint(detail int) bool {
+	c.mu.Lock()
+	dead := c.crashed
+	c.mu.Unlock()
+	if dead {
+		return true
+	}
+	h := c.f.cfg.FaultHook
+	if h == nil {
+		return false
+	}
+	if err := h.Fault(faultinject.SiteFleetControllerCrash, detail); err != nil {
+		c.die("crash site")
+		return true
+	}
+	return false
+}
+
+// die marks the controller crashed.
+func (c *Controller) die(why string) {
+	c.mu.Lock()
+	already := c.crashed
+	c.crashed = true
+	v := c.vclock
+	c.mu.Unlock()
+	if !already {
+		c.f.obs.Point("fleet.controller.crash", int64(v))
+		c.emit(StepEvent{Kind: "crash", Replica: -1, VClock: v})
+		_ = why
+	}
+}
+
+// append journals one record with crash boundaries on both sides.
+// Returns false when the controller died at either boundary or the
+// append itself tore (fleet.journal.append fault).
+func (c *Controller) append(r Record) bool {
+	if c.crashPoint(crashBeforeRecord) {
+		return false
+	}
+	if err := c.j.Append(r); err != nil {
+		c.die("journal append")
+		return false
+	}
+	c.f.obs.Point("fleet.journal.append", int64(r.Kind))
+	if c.crashPoint(crashAfterRecord) {
+		return false
+	}
+	return true
+}
+
+// isCrashed reports the crashed flag.
+func (c *Controller) isCrashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// priorState is the per-replica resolution recovered from a journal.
+type priorState struct {
+	resolved   bool // an outcome record exists
+	outcome    ReplicaOutcome
+	openIntent bool // an intent with no outcome: the torn window
+	wave       int
+}
+
+// replay folds the predecessor's journal records into per-replica
+// state plus rollout-level markers.
+func (c *Controller) replay(res *RolloutResult) (states []priorState, waveFails map[int]int, haltedAt int, finished bool) {
+	states = make([]priorState, len(c.f.replicas))
+	waveFails = map[int]int{}
+	haltedAt = -1
+	var last uint64
+	for _, r := range c.prior {
+		if r.VClock > last {
+			last = r.VClock
+		}
+		switch r.Kind {
+		case RecStart:
+			c.hasStart = true
+		case RecIntent:
+			st := &states[r.Replica]
+			st.openIntent = true
+			st.wave = int(r.Wave)
+		case RecOutcome:
+			st := &states[r.Replica]
+			st.openIntent = false
+			st.resolved = true
+			st.wave = int(r.Wave)
+			st.outcome = ReplicaOutcome{
+				Index:   int(r.Replica),
+				Outcome: r.Outcome,
+				Ticks:   r.Ticks,
+			}
+			if r.Note != "" {
+				st.outcome.Err = fmt.Errorf("fleet: journaled failure: %s", r.Note)
+			}
+			if r.Outcome == OutcomeCommitted {
+				st.outcome.Err = nil
+			}
+		case RecWaveDone:
+			waveFails[int(r.Wave)] = int(r.Attempt)
+		case RecHalt:
+			haltedAt = int(r.Wave)
+			c.f.halted.Store(true)
+		case RecDone:
+			finished = true
+		}
+	}
+	// Resume picks the clock up where the journal left off: every
+	// lane starts at the last journaled instant, so FleetTicks keeps
+	// counting across the crash.
+	for i := range c.lanes {
+		c.lanes[i] = last
+	}
+	c.setClock(last)
+	return states, waveFails, haltedAt, finished
+}
+
+// verifyCommitted classifies a torn-window replica: the journal shows
+// a leased intent but no outcome, so the predecessor died between the
+// lease and the outcome record — the rewrite may or may not have
+// committed. Config.Verify decides from the live replica; the default
+// asks the customizer whether the rewrite's effect is present.
+func (c *Controller) verifyCommitted(r *Replica) (bool, error) {
+	if v := c.f.cfg.Verify; v != nil {
+		return v(r)
+	}
+	return r.Cust.DisabledBlockCount() > 0, nil
+}
+
+// Run executes the rollout (or, after ResumeController, whatever of
+// it the journal shows unfinished). The apply function is invoked at
+// most once per leased attempt per replica and never for a replica
+// the journal already proves committed. On an injected controller
+// crash Run returns ErrControllerCrashed with the partial result; the
+// journal is left for the next ResumeController.
+func (c *Controller) Run(apply func(r *Replica) (core.Stats, error)) (*RolloutResult, error) {
+	f := c.f
+	res := &RolloutResult{Outcomes: make([]ReplicaOutcome, len(f.replicas))}
+	for i := range res.Outcomes {
+		res.Outcomes[i].Index = i
+	}
+	res.Resumed = c.resumed
+
+	waves := f.waves()
+	waveFails := map[int]int{}
+	haltedAt := -1
+	finished := false
+	var states []priorState
+
+	if c.resumed {
+		states, waveFails, haltedAt, finished = c.replay(res)
+	}
+	if !c.hasStart {
+		if !c.append(Record{Kind: RecStart, Replica: int32(len(f.replicas)),
+			Wave: int32(len(waves)), Attempt: int32(f.cfg.Workers)}) {
+			return c.finish(res)
+		}
+		c.hasStart = true
+	}
+
+	if c.resumed {
+		// Committed replicas are skipped outright — the acceptance
+		// invariant "resume never repeats a committed rewrite". Their
+		// post-commit checkpoints are content-addressed in the shared
+		// store; a recorded ident that the store no longer holds means
+		// the journal and the store disagree, and the replica is
+		// re-verified like a torn window instead of trusted.
+		for i := range states {
+			st := &states[i]
+			if st.resolved {
+				res.Outcomes[i] = st.outcome
+				res.Outcomes[i].Index = i
+				c.note(i, st.outcome.Outcome, st.outcome.Outcome == OutcomeCommitted)
+				if st.outcome.Outcome == OutcomeCommitted {
+					res.SkippedCommitted++
+					f.obs.Point("fleet.resume.skip", int64(i))
+					c.emit(StepEvent{Kind: "skip", Replica: i, Wave: st.wave, Outcome: OutcomeCommitted, VClock: c.lanes[0]})
+				}
+				continue
+			}
+			if st.openIntent {
+				committed, err := c.verifyCommitted(f.replicas[i])
+				if err != nil {
+					return res, fmt.Errorf("fleet: resume cannot classify replica %d (torn journal window): %w", i, err)
+				}
+				if committed {
+					// The rewrite committed but its outcome record died
+					// with the controller: journal it now so the next
+					// resume does not have to re-verify.
+					res.Outcomes[i].Outcome = OutcomeCommitted
+					res.Outcomes[i].Ticks = 1
+					res.SkippedCommitted++
+					c.note(i, OutcomeCommitted, true)
+					f.obs.Point("fleet.resume.skip", int64(i))
+					c.emit(StepEvent{Kind: "skip", Replica: i, Wave: st.wave, Outcome: OutcomeCommitted, VClock: c.lanes[0]})
+					if !c.append(Record{Kind: RecOutcome, Replica: int32(i), Wave: int32(st.wave),
+						Outcome: OutcomeCommitted, Ticks: 1, VClock: c.lanes[0], Note: "verified-after-crash"}) {
+						return c.finish(res)
+					}
+				}
+				// Not committed: core's transaction left the replica
+				// untouched (or rolled back); the step simply re-runs.
+			}
+		}
+		if !c.append(Record{Kind: RecResume, Replica: int32(res.SkippedCommitted), VClock: c.lanes[0]}) {
+			return c.finish(res)
+		}
+		c.emit(StepEvent{Kind: "resume", Replica: -1, VClock: c.lanes[0]})
+		f.obs.Point("fleet.resume", int64(res.SkippedCommitted))
+	}
+
+	if finished {
+		// The predecessor completed the rollout and died after its
+		// done record: nothing to run, reconstruct and return.
+		return c.reconstruct(res, waves, waveFails, haltedAt)
+	}
+
+	if haltedAt >= 0 {
+		// The predecessor died inside the halt protocol: finish it —
+		// every committed replica of the halted wave restores to
+		// pristine — and close the journal. Waves completed before the
+		// halt are reconstructed from their journal summaries.
+		for wi := 0; wi < haltedAt && wi < len(waves); wi++ {
+			if fails, ok := waveFails[wi]; ok {
+				res.Waves = append(res.Waves, WaveResult{
+					Index: wi, Canary: wi == 0,
+					Replicas: append([]int(nil), waves[wi]...),
+					Failures: fails,
+				})
+			}
+		}
+		c.completeHalt(res, waves[haltedAt], haltedAt)
+		res.Halted, res.HaltedWave = true, haltedAt
+		return c.finish(res)
+	}
+
+	for wi, wave := range waves {
+		c.mu.Lock()
+		c.wave = wi
+		c.mu.Unlock()
+		if fails, ok := waveFails[wi]; ok {
+			// Wave fully resolved before the crash.
+			res.Waves = append(res.Waves, WaveResult{
+				Index: wi, Canary: wi == 0,
+				Replicas: append([]int(nil), wave...),
+				Failures: fails,
+			})
+			continue
+		}
+		if f.halted.Load() || c.isCrashed() {
+			break
+		}
+		f.obs.PhaseStart("fleet.wave", wi)
+		c.runWave(wi, wave, res, apply)
+		if c.isCrashed() {
+			f.obs.PhaseEnd("fleet.wave", wi, ErrControllerCrashed)
+			break
+		}
+
+		fails := 0
+		for _, ri := range wave {
+			o := res.Outcomes[ri].Outcome
+			if o != OutcomeCommitted && o != OutcomePending {
+				fails++
+			}
+		}
+		wr := WaveResult{Index: wi, Canary: wi == 0, Replicas: append([]int(nil), wave...), Failures: fails}
+		res.Waves = append(res.Waves, wr)
+		failRate := float64(fails) / float64(len(wave))
+		threshold := f.cfg.FailureThreshold
+		if wi == 0 {
+			threshold = 0 // any canary failure halts
+		}
+		halt := fails > 0 && failRate > threshold
+
+		// Second-chance recovery: a replica whose own rollback failed
+		// is dead, but its pristine checkpoint survives in the store.
+		for _, ri := range wave {
+			if res.Outcomes[ri].Outcome == OutcomeLost {
+				c.restoreJournaled(&res.Outcomes[ri], wi)
+			}
+		}
+
+		if halt {
+			f.halted.Store(true)
+			res.Halted = true
+			res.HaltedWave = wi
+			f.obs.Point("fleet.halt", int64(wi))
+			c.emit(StepEvent{Kind: "halt", Replica: -1, Wave: wi, VClock: c.laneMax()})
+			if !c.append(Record{Kind: RecHalt, Wave: int32(wi), VClock: c.laneMax()}) {
+				f.obs.PhaseEnd("fleet.wave", wi, ErrControllerCrashed)
+				break
+			}
+			// Un-commit the failed wave: a wave that crossed the
+			// threshold does not stay half-deployed.
+			c.completeHalt(res, wave, wi)
+			f.obs.PhaseEnd("fleet.wave", wi, fmt.Errorf("wave %d: %d/%d failed, rollout halted", wi, fails, len(wave)))
+			break
+		}
+		if !c.append(Record{Kind: RecWaveDone, Wave: int32(wi), Attempt: int32(fails), VClock: c.laneMax()}) {
+			f.obs.PhaseEnd("fleet.wave", wi, ErrControllerCrashed)
+			break
+		}
+		// Wave barrier: the next wave starts after the slowest lane.
+		c.syncLanes()
+		f.obs.PhaseEnd("fleet.wave", wi, nil)
+	}
+
+	return c.finish(res)
+}
+
+// runWave drains one wave's step queue through the worker lanes.
+func (c *Controller) runWave(wi int, wave []int, res *RolloutResult, apply func(r *Replica) (core.Stats, error)) {
+	f := c.f
+	leaseTicks := f.cfg.LeaseTicks
+	if leaseTicks == 0 {
+		leaseTicks = defaultLeaseTicks
+	}
+	budget := f.cfg.RetryBudget
+	if budget <= 0 {
+		budget = defaultRetryBudget
+	}
+	backoffBase := f.cfg.BackoffBase
+	if backoffBase == 0 {
+		backoffBase = defaultBackoffBase
+	}
+	backoffCap := f.cfg.BackoffCap
+	if backoffCap == 0 {
+		backoffCap = defaultBackoffCap
+	}
+
+	var pending []*step
+	for _, ri := range wave {
+		if res.Outcomes[ri].Outcome == OutcomePending {
+			pending = append(pending, &step{replica: ri, wave: wi, attempt: 1})
+		}
+	}
+
+	for len(pending) > 0 && !c.isCrashed() && !f.halted.Load() {
+		// Lease one step per lane, earliest-free lane first — list
+		// scheduling over the virtual-time lanes. Steps are ordered by
+		// (backoff gate, replica index) so dispatch is deterministic.
+		sort.SliceStable(pending, func(i, j int) bool {
+			if pending[i].notBefore != pending[j].notBefore {
+				return pending[i].notBefore < pending[j].notBefore
+			}
+			return pending[i].replica < pending[j].replica
+		})
+		laneOrder := make([]int, len(c.lanes))
+		for i := range laneOrder {
+			laneOrder[i] = i
+		}
+		sort.SliceStable(laneOrder, func(i, j int) bool {
+			return c.lanes[laneOrder[i]] < c.lanes[laneOrder[j]]
+		})
+		var round []*lease
+		for _, li := range laneOrder {
+			if len(pending) == 0 {
+				break
+			}
+			st := pending[0]
+			pending = pending[1:]
+			start := c.lanes[li]
+			if st.notBefore > start {
+				start = st.notBefore // the lane idles until the backoff gate opens
+			}
+			round = append(round, &lease{step: st, lane: li, start: start, deadline: start + leaseTicks})
+		}
+
+		// Journal the round's intents in lane order, then decide which
+		// workers die at the fleet.lease.expire site — both in the
+		// dispatch thread, so order and journal bytes stay
+		// deterministic under concurrency.
+		for _, l := range round {
+			if !c.append(Record{Kind: RecIntent, Replica: int32(l.step.replica), Wave: int32(wi),
+				Attempt: int32(l.step.attempt), VClock: l.start}) {
+				return
+			}
+			f.obs.Point("fleet.step.lease", int64(l.step.replica))
+			c.emit(StepEvent{Kind: "lease", Replica: l.step.replica, Wave: wi, Attempt: l.step.attempt, VClock: l.start})
+		}
+		if h := f.cfg.FaultHook; h != nil {
+			for _, l := range round {
+				if err := h.Fault(faultinject.SiteFleetLeaseExpire, l.step.replica); err != nil {
+					l.died = true
+				}
+			}
+		}
+
+		// Run the surviving leases concurrently for real.
+		var wg sync.WaitGroup
+		for _, l := range round {
+			if l.died {
+				continue
+			}
+			wg.Add(1)
+			go func(l *lease) {
+				defer wg.Done()
+				c.execute(l, apply)
+			}(l)
+		}
+		wg.Wait()
+
+		// Commit the round in lane order.
+		for _, l := range round {
+			ri := l.step.replica
+			if l.died {
+				// The worker never reported back; its lease expires at
+				// the deadline and the step requeues with backoff —
+				// or fails for good once the budget is spent.
+				c.lanes[l.lane] = l.deadline
+				c.setClock(l.deadline)
+				c.mu.Lock()
+				c.leaseExpiries++
+				c.mu.Unlock()
+				res.LeaseExpiries++
+				f.obs.Point("fleet.lease.expired", int64(ri))
+				c.emit(StepEvent{Kind: "expire", Replica: ri, Wave: wi, Attempt: l.step.attempt, VClock: l.deadline})
+				if l.step.attempt >= budget {
+					out := &res.Outcomes[ri]
+					out.Outcome = OutcomeFailed
+					out.Err = fmt.Errorf("fleet: replica %d lease expired %d times, retry budget exhausted", ri, l.step.attempt)
+					out.Ticks = 1
+					c.note(ri, OutcomeFailed, false)
+					c.emit(StepEvent{Kind: "budget-exhausted", Replica: ri, Wave: wi, Attempt: l.step.attempt, VClock: l.deadline})
+					if !c.append(Record{Kind: RecOutcome, Replica: int32(ri), Wave: int32(wi), Attempt: int32(l.step.attempt),
+						Outcome: OutcomeFailed, Ticks: 1, VClock: l.deadline, Note: "lease retry budget exhausted"}) {
+						return
+					}
+					continue
+				}
+				backoff := backoffBase << (l.step.attempt - 1)
+				if backoff > backoffCap {
+					backoff = backoffCap
+				}
+				l.step.attempt++
+				l.step.notBefore = l.deadline + backoff
+				pending = append(pending, l.step)
+				c.mu.Lock()
+				c.requeues++
+				c.mu.Unlock()
+				res.Requeues++
+				f.obs.Point("fleet.step.requeue", int64(ri))
+				c.emit(StepEvent{Kind: "requeue", Replica: ri, Wave: wi, Attempt: l.step.attempt, VClock: l.step.notBefore})
+				continue
+			}
+
+			res.Outcomes[ri] = l.out
+			c.lanes[l.lane] = l.start + l.out.Ticks
+			c.setClock(c.lanes[l.lane])
+			c.note(ri, l.out.Outcome, false)
+			f.obs.Point("fleet.step.outcome", int64(ri))
+			c.emit(StepEvent{Kind: "outcome", Replica: ri, Wave: wi, Attempt: l.step.attempt,
+				Outcome: l.out.Outcome, VClock: c.lanes[l.lane]})
+			note := ""
+			if l.out.Err != nil {
+				note = l.out.Err.Error()
+			}
+			if !c.append(Record{Kind: RecOutcome, Replica: int32(ri), Wave: int32(wi), Attempt: int32(l.step.attempt),
+				Outcome: l.out.Outcome, Ticks: l.out.Ticks, Ident: l.ident, VClock: c.lanes[l.lane], Note: note}) {
+				return
+			}
+		}
+	}
+}
+
+// execute runs one leased rewrite on its replica (worker side). Only
+// this lease's own fields and the replica's private state are
+// touched; the dispatcher reads them back after the round barrier.
+func (c *Controller) execute(l *lease, apply func(r *Replica) (core.Stats, error)) {
+	r := c.f.replicas[l.step.replica]
+	out := &l.out
+	out.Index = r.Index
+	before := r.Machine.Clock()
+	var err error
+	if err = r.Machine.Fault(faultinject.SiteFleetWave, r.Index); err != nil {
+		out.Outcome, out.Err = OutcomeAborted, err
+	} else {
+		c.mu.Lock()
+		c.attempts[r.Index]++
+		c.mu.Unlock()
+		out.Stats, err = apply(r)
+		out.Err = err
+		switch {
+		case err == nil:
+			out.Outcome = OutcomeCommitted
+		case errors.Is(err, core.ErrAborted):
+			out.Outcome = OutcomeAborted
+		case errors.Is(err, core.ErrRollbackFailed):
+			out.Outcome = OutcomeLost
+		case errors.Is(err, core.ErrRolledBack):
+			out.Outcome = OutcomeRolledBack
+		default:
+			out.Outcome = OutcomeFailed
+		}
+	}
+	if out.Outcome == OutcomeCommitted {
+		// Anchor the commit in the content-addressed store: the
+		// journal's outcome record carries this ident, so a resumed
+		// controller can check convergence without touching the guest.
+		if flat, cerr := r.Cust.Checkpoint(); cerr == nil {
+			if id, derr := c.f.store.Deposit(flat); derr == nil {
+				l.ident = id
+			}
+		}
+	}
+	out.Ticks = r.Machine.Clock() - before
+	if out.Ticks == 0 {
+		out.Ticks = 1
+	}
+}
+
+// restoreJournaled restores a replica to pristine and journals the
+// result, so a crash between restores is resumable.
+func (c *Controller) restoreJournaled(out *ReplicaOutcome, wave int) {
+	c.f.restorePristine(out)
+	c.note(out.Index, out.Outcome, false)
+	note := ""
+	if out.Err != nil {
+		note = out.Err.Error()
+	}
+	c.append(Record{Kind: RecOutcome, Replica: int32(out.Index), Wave: int32(wave),
+		Outcome: out.Outcome, Ticks: out.Ticks, VClock: c.laneMax(), Note: note})
+}
+
+// completeHalt runs (or, on resume, finishes) the halt protocol for
+// the halted wave: every replica the journal or this run shows
+// committed is restored to its pristine checkpoint.
+func (c *Controller) completeHalt(res *RolloutResult, wave []int, wi int) {
+	for _, ri := range wave {
+		if c.isCrashed() {
+			return
+		}
+		if res.Outcomes[ri].Outcome == OutcomeCommitted {
+			c.restoreJournaled(&res.Outcomes[ri], wi)
+		}
+	}
+}
+
+// laneMax returns the latest lane time — the rollout's makespan so far.
+func (c *Controller) laneMax() uint64 {
+	var m uint64
+	for _, l := range c.lanes {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// syncLanes applies a wave barrier: every lane advances to the
+// slowest lane's time before the next wave leases.
+func (c *Controller) syncLanes() {
+	m := c.laneMax()
+	for i := range c.lanes {
+		c.lanes[i] = m
+	}
+}
+
+// finish computes the rollout's cost model and closes the journal.
+// SerialTicks sums every attempted step's virtual cost (the one-lane
+// makespan); FleetTicks is the latest lane time — what the leased
+// worker lanes actually paid, wave barriers, lease expiries and
+// backoff waits included.
+func (c *Controller) finish(res *RolloutResult) (*RolloutResult, error) {
+	c.mu.Lock()
+	for i := range res.Outcomes {
+		res.Outcomes[i].Attempts = c.attempts[i]
+		if res.Outcomes[i].Outcome != OutcomePending {
+			res.SerialTicks += res.Outcomes[i].Ticks
+		}
+	}
+	c.mu.Unlock()
+	res.FleetTicks = c.laneMax()
+	if c.isCrashed() {
+		return res, ErrControllerCrashed
+	}
+	c.f.obs.Point("fleet.rollout.done", int64(res.Committed()))
+	c.append(Record{Kind: RecDone, Replica: int32(res.Committed()), VClock: res.FleetTicks})
+	return res, nil
+}
+
+// reconstruct rebuilds a finished rollout's result from its journal
+// (the predecessor died after writing its done record).
+func (c *Controller) reconstruct(res *RolloutResult, waves [][]int, waveFails map[int]int, haltedAt int) (*RolloutResult, error) {
+	for wi, wave := range waves {
+		fails, ok := waveFails[wi]
+		if !ok {
+			if wi == haltedAt || (haltedAt >= 0 && wi > haltedAt) {
+				break
+			}
+			continue
+		}
+		res.Waves = append(res.Waves, WaveResult{
+			Index: wi, Canary: wi == 0,
+			Replicas: append([]int(nil), wave...),
+			Failures: fails,
+		})
+	}
+	if haltedAt >= 0 {
+		res.Halted, res.HaltedWave = true, haltedAt
+	}
+	for i := range res.Outcomes {
+		if res.Outcomes[i].Outcome != OutcomePending {
+			res.SerialTicks += res.Outcomes[i].Ticks
+		}
+	}
+	res.FleetTicks = c.laneMax()
+	return res, nil
+}

@@ -17,8 +17,6 @@ package fleet
 import (
 	"errors"
 	"fmt"
-	"sort"
-	"sync"
 	"sync/atomic"
 
 	"github.com/dynacut/dynacut/internal/core"
@@ -69,6 +67,27 @@ type Config struct {
 	// Observer, when non-nil, receives the fleet-level timeline (wave
 	// spans, halt/rollback points). nil allocates a private one.
 	Observer *obs.Observer
+
+	// Controller tuning (zero = defaults). LeaseTicks is the
+	// virtual-clock lease a worker holds on a step before the
+	// controller declares it dead and requeues; RetryBudget bounds
+	// lease attempts per step; BackoffBase/BackoffCap shape the capped
+	// exponential requeue backoff.
+	LeaseTicks  uint64
+	RetryBudget int
+	BackoffBase uint64
+	BackoffCap  uint64
+	// Verify classifies a replica whose journal entry is torn (a
+	// controller crash between lease and outcome): it must report
+	// whether the rollout's rewrite committed on this replica. nil
+	// asks the customizer whether any blocks are disabled — correct
+	// for DisableBlocks payloads; custom payloads should probe the
+	// guest directly.
+	Verify func(r *Replica) (bool, error)
+	// OnStep, when non-nil, receives every scheduling event (lease,
+	// expiry, requeue, outcome, skip, halt, crash) as the controller
+	// dispatches — the incremental status stream.
+	OnStep func(StepEvent)
 }
 
 // Replica is one fleet member: an independent machine cloned from the
@@ -156,8 +175,19 @@ type ReplicaOutcome struct {
 	// rollout (floored at 1 for an attempted replica, so makespan
 	// math never degenerates).
 	Ticks uint64
-	// Err is the rewrite or recovery failure, nil on commit.
+	// Err is the rewrite or recovery failure. It is nil whenever the
+	// replica ended healthy — committed, or successfully restored to
+	// pristine (even when earlier restore tries failed; see
+	// RestoreErrs for that history).
 	Err error
+	// Attempts counts how many times the rollout payload actually ran
+	// on this replica under this controller — the counter the resume
+	// tests use to prove committed replicas are never re-rewritten.
+	Attempts int
+	// RestoreErrs is the retry history of the pristine-restore path:
+	// one error per failed try that a later try recovered from. A
+	// replica restored on the first try has none.
+	RestoreErrs []error
 }
 
 // WaveResult summarizes one wave.
@@ -179,11 +209,21 @@ type RolloutResult struct {
 	HaltedWave int
 	// SerialTicks is the summed virtual-time cost of the attempted
 	// rewrites — the makespan a one-lane rollout would pay.
-	// FleetTicks is the modeled makespan under the config's worker
-	// lanes (longest-processing-time packing): what the pooled
-	// rollout pays on the fleet's shared virtual time axis.
+	// FleetTicks is the makespan the controller's worker lanes paid
+	// on the fleet's shared virtual-time axis: list scheduling over
+	// the lanes, wave barriers, lease expiries and backoff waits
+	// included.
 	SerialTicks uint64
 	FleetTicks  uint64
+	// Resumed reports this result came from a journal-resumed
+	// controller; SkippedCommitted is how many replicas it skipped
+	// because the journal proved them committed.
+	Resumed          bool
+	SkippedCommitted int
+	// LeaseExpiries / Requeues count worker leases that expired on
+	// the virtual clock and the steps requeued with backoff.
+	LeaseExpiries int
+	Requeues      int
 }
 
 // Committed counts replicas that ended on the new version.
@@ -329,124 +369,47 @@ func (f *Fleet) waves() [][]int {
 
 // Rollout applies one rewrite across the fleet as a staged rollout:
 // the canary wave first, then the remaining replicas in waves, each
-// wave's rewrites running concurrently under the worker bound. A wave
-// whose failure rate crosses the threshold (any failure, for the
-// canary) halts the rollout: the failed wave's committed replicas are
-// restored to their pristine checkpoints from the shared store,
-// in-flight rewrites abort pre-commit, and later waves never start.
-// Replicas whose own rollback failed are restored from the store even
-// when the rollout is not halting — the fleet's second-chance
-// recovery. apply runs once per attempted replica and must touch only
-// that replica's state.
+// wave's steps leased to concurrent worker lanes by the rollout
+// controller. A wave whose failure rate crosses the threshold (any
+// failure, for the canary) halts the rollout: the failed wave's
+// committed replicas are restored to their pristine checkpoints from
+// the shared store, in-flight rewrites abort at the pre-commit gate,
+// and later waves never start. Replicas whose own rollback failed are
+// restored from the store even when the rollout is not halting — the
+// fleet's second-chance recovery. apply runs once per leased attempt
+// per replica and must touch only that replica's state.
+//
+// Rollout is sugar for NewController(f, nil).Run(apply): every
+// rollout is journaled, and on an injected controller crash the
+// returned error is ErrControllerCrashed. Use NewController directly
+// to keep the journal for ResumeController.
 func (f *Fleet) Rollout(apply func(r *Replica) (core.Stats, error)) (*RolloutResult, error) {
-	res := &RolloutResult{Outcomes: make([]ReplicaOutcome, len(f.replicas))}
-	for i := range res.Outcomes {
-		res.Outcomes[i].Index = i
-	}
-	waves := f.waves()
-	for wi, wave := range waves {
-		if f.halted.Load() {
-			break
-		}
-		canary := wi == 0
-		f.obs.PhaseStart("fleet.wave", wi)
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, f.cfg.Workers)
-		for _, ri := range wave {
-			wg.Add(1)
-			go func(ri int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				f.applyOne(&res.Outcomes[ri], apply)
-			}(ri)
-		}
-		wg.Wait()
-
-		fails := 0
-		for _, ri := range wave {
-			if res.Outcomes[ri].Outcome != OutcomeCommitted {
-				fails++
-			}
-		}
-		wr := WaveResult{Index: wi, Canary: canary, Replicas: append([]int(nil), wave...), Failures: fails}
-		res.Waves = append(res.Waves, wr)
-		failRate := float64(fails) / float64(len(wave))
-		threshold := f.cfg.FailureThreshold
-		if canary {
-			threshold = 0 // any canary failure halts
-		}
-		halt := fails > 0 && failRate > threshold
-
-		// Second-chance recovery: a replica whose own rollback failed
-		// is dead, but its pristine checkpoint survives in the store.
-		for _, ri := range wave {
-			if res.Outcomes[ri].Outcome == OutcomeLost {
-				f.restorePristine(&res.Outcomes[ri])
-			}
-		}
-
-		if halt {
-			f.halted.Store(true)
-			res.Halted = true
-			res.HaltedWave = wi
-			f.obs.Point("fleet.halt", int64(wi))
-			// Un-commit the failed wave: a wave that crossed the
-			// threshold does not stay half-deployed.
-			for _, ri := range wave {
-				if res.Outcomes[ri].Outcome == OutcomeCommitted {
-					f.restorePristine(&res.Outcomes[ri])
-				}
-			}
-			f.obs.PhaseEnd("fleet.wave", wi, fmt.Errorf("wave %d: %d/%d failed, rollout halted", wi, fails, len(wave)))
-			break
-		}
-		f.obs.PhaseEnd("fleet.wave", wi, nil)
-	}
-
-	res.SerialTicks, res.FleetTicks = f.makespan(res)
-	f.obs.Point("fleet.rollout.done", int64(res.Committed()))
-	return res, nil
+	return NewController(f, nil).Run(apply)
 }
 
-// applyOne runs the rewrite on one replica and classifies the result.
-func (f *Fleet) applyOne(out *ReplicaOutcome, apply func(r *Replica) (core.Stats, error)) {
-	r := f.replicas[out.Index]
-	before := r.Machine.Clock()
-	var err error
-	if err = r.Machine.Fault(faultinject.SiteFleetWave, r.Index); err != nil {
-		out.Outcome, out.Err = OutcomeAborted, err
-	} else {
-		out.Stats, err = apply(r)
-		out.Err = err
-		switch {
-		case err == nil:
-			out.Outcome = OutcomeCommitted
-		case errors.Is(err, core.ErrAborted):
-			out.Outcome = OutcomeAborted
-		case errors.Is(err, core.ErrRollbackFailed):
-			out.Outcome = OutcomeLost
-		case errors.Is(err, core.ErrRolledBack):
-			out.Outcome = OutcomeRolledBack
-		default:
-			out.Outcome = OutcomeFailed
-		}
+// ResumeRollout finishes a rollout whose controller died, from its
+// journal bytes: committed replicas are skipped, torn journal windows
+// are re-verified against the live replicas, and an interrupted halt
+// protocol is completed. Sugar for ResumeController + Run.
+func (f *Fleet) ResumeRollout(journal []byte, apply func(r *Replica) (core.Stats, error)) (*RolloutResult, error) {
+	c, err := ResumeController(f, journal)
+	if err != nil {
+		return nil, err
 	}
-	out.Ticks = r.Machine.Clock() - before
-	if out.Ticks == 0 {
-		out.Ticks = 1
-	}
+	return c.Run(apply)
 }
 
 // restorePristine rebuilds a replica from its pristine checkpoint in
 // the shared store, with bounded retries against injected faults. On
-// success the replica's customizer is rebound to the restored root.
+// success the replica's customizer is rebound to the restored root,
+// Err is cleared (a restored replica is healthy), and the failed
+// tries' errors are kept in RestoreErrs.
 func (f *Fleet) restorePristine(out *ReplicaOutcome) {
 	r := f.replicas[out.Index]
-	var lastErr error
+	out.RestoreErrs = nil
 	for try := 1; try <= rollbackTries; try++ {
 		if err := r.Machine.Fault(faultinject.SiteFleetRollback, r.Index); err != nil {
-			lastErr = err
+			out.RestoreErrs = append(out.RestoreErrs, err)
 			continue
 		}
 		// Tear down whatever tree is live (children before parents).
@@ -457,7 +420,7 @@ func (f *Fleet) restorePristine(out *ReplicaOutcome) {
 		}
 		procs2, pidMap, err := criu.RestoreFromStore(r.Machine, f.store, r.PristineID)
 		if err != nil {
-			lastErr = err
+			out.RestoreErrs = append(out.RestoreErrs, err)
 			continue
 		}
 		newRoot := pidMap[r.pristineRoot]
@@ -466,51 +429,17 @@ func (f *Fleet) restorePristine(out *ReplicaOutcome) {
 		}
 		r.Cust.Rebind(newRoot)
 		out.Outcome = OutcomeRestored
-		out.Err = lastErr
+		out.Err = nil
 		f.obs.Point("fleet.rollback", int64(out.Index))
 		return
 	}
 	out.Outcome = OutcomeLost
+	var lastErr error
+	if n := len(out.RestoreErrs); n > 0 {
+		lastErr = out.RestoreErrs[n-1]
+	}
 	out.Err = fmt.Errorf("fleet: replica %d pristine restore failed after %d tries: %w",
 		out.Index, rollbackTries, lastErr)
-}
-
-// makespan computes the rollout's virtual-time cost: SerialTicks is
-// the one-lane sum of the attempted replicas' tick costs, FleetTicks
-// the longest-processing-time packing of those costs into the
-// config's worker lanes. Virtual time is the fleet's deterministic
-// cost axis — each replica's machine charges the rewrite to its own
-// clock, and the packing models how many of those charges overlap
-// under the worker bound.
-func (f *Fleet) makespan(res *RolloutResult) (serial, fleet uint64) {
-	var costs []uint64
-	for _, o := range res.Outcomes {
-		if o.Outcome == OutcomePending {
-			continue
-		}
-		costs = append(costs, o.Ticks)
-		serial += o.Ticks
-	}
-	if len(costs) == 0 {
-		return 0, 0
-	}
-	sort.Slice(costs, func(i, j int) bool { return costs[i] > costs[j] })
-	lanes := make([]uint64, f.cfg.Workers)
-	for _, c := range costs {
-		min := 0
-		for i := 1; i < len(lanes); i++ {
-			if lanes[i] < lanes[min] {
-				min = i
-			}
-		}
-		lanes[min] += c
-	}
-	for _, l := range lanes {
-		if l > fleet {
-			fleet = l
-		}
-	}
-	return serial, fleet
 }
 
 // AttachSupervisors puts one supervisor on every replica. mk builds

@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/faultinject"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Kind: RecStart, Replica: 6, Wave: 4, Attempt: 2},
+		{Kind: RecIntent, Replica: 0, Wave: 0, Attempt: 1, VClock: 10},
+		{Kind: RecOutcome, Replica: 0, Wave: 0, Attempt: 1, Outcome: OutcomeCommitted, Ticks: 65, Ident: 0xdeadbeef, VClock: 75},
+		{Kind: RecWaveDone, Wave: 0, VClock: 75},
+		{Kind: RecOutcome, Replica: 1, Wave: 1, Attempt: 2, Outcome: OutcomeFailed, Ticks: 3, VClock: 90,
+			Note: "lease retry budget exhausted"},
+		{Kind: RecDone, Replica: 5, VClock: 99},
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	j := NewJournal()
+	want := sampleRecords()
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", j.Len(), len(want))
+	}
+	got, err := DecodeJournal(j.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("decode mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if !reflect.DeepEqual(j.Records(), want) {
+		t.Fatal("Records() disagrees with appended records")
+	}
+}
+
+func TestJournalRejectsForeignBytes(t *testing.T) {
+	for _, data := range [][]byte{nil, {}, []byte("txt"), []byte("this is not a journal")} {
+		if _, err := DecodeJournal(data); !errors.Is(err, ErrJournalMagic) {
+			t.Fatalf("DecodeJournal(%q) = %v, want ErrJournalMagic", data, err)
+		}
+	}
+}
+
+// TestJournalTornTailTolerated: a crash can only damage the final
+// frame (short header, short payload, or a half-written frame whose
+// CRC cannot match). Every such cut must decode to the clean prefix,
+// silently.
+func TestJournalTornTailTolerated(t *testing.T) {
+	j := NewJournal()
+	want := sampleRecords()
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := j.Bytes()
+	lastFrame := 8 + len(encodeRecord(want[len(want)-1]))
+	for cut := len(full) - 1; cut > len(full)-lastFrame; cut-- {
+		got, err := DecodeJournal(full[:cut])
+		if err != nil {
+			t.Fatalf("cut at %d (of %d): %v", cut, len(full), err)
+		}
+		if len(got) != len(want)-1 {
+			t.Fatalf("cut at %d: decoded %d records, want %d", cut, len(got), len(want)-1)
+		}
+	}
+	// Corrupting the final frame's payload is the same story: its CRC
+	// fails, and since it is the tail it is dropped, not fatal.
+	dam := append([]byte(nil), full...)
+	dam[len(dam)-1] ^= 0xff
+	got, err := DecodeJournal(dam)
+	if err != nil {
+		t.Fatalf("tail corruption should be tolerated: %v", err)
+	}
+	if len(got) != len(want)-1 {
+		t.Fatalf("tail corruption: decoded %d records, want %d", len(got), len(want)-1)
+	}
+}
+
+// TestJournalInteriorCorruptionFatal: the same one-byte damage
+// anywhere before the final frame is not a crash signature — an
+// append-only log cannot lose interior bytes — so decode must refuse.
+func TestJournalInteriorCorruptionFatal(t *testing.T) {
+	j := NewJournal()
+	want := sampleRecords()
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := j.Bytes()
+	lastFrame := 8 + len(encodeRecord(want[len(want)-1]))
+	// Flip one byte in every interior frame's payload (skip the 8-byte
+	// frame headers: damaging a length field can masquerade as a torn
+	// tail, which is fine for crash tolerance but not what this test
+	// pins down).
+	off := 4
+	for i := 0; i < len(want)-1; i++ {
+		payloadStart := off + 8
+		dam := append([]byte(nil), full...)
+		dam[payloadStart] ^= 0x01
+		if _, err := DecodeJournal(dam); !errors.Is(err, ErrJournalCorrupt) {
+			t.Fatalf("record %d payload corruption -> %v, want ErrJournalCorrupt", i, err)
+		}
+		off = payloadStart + len(encodeRecord(want[i]))
+	}
+	if off != len(full)-lastFrame {
+		t.Fatalf("frame walk ended at %d, want %d", off, len(full)-lastFrame)
+	}
+}
+
+// TestJournalTornAppendFault: an injected fleet.journal.append fault
+// must leave exactly the damage a crashed write would — half a frame —
+// and the record uncommitted, so decode yields the clean prefix.
+func TestJournalTornAppendFault(t *testing.T) {
+	inj := faultinject.New(7)
+	inj.FailAt(faultinject.SiteFleetJournalAppend, 2)
+	j := NewJournal()
+	j.SetFaultHook(inj)
+	recs := sampleRecords()
+	if err := j.Append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	err := j.Append(recs[1])
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("torn append = %v, want injected fault", err)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("torn record counted as committed: Len = %d", j.Len())
+	}
+	data := j.Bytes()
+	wholeFrame := 8 + len(encodeRecord(recs[1]))
+	clean := NewJournal()
+	if err := clean.Append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(clean.Bytes())+wholeFrame/2 {
+		t.Fatalf("torn write left %d bytes, want clean prefix %d + half frame %d",
+			len(data), len(clean.Bytes()), wholeFrame/2)
+	}
+	got, err := DecodeJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], recs[0]) {
+		t.Fatalf("decode after torn append: %+v", got)
+	}
+}
+
+// TestJournalResumeContinuesLog: journalFrom must trim the torn tail
+// and keep appending on a clean frame boundary — the resumed
+// controller writes into the same log it decoded.
+func TestJournalResumeContinuesLog(t *testing.T) {
+	j := NewJournal()
+	recs := sampleRecords()
+	for _, r := range recs[:3] {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a torn tail after the third record.
+	data := append(j.Bytes(), 0x42, 0x42, 0x42)
+	decoded, err := DecodeJournal(data)
+	if err != nil || len(decoded) != 3 {
+		t.Fatalf("decode: %d records, err %v", len(decoded), err)
+	}
+	j2 := journalFrom(data, decoded)
+	if err := j2.Append(recs[3]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJournal(j2.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs[:4]) {
+		t.Fatalf("resumed log:\n got %+v\nwant %+v", got, recs[:4])
+	}
+	if !bytes.HasPrefix(j2.Bytes(), j.Bytes()) {
+		t.Fatal("resumed log does not extend the clean prefix")
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race chaos fuzz check bench cover supervise-demo fleet-demo
+.PHONY: all build test vet race chaos fuzz check bench cover supervise-demo fleet-demo load-demo
 
 all: check
 
@@ -25,6 +25,8 @@ race:
 chaos: vet
 	$(GO) test -race -run 'Chaos|Rollback|Rolls|Transient|Retried|Revalidated|Corrupt|BitFlip|Truncation|Observer|Overflow|Supervisor|Breaker|Storm|Fleet|Controller|Journal|Lease|MidWave|Pristine|PageStore' \
 		./internal/core/ ./internal/criu/ ./internal/faultinject/ ./internal/fleet/ ./internal/obs/ ./internal/supervise/ .
+	$(GO) test -race -run 'Driver|Pool|Merge|Schedule|Ramp|Poisson|TraceCSV|Histogram|Mix|RolloutUnderLoad|SteadyState|HaltReleases|ConfigValidation' \
+		./internal/loadgen/ ./internal/slo/
 	$(MAKE) cover
 
 # Whole-suite statement coverage against the checked-in floor
@@ -49,10 +51,10 @@ check: build vet test race
 # Perf trajectory: run the headline figure benchmarks plus the
 # incremental-checkpoint benchmark and record the numbers as JSON so
 # each PR's results are comparable to the last (BENCH_pr2.json here on).
-BENCH_JSON ?= BENCH_pr6.json
+BENCH_JSON ?= BENCH_pr7.json
 
 bench:
-	$(GO) test -run '^$$' -bench 'Figure6_|Figure7_|Figure8_|IncrementalDump|Observer_|SupervisorOverhead|FleetRollout|FleetControllerScale|PageStoreParallel' -benchmem -benchtime 1x . ./internal/criu/ \
+	$(GO) test -run '^$$' -bench 'Figure6_|Figure7_|Figure8_|IncrementalDump|Observer_|SupervisorOverhead|FleetRollout|FleetControllerScale|PageStoreParallel|RewriteUnderLoad' -benchmem -benchtime 1x . ./internal/criu/ \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 # The historical full sweep (every figure, table, ablation and micro).
@@ -76,3 +78,11 @@ supervise-demo:
 # crash-and-resume from the rollout journal (-crash N).
 fleet-demo:
 	$(GO) run ./cmd/fleetdemo
+
+# The staged rollout again, but measured from the traffic's side:
+# open-loop load (constant/ramp/poisson/trace schedules) runs against
+# every replica while the rollout rewrites them, and the SLO table
+# cross-checks each replica's journal-stamped downtime against the
+# service gap the load generator observed.
+load-demo:
+	$(GO) run ./cmd/fleetdemo -load

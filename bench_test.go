@@ -682,3 +682,100 @@ func BenchmarkFleetControllerScale(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRewriteUnderLoad measures what a staged rollout costs the
+// traffic it interrupts: a 4-replica fleet serves open-loop
+// constant-rate load while the rollout disables webdav-write on every
+// replica, against a steady-state baseline of the same fleet shape
+// and schedule. The rollout's charged downtime (wall-clock rewrite
+// cost converted to vticks and capped at three buckets) must surface
+// as dropped requests and a per-replica service gap that matches the
+// journal's intent/outcome vclock stamps.
+func BenchmarkRewriteUnderLoad(b *testing.B) {
+	app, err := dynacut.BuildWebServer(dynacut.WebServerConfig{Name: "lighttpd", Port: 8080})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := dynacut.StartServer(app.Exe, []*dynacut.Binary{app.Libc}, app.Config.Port)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks, err := sess.ProfileFeatures(
+		[]string{"GET /\n", "HEAD /\n", "OPTIONS /\n", "POST /\n"},
+		[]string{"PUT /f data\n", "DELETE /f\n"},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	errAddr, err := sess.SymbolAddr("resp_403")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const (
+		replicas = 4
+		bucket   = 100_000
+		horizon  = 1_200_000
+	)
+	fcfg := dynacut.FleetConfig{
+		Replicas:     replicas,
+		Workers:      2,
+		CanaryShards: 1,
+		WaveSize:     replicas,
+		Core: dynacut.CustomizerOptions{
+			RedirectTo:     errAddr,
+			TicksPerSecond: 2_000_000_000_000,
+			MaxChargeTicks: 3 * bucket,
+		},
+	}
+	cfg := dynacut.SLOConfig{
+		Port:        app.Config.Port,
+		Schedule:    dynacut.NewConstantSchedule(10_000),
+		Mix:         dynacut.NewLoadMix(dynacut.LoadRequest{Payload: "GET /\n"}),
+		Horizon:     horizon,
+		BucketTicks: bucket,
+		PollTicks:   5_000,
+	}
+	apply := func(r *dynacut.FleetReplica) (dynacut.RewriteStats, error) {
+		return r.Cust.DisableBlocks("webdav-write", blocks, dynacut.PolicyBlockEntry)
+	}
+
+	for i := 0; i < b.N; i++ {
+		base, err := dynacut.NewFleetFromSession(sess, fcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steady, err := dynacut.SteadyStateLoad(base, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, _, err := dynacut.RolloutUnderLoad(sess.Machine, sess.PID(), fcfg, cfg, apply)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := rep.Rollout.Committed(); got != replicas {
+			b.Fatalf("committed %d/%d", got, replicas)
+		}
+		if i == 0 {
+			var journal, observed float64
+			for _, s := range rep.JournalSpans {
+				journal += float64(s.Ticks())
+			}
+			for _, s := range rep.ObservedSpans {
+				observed += float64(s.Ticks())
+			}
+			printOnce(b, i, "Rewrite under load: SLO vs steady state", fmt.Sprintf(
+				"steady : p50 %6d  p99 %6d  p999 %6d vticks  served %d/%d  dropped %d\nrollout: p50 %6d  p99 %6d  p999 %6d vticks  served %d/%d  dropped %d\nmean downtime per replica: journal %.0f vticks, observed gap %.0f vticks\n",
+				steady.P50, steady.P99, steady.P999, steady.Served, steady.Total, steady.Dropped,
+				rep.P50, rep.P99, rep.P999, rep.Served, rep.Total, rep.Dropped,
+				journal/replicas, observed/replicas))
+			b.ReportMetric(float64(steady.P99), "steady-p99-vticks")
+			b.ReportMetric(float64(rep.P99), "rollout-p99-vticks")
+			b.ReportMetric(steady.ServedPerVtick*1e3, "steady-served-per-kvtick")
+			b.ReportMetric(rep.ServedPerVtick*1e3, "rollout-served-per-kvtick")
+			b.ReportMetric(float64(rep.Dropped), "rollout-dropped-reqs")
+			b.ReportMetric(journal/replicas, "journal-downtime-vticks")
+			b.ReportMetric(observed/replicas, "observed-downtime-vticks")
+		}
+	}
+}

@@ -11,9 +11,18 @@
 // seeds a resumed controller that skips every committed replica and
 // finishes the rollout without re-rewriting anything.
 //
+// With -load the rollout instead runs under open-loop, schedule-driven
+// traffic (constant, step-ramp, Poisson or a CSV trace) and the demo
+// prints the SLO view: latency percentiles and served/dropped counts
+// against a steady-state baseline, plus each replica's downtime span
+// measured twice — from the rollout journal's vclock stamps and from
+// the service gap the load generator observed — which must agree
+// within one bucket.
+//
 // Usage:
 //
 //	go run ./cmd/fleetdemo [-replicas 8] [-workers 4] [-wave 3] [-failat -1] [-crash -1] [-o fleet.jsonl]
+//	go run ./cmd/fleetdemo -load [-sched constant|ramp|poisson|trace.csv] [-interval 10000] [-horizon 1200000]
 package main
 
 import (
@@ -26,23 +35,33 @@ import (
 	"github.com/dynacut/dynacut"
 )
 
-func run(replicas, workers, wave, failat, crash int, out string) error {
+// setup boots and profiles the template web server every demo mode
+// starts from.
+func setup() (*dynacut.WebServerApp, *dynacut.Session, []dynacut.AbsBlock, uint64, error) {
 	app, err := dynacut.BuildWebServer(dynacut.WebServerConfig{Name: "lighttpd", Port: 8080})
 	if err != nil {
-		return err
+		return nil, nil, nil, 0, err
 	}
 	sess, err := dynacut.StartServer(app.Exe, []*dynacut.Binary{app.Libc}, app.Config.Port)
 	if err != nil {
-		return err
+		return nil, nil, nil, 0, err
 	}
 	blocks, err := sess.ProfileFeatures(
 		[]string{"GET /\n", "HEAD /\n", "OPTIONS /\n", "POST /\n"},
 		[]string{"PUT /f data\n", "DELETE /f\n"},
 	)
 	if err != nil {
-		return err
+		return nil, nil, nil, 0, err
 	}
 	errAddr, err := sess.SymbolAddr("resp_403")
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	return app, sess, blocks, errAddr, nil
+}
+
+func run(replicas, workers, wave, failat, crash int, out string) error {
+	app, sess, blocks, errAddr, err := setup()
 	if err != nil {
 		return err
 	}
@@ -169,6 +188,111 @@ func run(replicas, workers, wave, failat, crash int, out string) error {
 	return nil
 }
 
+// pickSchedule maps the -sched flag to a load schedule: a builtin
+// name, or a path to a CSV trace ("invocations[,payload]" per slot).
+func pickSchedule(name string, interval, bucket uint64) (dynacut.LoadSchedule, error) {
+	switch name {
+	case "constant":
+		return dynacut.NewConstantSchedule(interval), nil
+	case "ramp":
+		// Stress mode: start at ~1 arrival per bucket and add one more
+		// each bucket.
+		return dynacut.NewStepRampSchedule(1, 1, bucket), nil
+	case "poisson":
+		return dynacut.NewPoissonSchedule(interval, 42), nil
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("-sched %q is not a builtin and not a readable trace: %w", name, err)
+	}
+	return dynacut.ParseLoadTrace(string(data), bucket)
+}
+
+func fmtReport(tag string, r *dynacut.SLOReport) {
+	fmt.Printf("%-14s p50 %6d  p99 %6d  p999 %6d vticks   served/vtick %.5f   served %d/%d  dropped %d  errors %d\n",
+		tag, r.P50, r.P99, r.P999, r.ServedPerVtick, r.Served, r.Total, r.Dropped, r.Errors)
+}
+
+// runLoad measures a staged rollout under open-loop load against a
+// steady-state baseline of the same fleet shape and schedule.
+func runLoad(replicas, workers, wave int, sched string, interval, horizon uint64) error {
+	app, sess, blocks, errAddr, err := setup()
+	if err != nil {
+		return err
+	}
+	const bucket = 100_000
+	schedule, err := pickSchedule(sched, interval, bucket)
+	if err != nil {
+		return err
+	}
+	fcfg := dynacut.FleetConfig{
+		Replicas:     replicas,
+		Workers:      workers,
+		CanaryShards: 1,
+		WaveSize:     wave,
+		Core: dynacut.CustomizerOptions{
+			RedirectTo: errAddr,
+			// Convert the rewrite's wall-clock interruption to vticks
+			// aggressively and cap it, so the charged downtime is a
+			// deterministic span the demo can cross-check.
+			TicksPerSecond: 2_000_000_000_000,
+			MaxChargeTicks: 3 * bucket,
+		},
+	}
+	cfg := dynacut.SLOConfig{
+		Port:        app.Config.Port,
+		Schedule:    schedule,
+		Mix:         dynacut.NewLoadMix(dynacut.LoadRequest{Payload: "GET /\n", Weight: 4}, dynacut.LoadRequest{Payload: "HEAD /\n"}),
+		Horizon:     horizon,
+		BucketTicks: bucket,
+		// Poll finer than the arrival gap so boundary responses are
+		// stamped before the rewrite's hold point — keeps the observed
+		// service gap flush with the journal's charged span.
+		PollTicks: interval / 2,
+	}
+	apply := func(r *dynacut.FleetReplica) (dynacut.RewriteStats, error) {
+		return r.Cust.DisableBlocks("webdav-write", blocks, dynacut.PolicyBlockEntry)
+	}
+
+	fmt.Printf("== open-loop load: %s schedule, horizon %d vticks, %d replicas ==\n", sched, horizon, replicas)
+	baseFleet, err := dynacut.NewFleetFromSession(sess, fcfg)
+	if err != nil {
+		return err
+	}
+	steady, err := dynacut.SteadyStateLoad(baseFleet, cfg)
+	if err != nil {
+		return err
+	}
+	fmtReport("steady state:", steady)
+
+	fmt.Println("\n== same load while the rollout disables webdav-write ==")
+	rep, _, err := dynacut.RolloutUnderLoad(sess.Machine, sess.PID(), fcfg, cfg, apply)
+	if err != nil {
+		return err
+	}
+	fmtReport("under rollout:", rep)
+	fmt.Printf("rollout committed %d/%d replicas\n", rep.Rollout.Committed(), replicas)
+
+	fmt.Println("\n== per-replica downtime: journal stamps vs observed service gaps ==")
+	obs := map[int]dynacut.DowntimeSpan{}
+	for _, s := range rep.ObservedSpans {
+		obs[s.Replica] = s
+	}
+	for _, js := range rep.JournalSpans {
+		os, ok := obs[js.Replica]
+		verdict := "NO OBSERVED GAP"
+		if ok {
+			verdict = "disagree"
+			if js.Matches(os, bucket) {
+				verdict = "agree within one bucket"
+			}
+		}
+		fmt.Printf("replica %2d  journal %7d vticks   observed gap %7d vticks   %s\n",
+			js.Replica, js.Ticks(), os.Ticks(), verdict)
+	}
+	return nil
+}
+
 // probe sends one request to a replica guest and returns the response.
 func probe(m *dynacut.Machine, port uint16, req string) string {
 	conn, err := m.Dial(port)
@@ -199,8 +323,18 @@ func main() {
 	failat := flag.Int("failat", -1, "sabotage the rewrite on this replica index (-1: none)")
 	crash := flag.Int("crash", -1, "kill the controller at the Nth crash-site hit, then resume from the journal (-1: none)")
 	out := flag.String("o", "", "write the merged timeline to this file")
+	load := flag.Bool("load", false, "measure the rollout under open-loop load instead")
+	sched := flag.String("sched", "constant", "load schedule: constant, ramp, poisson, or a trace CSV path")
+	interval := flag.Uint64("interval", 10_000, "mean inter-arrival gap in vticks (constant/poisson)")
+	horizon := flag.Uint64("horizon", 1_200_000, "load run length in vticks")
 	flag.Parse()
-	if err := run(*replicas, *workers, *wave, *failat, *crash, *out); err != nil {
+	var err error
+	if *load {
+		err = runLoad(*replicas, *workers, *wave, *sched, *interval, *horizon)
+	} else {
+		err = run(*replicas, *workers, *wave, *failat, *crash, *out)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "fleetdemo: %v\n", err)
 		os.Exit(1)
 	}

@@ -41,7 +41,9 @@ import (
 	"github.com/dynacut/dynacut/internal/faultinject"
 	"github.com/dynacut/dynacut/internal/fleet"
 	"github.com/dynacut/dynacut/internal/kernel"
+	"github.com/dynacut/dynacut/internal/loadgen"
 	"github.com/dynacut/dynacut/internal/obs"
+	"github.com/dynacut/dynacut/internal/slo"
 	"github.com/dynacut/dynacut/internal/supervise"
 	"github.com/dynacut/dynacut/internal/trace"
 )
@@ -187,6 +189,46 @@ type (
 	PageStore = criu.PageStore
 	// PageStoreStats reports dedup effectiveness.
 	PageStoreStats = criu.StoreStats
+
+	// LoadRequest is one weighted entry of a workload mix.
+	LoadRequest = loadgen.Request
+	// LoadMix is a deterministic weighted request mix.
+	LoadMix = loadgen.Mix
+	// LoadHistogram records request latencies (in guest instructions)
+	// with ceil nearest-rank percentile queries.
+	LoadHistogram = loadgen.Histogram
+	// LoadBucket is one throughput window on the virtual-time axis.
+	LoadBucket = loadgen.Bucket
+	// LoadResult aggregates one load-driver run.
+	LoadResult = loadgen.Result
+	// LoadDriver is the closed-loop workload driver: one request in
+	// flight, the next fired as the previous resolves (Figure 8).
+	LoadDriver = loadgen.Driver
+	// OpenLoadDriver is the open-loop driver: requests fire at the
+	// vticks a LoadSchedule dictates, outstanding responses or not,
+	// with a bounded in-flight window and explicit drop accounting.
+	OpenLoadDriver = loadgen.OpenDriver
+	// LoadPool fans closed-loop drivers across fleet replicas.
+	LoadPool = loadgen.Pool
+	// OpenLoadPool fans open-loop drivers across fleet replicas.
+	OpenLoadPool = loadgen.OpenPool
+	// LoadSchedule dictates open-loop arrival times on the vtick axis.
+	LoadSchedule = loadgen.Schedule
+	// LoadArrival is one scheduled request arrival.
+	LoadArrival = loadgen.Arrival
+	// LoadTrace is a trace-driven schedule parsed from CSV
+	// (invocations-per-slot with optional per-slot payloads).
+	LoadTrace = loadgen.TraceSchedule
+
+	// SLOConfig shapes the load half of a rollout-under-load run.
+	SLOConfig = slo.Config
+	// SLOReport carries the figures an operator would ask for:
+	// p50/p99/p999 latency, served per vtick, drops, and per-replica
+	// downtime spans measured from the journal and from observed
+	// service gaps independently.
+	SLOReport = slo.Report
+	// DowntimeSpan is one replica's downtime interval.
+	DowntimeSpan = slo.Span
 )
 
 // Replica end states after a staged rollout.
@@ -276,6 +318,18 @@ var (
 	// ErrJournalMagic: bytes handed to DecodeRolloutJournal are not a
 	// rollout journal.
 	ErrJournalMagic = fleet.ErrJournalMagic
+	// ErrNoLoadMix: a load driver has arrivals without payloads and no
+	// mix to draw them from.
+	ErrNoLoadMix = loadgen.ErrNoMix
+	// ErrNoLoadSchedule: an open-loop driver has no schedule.
+	ErrNoLoadSchedule = loadgen.ErrNoSchedule
+	// ErrLoadTruncated: a response was still mid-write when its
+	// request budget ran out.
+	ErrLoadTruncated = loadgen.ErrTruncated
+	// ErrBadLoadTrace: a trace CSV failed to parse.
+	ErrBadLoadTrace = loadgen.ErrBadTrace
+	// ErrNoLoadHorizon: an SLOConfig is missing its horizon.
+	ErrNoLoadHorizon = slo.ErrNoHorizon
 )
 
 // NewMachine creates an empty simulated machine.
@@ -462,6 +516,51 @@ func ChiselDebloat(exe *Binary, traces *Graph) (*DebloatResult, error) {
 
 // GraphFromLog builds a coverage graph from one log.
 func GraphFromLog(l *CoverageLog) *Graph { return coverage.FromLog(l) }
+
+// NewLoadMix builds a deterministic weighted request mix.
+func NewLoadMix(reqs ...LoadRequest) *LoadMix { return loadgen.NewMix(reqs...) }
+
+// MergeLoadResults folds per-replica load results into one fleet view
+// (nil slots from failed replicas are skipped).
+func MergeLoadResults(results ...*LoadResult) *LoadResult { return loadgen.Merge(results...) }
+
+// NewConstantSchedule arrives every interval vticks.
+func NewConstantSchedule(interval uint64) LoadSchedule { return loadgen.NewConstant(interval) }
+
+// NewStepRampSchedule starts at start arrivals per slot and adds step
+// (possibly negative) each slot — the stress-mode ramp.
+func NewStepRampSchedule(start, step int, slotTicks uint64) LoadSchedule {
+	return loadgen.NewStepRamp(start, step, slotTicks)
+}
+
+// NewPoissonSchedule draws seeded exponential inter-arrival gaps with
+// the given mean: bursty but exactly reproducible per seed.
+func NewPoissonSchedule(meanInterval uint64, seed int64) LoadSchedule {
+	return loadgen.NewPoisson(meanInterval, seed)
+}
+
+// ParseLoadTrace parses a CSV trace ("invocations[,payload]" per
+// slot) into a trace-driven schedule.
+func ParseLoadTrace(data string, slotTicks uint64) (*LoadTrace, error) {
+	return loadgen.ParseTraceCSV(data, slotTicks)
+}
+
+// RolloutUnderLoad clones the booted guest rooted at rootPID into a
+// fleet, then runs a staged rollout of apply across it while every
+// replica serves the configured open-loop load, and reports the SLO
+// figures — latency percentiles, served per vtick, drops, and
+// per-replica downtime spans cross-checked between the rollout
+// journal and the load generator's observed service gaps.
+func RolloutUnderLoad(template *Machine, rootPID int, fcfg FleetConfig, cfg SLOConfig, apply func(*FleetReplica) (RewriteStats, error)) (*SLOReport, *Fleet, error) {
+	return slo.RolloutUnderLoad(template, rootPID, fcfg, cfg, apply)
+}
+
+// SteadyStateLoad measures the same load shape against clones of the
+// fleet's replicas with no rollout running — the baseline for
+// RolloutUnderLoad figures. The fleet's machines are untouched.
+func SteadyStateLoad(f *Fleet, cfg SLOConfig) (*SLOReport, error) {
+	return slo.SteadyState(f, cfg)
+}
 
 // MergeGraphs unions coverage graphs.
 func MergeGraphs(gs ...*Graph) *Graph { return coverage.Merge(gs...) }

@@ -1,17 +1,31 @@
 // Package loadgen is the host-side workload driver — the
-// redis-benchmark analogue the paper uses to measure Figure 8. It
-// fires request mixes at a guest server, tracks per-bucket throughput
-// on the machine's deterministic virtual clock, and records request
-// latency (in guest instructions) as a histogram with percentile
-// queries.
+// redis-benchmark / serverless-loader analogue the paper uses to
+// measure Figure 8. It fires request mixes at a guest server, tracks
+// per-bucket throughput on the machine's deterministic virtual clock,
+// and records request latency (in guest instructions) as a histogram
+// with percentile queries.
+//
+// Two drivers share the accounting types:
+//
+//   - Driver is closed-loop: one request in flight, the next fired as
+//     soon as the previous resolves. It measures the guest's service
+//     capacity (Figure 8's shape).
+//   - OpenDriver (openloop.go) is open-loop: requests fire at the
+//     vticks a Schedule (schedule.go) dictates, whether or not earlier
+//     responses are outstanding, with a bounded in-flight window and
+//     explicit drop accounting. It measures what traffic experiences —
+//     queueing delay, drops and downtime included — which is the only
+//     honest way to observe a rewrite under sustained load.
 package loadgen
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/dynacut/dynacut/internal/kernel"
+	"github.com/dynacut/dynacut/internal/obs"
 )
 
 // Request is one weighted entry of a workload mix.
@@ -43,6 +57,15 @@ func NewMix(reqs ...Request) *Mix {
 	return m
 }
 
+// Clone returns an independent mix with its own schedule cursor —
+// concurrent drivers must not share one cursor.
+func (m *Mix) Clone() *Mix {
+	if m == nil {
+		return nil
+	}
+	return NewMix(m.entries...)
+}
+
 // Next returns the next request payload in the schedule.
 func (m *Mix) Next() string {
 	if len(m.seq) == 0 {
@@ -68,7 +91,17 @@ func (h *Histogram) Add(v uint64) {
 // Count returns the number of samples.
 func (h *Histogram) Count() int { return len(h.samples) }
 
-// Percentile returns the p-th percentile (0 < p <= 100).
+// Samples returns a copy of the recorded latencies (insertion order is
+// not preserved once a percentile query has sorted them).
+func (h *Histogram) Samples() []uint64 {
+	return append([]uint64(nil), h.samples...)
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by the
+// ceiling nearest-rank method: the smallest sample v such that at
+// least ceil(p/100 * N) samples are <= v. The previous truncating
+// formula returned rank floor(p/100*N) — e.g. p99 of 50 samples gave
+// rank 49 instead of 50 — systematically underreporting tails.
 func (h *Histogram) Percentile(p float64) uint64 {
 	if len(h.samples) == 0 || p <= 0 || p > 100 {
 		return 0
@@ -77,14 +110,14 @@ func (h *Histogram) Percentile(p float64) uint64 {
 		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
 		h.sorted = true
 	}
-	idx := int(p/100*float64(len(h.samples))) - 1
-	if idx < 0 {
-		idx = 0
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
 	}
-	if idx >= len(h.samples) {
-		idx = len(h.samples) - 1
+	if rank > len(h.samples) {
+		rank = len(h.samples)
 	}
-	return h.samples[idx]
+	return h.samples[rank-1]
 }
 
 // Mean returns the average latency.
@@ -99,17 +132,33 @@ func (h *Histogram) Mean() float64 {
 	return float64(sum) / float64(len(h.samples))
 }
 
-// Bucket is one throughput sample on the virtual-time axis.
+// Bucket is one throughput sample on the virtual-time axis: the
+// window [Index*BucketTicks, (Index+1)*BucketTicks) from the run's
+// start. Responses counts completions in the window; for the
+// open-loop driver, Offered counts requests the schedule fired in the
+// window, Dropped the arrivals shed because the in-flight window was
+// full, and Errors the requests that resolved as failures there. The
+// closed-loop driver fills Offered and Errors too (Offered = attempts
+// begun in the window) and never drops.
 type Bucket struct {
 	Index     int
 	Responses int
+	Offered   int
+	Dropped   int
+	Errors    int
 }
 
 // Result aggregates one driver run.
 type Result struct {
-	Buckets  []Bucket
-	Latency  Histogram
+	Buckets []Bucket
+	Latency Histogram
+	// Errors counts requests that resolved as failures (no response,
+	// truncated response, timeout, dial failure). Dropped counts
+	// open-loop arrivals that were never fired because the in-flight
+	// window was full. Total counts every scheduled/attempted request:
+	// Total = completions + Errors + Dropped.
 	Errors   int
+	Dropped  int
 	Total    int
 	Failures []string // first few failure descriptions
 }
@@ -122,7 +171,21 @@ func (r *Result) Throughput(i int) int {
 	return r.Buckets[i].Responses
 }
 
-// Driver fires a mix at a guest port on one machine.
+// Served counts completed requests (latency samples).
+func (r *Result) Served() int { return r.Latency.Count() }
+
+// bucketAt returns the bucket covering offset vticks from the run's
+// start, growing the slice as needed (dense, Index == position).
+func (r *Result) bucketAt(offset, bucketTicks uint64) *Bucket {
+	i := int(offset / bucketTicks)
+	for len(r.Buckets) <= i {
+		r.Buckets = append(r.Buckets, Bucket{Index: len(r.Buckets)})
+	}
+	return &r.Buckets[i]
+}
+
+// Driver fires a mix at a guest port on one machine, closed-loop: the
+// next request is sent as soon as the previous one resolves.
 type Driver struct {
 	Machine *kernel.Machine
 	Port    uint16
@@ -130,15 +193,36 @@ type Driver struct {
 	// BucketTicks sizes one throughput bucket in guest instructions.
 	BucketTicks uint64
 	// RequestBudget bounds the instructions spent waiting for one
-	// response before it is counted as an error.
+	// response before it is counted as an error. A failed request is
+	// charged its full unused budget — the virtual time a real client
+	// would burn before timing out — so bucket windows stay aligned no
+	// matter how cheaply a request fails.
 	RequestBudget uint64
+	// DrainTicks is the quiet window: once a response has bytes, the
+	// driver keeps granting DrainTicks-sized windows as long as new
+	// bytes keep arriving, and declares the response complete after a
+	// full window with none (0 = 50_000, matching Session's drain).
+	DrainTicks uint64
+	// Observer, when non-nil, receives per-request trace points
+	// (loadgen.request / loadgen.error) and the loadgen.latency
+	// histogram, so a run lands on the same mergeable timeline as the
+	// rewrite pipeline's own spans.
+	Observer *obs.Observer
 	// Hook, when set, runs before each bucket (e.g. to trigger a
 	// rewrite at a specific point in the timeline).
 	Hook func(bucket int) error
 }
 
 // Driver errors.
-var ErrNoMix = errors.New("loadgen: driver needs a mix")
+var (
+	ErrNoMix = errors.New("loadgen: driver needs a mix")
+	// ErrTruncated marks a response whose connection was still open and
+	// still mid-write when the request budget ran out.
+	ErrTruncated = errors.New("loadgen: response truncated by request budget")
+)
+
+// defaultDrainTicks matches Session.requestOnce's drain window.
+const defaultDrainTicks = 50_000
 
 // Run drives the workload for the given number of buckets.
 func (d *Driver) Run(buckets int) (*Result, error) {
@@ -160,27 +244,50 @@ func (d *Driver) Run(buckets int) (*Result, error) {
 			}
 		}
 		end := start + uint64(b+1)*d.BucketTicks
-		count := 0
+		count, offered, failed := 0, 0, 0
 		for d.Machine.Clock() < end {
+			t0 := d.Machine.Clock()
 			lat, err := d.one()
 			res.Total++
+			offered++
 			if err != nil {
 				res.Errors++
+				failed++
 				if len(res.Failures) < 4 {
 					res.Failures = append(res.Failures, err.Error())
 				}
-				break
+				if d.Observer != nil {
+					d.Observer.Point("loadgen.error", int64(b))
+				}
+				// Charge the failed request the rest of its budget: a
+				// cheap failure (refused dial, instant close) must not
+				// let the loop spin, and the bucket must keep its
+				// window instead of breaking out mid-bucket and letting
+				// the next bucket silently absorb the remaining ticks.
+				if spent := d.Machine.Clock() - t0; spent < d.RequestBudget {
+					d.Machine.AdvanceClock(d.RequestBudget - spent)
+				}
+				continue
 			}
 			res.Latency.Add(lat)
 			count++
+			if d.Observer != nil {
+				d.Observer.Point("loadgen.request", int64(lat))
+				d.Observer.Observe("loadgen.latency", int64(lat))
+			}
 		}
-		res.Buckets = append(res.Buckets, Bucket{Index: b, Responses: count})
+		res.Buckets = append(res.Buckets, Bucket{
+			Index: b, Responses: count, Offered: offered, Errors: failed,
+		})
 	}
 	return res, nil
 }
 
 // one issues a single request and returns its latency in guest
-// instructions.
+// instructions, measured to the last response byte: the response is
+// drained adaptively (like Session.requestOnce) so multi-segment
+// responses are fully read instead of being scored at time-to-first-
+// byte and closed with unread data.
 func (d *Driver) one() (uint64, error) {
 	conn, err := d.Machine.Dial(d.Port)
 	if err != nil {
@@ -192,11 +299,68 @@ func (d *Driver) one() (uint64, error) {
 	if _, err := conn.Write([]byte(payload)); err != nil {
 		return 0, err
 	}
-	ok := d.Machine.RunUntil(func() bool {
+	drain := d.DrainTicks
+	if drain == 0 {
+		drain = defaultDrainTicks
+	}
+	budgetLeft := func() uint64 {
+		used := d.Machine.Clock() - t0
+		if used >= d.RequestBudget {
+			return 0
+		}
+		return d.RequestBudget - used
+	}
+	// Drain response bytes as they arrive (ReadAll, not a peek): the
+	// guest's close is only observable once the buffer is empty, and a
+	// closing server is the fast path — completion at the close, no
+	// quiet window paid.
+	got := 0
+	lastByte := t0
+	collect := func() bool {
+		b := conn.ReadAll()
+		if len(b) == 0 {
+			return false
+		}
+		got += len(b)
+		lastByte = d.Machine.Clock()
+		return true
+	}
+	d.Machine.RunUntil(func() bool {
 		return len(conn.ReadAllPeek()) > 0 || conn.Closed()
 	}, d.RequestBudget)
-	if !ok || len(conn.ReadAllPeek()) == 0 {
+	collect()
+	quiet := false // no more bytes are coming: the response is done
+	for !conn.Closed() {
+		left := budgetLeft()
+		if left == 0 {
+			break
+		}
+		window := drain
+		if window > left {
+			window = left
+		}
+		before := d.Machine.Clock()
+		d.Machine.RunUntil(func() bool {
+			return len(conn.ReadAllPeek()) > 0 || conn.Closed()
+		}, window)
+		if collect() {
+			continue
+		}
+		// Quiet when a full drain window passed with no new bytes, or
+		// when the machine went fully idle (no steps executed): a
+		// blocked guest holding our only connection can never produce
+		// another byte, so waiting longer — at any window size — is
+		// pointless and would spin the loop with the clock frozen.
+		if window == drain || d.Machine.Clock() == before {
+			quiet = true
+			break
+		}
+	}
+	if got == 0 {
 		return 0, fmt.Errorf("no response to %q", payload)
 	}
-	return d.Machine.Clock() - t0, nil
+	if !conn.Closed() && !quiet && budgetLeft() == 0 {
+		return 0, fmt.Errorf("%w: %q got %d bytes in %d ticks", ErrTruncated, payload, got, d.RequestBudget)
+	}
+	return lastByte - t0, nil
 }

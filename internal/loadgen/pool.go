@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -18,40 +19,68 @@ type Pool struct {
 
 // Run drives every driver for the given number of buckets and returns
 // the per-replica results in driver order. A driver failure leaves a
-// nil slot and is reported in the joined error; the other replicas
-// still complete.
+// nil slot; the other replicas still complete, and the returned error
+// joins every per-replica failure (each wrapped with its replica
+// index), so errors.Is/As see all of them, not just the first.
 func (p *Pool) Run(buckets int) ([]*Result, error) {
-	results := make([]*Result, len(p.Drivers))
-	errs := make([]error, len(p.Drivers))
-	workers := p.Workers
-	if workers <= 0 || workers > len(p.Drivers) {
-		workers = len(p.Drivers)
+	return runPool(len(p.Drivers), p.Workers, func(i int) (*Result, error) {
+		return p.Drivers[i].Run(buckets)
+	})
+}
+
+// OpenPool is Pool for open-loop drivers: every replica is driven by
+// its own schedule-following OpenDriver over the same horizon.
+type OpenPool struct {
+	Drivers []*OpenDriver
+	// Workers bounds how many drivers run concurrently (0 = all).
+	Workers int
+}
+
+// Run drives every open-loop driver for horizon vticks. Same contract
+// as Pool.Run: per-replica results in driver order, nil slots and a
+// joined error for failures.
+func (p *OpenPool) Run(horizon uint64) ([]*Result, error) {
+	return runPool(len(p.Drivers), p.Workers, func(i int) (*Result, error) {
+		return p.Drivers[i].Run(horizon)
+	})
+}
+
+// runPool fans one run function out over n drivers under a bounded
+// worker count and joins the per-replica failures.
+func runPool(n, workers int, run func(i int) (*Result, error)) ([]*Result, error) {
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
-	for i, d := range p.Drivers {
+	for i := 0; i < n; i++ {
 		wg.Add(1)
-		go func(i int, d *Driver) {
+		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, err := d.Run(buckets)
+			res, err := run(i)
+			if err != nil {
+				err = fmt.Errorf("loadgen: replica %d: %w", i, err)
+			}
 			results[i], errs[i] = res, err
-		}(i, d)
+		}(i)
 	}
 	wg.Wait()
-	var firstErr error
-	for i, err := range errs {
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("loadgen: replica %d: %w", i, err)
-		}
-	}
-	return results, firstErr
+	return results, errors.Join(errs...)
 }
 
-// Merge folds per-replica results into one fleet-level result:
-// bucket throughput summed by index, latency samples pooled, error
-// and request totals added. nil results (failed replicas) are skipped.
+// Merge folds per-replica results into one fleet-level result: bucket
+// throughput, offered, dropped and error counts summed by index,
+// latency samples pooled, request totals added. nil results (failed
+// replicas) are skipped. Invariants preserved (see the property
+// test): Total, Errors, Dropped, Served and every per-bucket field
+// are the exact sums of the inputs'.
 func Merge(results ...*Result) *Result {
 	out := &Result{}
 	maxBuckets := 0
@@ -60,18 +89,23 @@ func Merge(results ...*Result) *Result {
 			maxBuckets = len(r.Buckets)
 		}
 	}
-	sums := make([]int, maxBuckets)
+	sums := make([]Bucket, maxBuckets)
 	for _, r := range results {
 		if r == nil {
 			continue
 		}
 		for _, b := range r.Buckets {
-			sums[b.Index] += b.Responses
+			s := &sums[b.Index]
+			s.Responses += b.Responses
+			s.Offered += b.Offered
+			s.Dropped += b.Dropped
+			s.Errors += b.Errors
 		}
 		for _, v := range r.Latency.samples {
 			out.Latency.Add(v)
 		}
 		out.Errors += r.Errors
+		out.Dropped += r.Dropped
 		out.Total += r.Total
 		for _, f := range r.Failures {
 			if len(out.Failures) < 4 {
@@ -79,8 +113,9 @@ func Merge(results ...*Result) *Result {
 			}
 		}
 	}
-	for i, n := range sums {
-		out.Buckets = append(out.Buckets, Bucket{Index: i, Responses: n})
+	for i, s := range sums {
+		s.Index = i
+		out.Buckets = append(out.Buckets, s)
 	}
 	return out
 }

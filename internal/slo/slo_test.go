@@ -1,0 +1,283 @@
+package slo
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/apps/webserv"
+	"github.com/dynacut/dynacut/internal/core"
+	"github.com/dynacut/dynacut/internal/coverage"
+	"github.com/dynacut/dynacut/internal/fleet"
+	"github.com/dynacut/dynacut/internal/kernel"
+	"github.com/dynacut/dynacut/internal/loadgen"
+	"github.com/dynacut/dynacut/internal/trace"
+)
+
+// template is a booted, coverage-profiled web server ready to clone
+// into a fleet (same recipe as the fleet suite's).
+type template struct {
+	m        *kernel.Machine
+	pid      int
+	port     uint16
+	blocks   []coverage.AbsBlock
+	redirect uint64
+}
+
+func request(m *kernel.Machine, port uint16, req string) string {
+	conn, err := m.Dial(port)
+	if err != nil {
+		return ""
+	}
+	if _, err := conn.Write([]byte(req)); err != nil {
+		return ""
+	}
+	m.RunUntil(func() bool { return len(conn.ReadAllPeek()) > 0 || conn.Closed() }, 2_000_000)
+	m.Run(20000)
+	return string(conn.ReadAll())
+}
+
+func bootTemplate(t *testing.T) *template {
+	t.Helper()
+	app, err := webserv.Build(webserv.Config{Name: "lighttpd", Port: 8080})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	m := kernel.NewMachine()
+	col := trace.NewCollector(app.Config.Name)
+	m.SetTracer(col)
+	p, err := m.Load(app.Exe, app.Libc)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	booted := false
+	m.SetNudgeFunc(func(pid int, arg uint64) { booted = true })
+	if !m.RunUntil(func() bool { return booted }, 10_000_000) {
+		t.Fatal("boot: nudge never fired")
+	}
+	m.Run(10000)
+
+	col.Reset()
+	for _, r := range []string{"GET /\n", "HEAD /\n", "OPTIONS /\n", "POST /\n", "MKCOL /x\n"} {
+		request(m, app.Config.Port, r)
+	}
+	covWanted := coverage.FromLog(col.SnapshotAndReset(p.Modules(), "wanted"))
+	for _, r := range []string{"PUT /f data\n", "DELETE /f\n"} {
+		request(m, app.Config.Port, r)
+	}
+	covUndesired := coverage.FromLog(col.SnapshotAndReset(p.Modules(), "undesired"))
+	blocks := core.IdentifyFeatureBlocks(covUndesired, covWanted, app.Config.Name)
+	if len(blocks) == 0 {
+		t.Fatal("no feature blocks identified")
+	}
+	sym, err := app.Exe.Symbol("resp_403")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetTracer(nil) // replicas run untraced
+	return &template{m: m, pid: p.PID(), port: app.Config.Port, blocks: blocks, redirect: sym.Value}
+}
+
+const (
+	bucketTicks = 100_000
+	horizon     = 1_200_000
+)
+
+func loadCfg(tpl *template) Config {
+	return Config{
+		Port:        tpl.port,
+		Schedule:    loadgen.NewConstant(10_000),
+		Mix:         loadgen.NewMix(loadgen.Request{Payload: "GET /\n"}),
+		Horizon:     horizon,
+		BucketTicks: bucketTicks,
+		// Poll finer than the arrival interval so the last pre-hold
+		// response is stamped before the hold boundary: the gap's
+		// first bucket then stays completion-free and the observed
+		// span covers the full charged downtime.
+		PollTicks: 5_000,
+	}
+}
+
+func fleetCfg(tpl *template, replicas int) fleet.Config {
+	return fleet.Config{
+		Replicas:     replicas,
+		Workers:      2,
+		CanaryShards: 1,
+		WaveSize:     replicas,
+		Core: core.Options{
+			RedirectTo: tpl.redirect,
+			// The charge cap pins each rewrite's virtual-clock cost:
+			// any real dump+restore wall time converts to far more
+			// than the cap at this rate, so every rewrite charges
+			// exactly MaxChargeTicks (+ its few guest instructions) —
+			// a deterministic three-bucket downtime span.
+			TicksPerSecond: 2_000_000_000_000,
+			MaxChargeTicks: 3 * bucketTicks,
+		},
+	}
+}
+
+func disableWebdav(tpl *template) func(r *fleet.Replica) (core.Stats, error) {
+	return func(r *fleet.Replica) (core.Stats, error) {
+		return r.Cust.DisableBlocks("webdav-write", tpl.blocks, core.PolicyBlockEntry)
+	}
+}
+
+// TestRolloutUnderLoadCrossChecksSpans is the acceptance figure: a
+// staged rollout rewrites every replica while open-loop traffic runs,
+// and the downtime each replica's journal entry claims (outcome vclock
+// minus intent vclock = the rewrite's machine-clock cost) must match
+// the service gap the load generator independently observed, within
+// one bucket.
+func TestRolloutUnderLoadCrossChecksSpans(t *testing.T) {
+	tpl := bootTemplate(t)
+	const replicas = 4
+	rep, f, err := RolloutUnderLoad(tpl.m, tpl.pid, fleetCfg(tpl, replicas), loadCfg(tpl), disableWebdav(tpl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Rollout.Committed(); got != replicas {
+		t.Fatalf("committed = %d, want %d", got, replicas)
+	}
+
+	// Conservation across the merged fleet view.
+	if got := rep.Served + rep.Errors + rep.Dropped; got != rep.Total {
+		t.Fatalf("served %d + errors %d + dropped %d = %d, want Total %d",
+			rep.Served, rep.Errors, rep.Dropped, got, rep.Total)
+	}
+	if rep.Total != replicas*int(horizon/10_000) {
+		t.Fatalf("total = %d, want %d scheduled", rep.Total, replicas*horizon/10_000)
+	}
+	if rep.P50 == 0 || rep.P99 < rep.P50 || rep.P999 < rep.P99 {
+		t.Fatalf("percentiles disordered: p50=%d p99=%d p999=%d", rep.P50, rep.P99, rep.P999)
+	}
+	if rep.ServedPerVtick <= 0 {
+		t.Fatal("ServedPerVtick = 0")
+	}
+	// The backlog requests that fired late after each rewrite carry
+	// their full wait as latency: the downtime must be visible in the
+	// tail, not absorbed into fire-time accounting.
+	if rep.P99 < bucketTicks {
+		t.Fatalf("p99 = %d vticks — the rewrite wait is invisible in tail latency", rep.P99)
+	}
+	// The rewrite made arrivals pile past the in-flight window: the
+	// downtime must be visible as dropped requests, not hidden.
+	if rep.Dropped == 0 {
+		t.Fatal("rollout under load shed no requests — downtime invisible")
+	}
+
+	// The cross-check: every replica has both spans and they agree
+	// within one bucket.
+	if len(rep.JournalSpans) != replicas || len(rep.ObservedSpans) != replicas {
+		t.Fatalf("spans: journal %d, observed %d, want %d each",
+			len(rep.JournalSpans), len(rep.ObservedSpans), replicas)
+	}
+	obsByReplica := map[int]Span{}
+	for _, s := range rep.ObservedSpans {
+		obsByReplica[s.Replica] = s
+	}
+	for _, js := range rep.JournalSpans {
+		os, ok := obsByReplica[js.Replica]
+		if !ok {
+			t.Fatalf("replica %d: journal span %v but no observed gap", js.Replica, js)
+		}
+		if !js.Matches(os, bucketTicks) {
+			t.Fatalf("replica %d: journal span %d ticks vs observed gap %d ticks — disagree beyond one bucket",
+				js.Replica, js.Ticks(), os.Ticks())
+		}
+		if js.Ticks() < 3*bucketTicks {
+			t.Fatalf("replica %d: journal span %d ticks, want >= charge cap %d", js.Replica, js.Ticks(), 3*bucketTicks)
+		}
+	}
+
+	// The rewrite really landed: every replica now 403s the feature.
+	for _, r := range f.Replicas() {
+		if got := request(r.Machine, tpl.port, "PUT /f data\n"); !strings.Contains(got, "403") {
+			t.Fatalf("replica %d: PUT -> %q, want 403", r.Index, got)
+		}
+		if got := request(r.Machine, tpl.port, "GET /\n"); !strings.Contains(got, "200") {
+			t.Fatalf("replica %d: GET -> %q, want 200", r.Index, got)
+		}
+	}
+}
+
+// TestSteadyStateBaseline: the same load with no rollout has no gap
+// buckets, no drops at this rate, and serves the full schedule — the
+// baseline row of the experiment table.
+func TestSteadyStateBaseline(t *testing.T) {
+	tpl := bootTemplate(t)
+	f, err := fleet.New(tpl.m, tpl.pid, fleetCfg(tpl, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SteadyState(f, loadCfg(tpl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rollout != nil || len(rep.JournalSpans) != 0 {
+		t.Fatal("steady state grew a rollout")
+	}
+	if rep.Errors != 0 || rep.Dropped != 0 {
+		t.Fatalf("steady state errors=%d dropped=%d: %v", rep.Errors, rep.Dropped, rep.Load.Failures)
+	}
+	if rep.Served != rep.Total {
+		t.Fatalf("served %d of %d", rep.Served, rep.Total)
+	}
+	if len(rep.ObservedSpans) != 0 {
+		t.Fatalf("steady state observed gaps: %v", rep.ObservedSpans)
+	}
+	// The fleet's own machines were untouched (drivers ran on clones).
+	for _, r := range f.Replicas() {
+		if got := request(r.Machine, tpl.port, "PUT /f data\n"); !strings.Contains(got, "201") {
+			t.Fatalf("replica %d no longer pristine: PUT -> %q", r.Index, got)
+		}
+	}
+}
+
+// TestRolloutUnderLoadHaltReleasesDrivers: a rollout whose canary
+// fails halts — pending replicas never get an outcome, and the
+// harness must release their held drivers when the controller
+// returns instead of deadlocking.
+func TestRolloutUnderLoadHaltReleasesDrivers(t *testing.T) {
+	tpl := bootTemplate(t)
+	boom := errors.New("canary sabotage")
+	apply := func(r *fleet.Replica) (core.Stats, error) {
+		if r.Index == 0 {
+			return core.Stats{}, boom
+		}
+		return disableWebdav(tpl)(r)
+	}
+	rep, _, err := RolloutUnderLoad(tpl.m, tpl.pid, fleetCfg(tpl, 3), loadCfg(tpl), apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Rollout.Halted {
+		t.Fatal("sabotaged canary did not halt the rollout")
+	}
+	// Load still ran to the horizon on every replica.
+	if len(rep.PerReplica) != 3 {
+		t.Fatalf("results = %d", len(rep.PerReplica))
+	}
+	for i, r := range rep.PerReplica {
+		if r == nil || r.Total != horizon/10_000 {
+			t.Fatalf("replica %d load incomplete: %+v", i, r)
+		}
+	}
+	if got := rep.Served + rep.Errors + rep.Dropped; got != rep.Total {
+		t.Fatalf("conservation broken: %d != %d", got, rep.Total)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tpl := bootTemplate(t)
+	cfg := loadCfg(tpl)
+	cfg.Schedule = nil
+	if _, _, err := RolloutUnderLoad(tpl.m, tpl.pid, fleetCfg(tpl, 1), cfg, disableWebdav(tpl)); !errors.Is(err, loadgen.ErrNoSchedule) {
+		t.Fatalf("err = %v, want ErrNoSchedule", err)
+	}
+	cfg = loadCfg(tpl)
+	cfg.Horizon = 0
+	if _, _, err := RolloutUnderLoad(tpl.m, tpl.pid, fleetCfg(tpl, 1), cfg, disableWebdav(tpl)); !errors.Is(err, ErrNoHorizon) {
+		t.Fatalf("err = %v, want ErrNoHorizon", err)
+	}
+}

@@ -23,9 +23,9 @@ race:
 # trace. Runs vet first and the coverage floor last: the chaos gate is
 # also the lint and coverage gate.
 chaos: vet
-	$(GO) test -race -run 'Chaos|Rollback|Rolls|Transient|Retried|Revalidated|Corrupt|BitFlip|Truncation|Observer|Overflow|Supervisor|Breaker|Storm|Fleet|Controller|Journal|Lease|MidWave|Pristine|PageStore' \
+	$(GO) test -race -run 'Chaos|Rollback|Rolls|Transient|Retried|Revalidated|Corrupt|BitFlip|Truncation|Observer|Overflow|Supervisor|Breaker|Storm|Fleet|Controller|Journal|Lease|MidWave|Pristine|PageStore|LivePatch|InstallHandler|CountPatched' \
 		./internal/core/ ./internal/criu/ ./internal/faultinject/ ./internal/fleet/ ./internal/obs/ ./internal/supervise/ .
-	$(GO) test -race -run 'Driver|Pool|Merge|Schedule|Ramp|Poisson|TraceCSV|Histogram|Mix|RolloutUnderLoad|SteadyState|HaltReleases|ConfigValidation' \
+	$(GO) test -race -run 'Driver|Pool|Merge|Schedule|Ramp|Poisson|TraceCSV|Histogram|Mix|RolloutUnderLoad|SteadyState|HaltReleases|ConfigValidation|LivePatch' \
 		./internal/loadgen/ ./internal/slo/
 	$(MAKE) cover
 
@@ -51,7 +51,7 @@ check: build vet test race
 # Perf trajectory: run the headline figure benchmarks plus the
 # incremental-checkpoint benchmark and record the numbers as JSON so
 # each PR's results are comparable to the last (BENCH_pr2.json here on).
-BENCH_JSON ?= BENCH_pr7.json
+BENCH_JSON ?= BENCH_pr8.json
 
 bench:
 	$(GO) test -run '^$$' -bench 'Figure6_|Figure7_|Figure8_|IncrementalDump|Observer_|SupervisorOverhead|FleetRollout|FleetControllerScale|PageStoreParallel|RewriteUnderLoad' -benchmem -benchtime 1x . ./internal/criu/ \

@@ -740,6 +740,24 @@ func BenchmarkRewriteUnderLoad(b *testing.B) {
 		return r.Cust.DisableBlocks("webdav-write", blocks, dynacut.PolicyBlockEntry)
 	}
 
+	// Live-patch column: same fleet shape, load and feature, but the
+	// template carries the SIGTRAP handler pre-installed (one rewrite,
+	// paid once, before cloning) so every replica qualifies for the
+	// zero-downtime fast path.
+	liveM := sess.Machine.Clone()
+	liveCust, err := dynacut.NewCustomizer(liveM, sess.PID(), dynacut.CustomizerOptions{RedirectTo: errAddr})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := liveCust.InstallHandler(); err != nil {
+		b.Fatal(err)
+	}
+	fcfgLive := fcfg
+	fcfgLive.LivePatch = &dynacut.LivePatchSpec{Blocks: blocks, Policy: dynacut.PolicyBlockEntry}
+	applyLive := func(r *dynacut.FleetReplica) (dynacut.RewriteStats, error) {
+		return r.Cust.DisableBlocksLive("webdav-write", blocks, dynacut.PolicyBlockEntry)
+	}
+
 	for i := 0; i < b.N; i++ {
 		base, err := dynacut.NewFleetFromSession(sess, fcfg)
 		if err != nil {
@@ -756,19 +774,39 @@ func BenchmarkRewriteUnderLoad(b *testing.B) {
 		if got := rep.Rollout.Committed(); got != replicas {
 			b.Fatalf("committed %d/%d", got, replicas)
 		}
+		repLive, _, err := dynacut.RolloutUnderLoad(liveM, liveCust.PID(), fcfgLive, cfg, applyLive)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := repLive.Rollout.Committed(); got != replicas {
+			b.Fatalf("live-patch committed %d/%d", got, replicas)
+		}
+		for _, o := range repLive.Rollout.Outcomes {
+			if !o.Stats.LivePatched {
+				b.Fatalf("replica %d did not take the live-patch fast path (fellBack=%v reason=%q)",
+					o.Index, o.Stats.FellBack, o.Stats.FallbackReason)
+			}
+		}
 		if i == 0 {
-			var journal, observed float64
+			var journal, observed, liveJournal, liveObserved float64
 			for _, s := range rep.JournalSpans {
 				journal += float64(s.Ticks())
 			}
 			for _, s := range rep.ObservedSpans {
 				observed += float64(s.Ticks())
 			}
+			for _, s := range repLive.JournalSpans {
+				liveJournal += float64(s.Ticks())
+			}
+			for _, s := range repLive.ObservedSpans {
+				liveObserved += float64(s.Ticks())
+			}
 			printOnce(b, i, "Rewrite under load: SLO vs steady state", fmt.Sprintf(
-				"steady : p50 %6d  p99 %6d  p999 %6d vticks  served %d/%d  dropped %d\nrollout: p50 %6d  p99 %6d  p999 %6d vticks  served %d/%d  dropped %d\nmean downtime per replica: journal %.0f vticks, observed gap %.0f vticks\n",
+				"steady    : p50 %6d  p99 %6d  p999 %6d vticks  served %d/%d  dropped %d\nrollout   : p50 %6d  p99 %6d  p999 %6d vticks  served %d/%d  dropped %d\nlive-patch: p50 %6d  p99 %6d  p999 %6d vticks  served %d/%d  dropped %d\nmean downtime per replica: transaction journal %.0f / observed %.0f vticks, live-patch journal %.0f / observed %.0f vticks\n",
 				steady.P50, steady.P99, steady.P999, steady.Served, steady.Total, steady.Dropped,
 				rep.P50, rep.P99, rep.P999, rep.Served, rep.Total, rep.Dropped,
-				journal/replicas, observed/replicas))
+				repLive.P50, repLive.P99, repLive.P999, repLive.Served, repLive.Total, repLive.Dropped,
+				journal/replicas, observed/replicas, liveJournal/replicas, liveObserved/replicas))
 			b.ReportMetric(float64(steady.P99), "steady-p99-vticks")
 			b.ReportMetric(float64(rep.P99), "rollout-p99-vticks")
 			b.ReportMetric(steady.ServedPerVtick*1e3, "steady-served-per-kvtick")
@@ -776,6 +814,10 @@ func BenchmarkRewriteUnderLoad(b *testing.B) {
 			b.ReportMetric(float64(rep.Dropped), "rollout-dropped-reqs")
 			b.ReportMetric(journal/replicas, "journal-downtime-vticks")
 			b.ReportMetric(observed/replicas, "observed-downtime-vticks")
+			b.ReportMetric(float64(repLive.P99), "livepatch-p99-vticks")
+			b.ReportMetric(float64(repLive.Dropped), "livepatch-dropped-reqs")
+			b.ReportMetric(liveJournal/replicas, "livepatch-journal-downtime-vticks")
+			b.ReportMetric(liveObserved/replicas, "livepatch-observed-downtime-vticks")
 		}
 	}
 }

@@ -19,10 +19,17 @@
 // the service gap the load generator observed — which must agree
 // within one bucket.
 //
+// With -live the rollout takes the live-patch fast path instead of the
+// checkpoint transaction: each replica is quiesced at a scheduler-round
+// boundary, verified safe (no RIP or saved return address inside an
+// affected block), and its text bytes are patched in place — near-zero
+// downtime, with automatic fallback to the transaction when a replica
+// cannot be proven safe.
+//
 // Usage:
 //
-//	go run ./cmd/fleetdemo [-replicas 8] [-workers 4] [-wave 3] [-failat -1] [-crash -1] [-o fleet.jsonl]
-//	go run ./cmd/fleetdemo -load [-sched constant|ramp|poisson|trace.csv] [-interval 10000] [-horizon 1200000]
+//	go run ./cmd/fleetdemo [-replicas 8] [-workers 4] [-wave 3] [-failat -1] [-crash -1] [-live] [-o fleet.jsonl]
+//	go run ./cmd/fleetdemo -load [-live] [-sched constant|ramp|poisson|trace.csv] [-interval 10000] [-horizon 1200000]
 package main
 
 import (
@@ -60,7 +67,33 @@ func setup() (*dynacut.WebServerApp, *dynacut.Session, []dynacut.AbsBlock, uint6
 	return app, sess, blocks, errAddr, nil
 }
 
-func run(replicas, workers, wave, failat, crash int, out string) error {
+// prepLive pre-installs the INT3 handler library in the template guest
+// so every clone qualifies for the live-patch fast path, and returns
+// the (possibly re-rooted) template PID.
+func prepLive(sess *dynacut.Session, errAddr uint64) (int, error) {
+	cust, err := dynacut.NewCustomizer(sess.Machine, sess.PID(), dynacut.CustomizerOptions{RedirectTo: errAddr})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := cust.InstallHandler(); err != nil {
+		return 0, err
+	}
+	return cust.PID(), nil
+}
+
+// stepMode renders how a replica's rewrite was applied.
+func stepMode(s dynacut.RewriteStats) string {
+	switch {
+	case s.LivePatched:
+		return "live-patched"
+	case s.FellBack:
+		return "fell-back"
+	default:
+		return "txn"
+	}
+}
+
+func run(replicas, workers, wave, failat, crash int, live bool, out string) error {
 	app, sess, blocks, errAddr, err := setup()
 	if err != nil {
 		return err
@@ -85,7 +118,14 @@ func run(replicas, workers, wave, failat, crash int, out string) error {
 		inj.FailAt("fleet.controller.crash", crash)
 		cfg.FaultHook = inj
 	}
-	f, err := dynacut.NewFleetFromSession(sess, cfg)
+	rootPID := sess.PID()
+	if live {
+		cfg.LivePatch = &dynacut.LivePatchSpec{Blocks: blocks, Policy: dynacut.PolicyBlockEntry}
+		if rootPID, err = prepLive(sess, errAddr); err != nil {
+			return err
+		}
+	}
+	f, err := dynacut.NewFleet(sess.Machine, rootPID, cfg)
 	if err != nil {
 		return err
 	}
@@ -93,10 +133,17 @@ func run(replicas, workers, wave, failat, crash int, out string) error {
 	fmt.Printf("page store: %d sets, %d unique pages (%d deduplicated), %d blob bytes\n\n",
 		st.Sets, st.UniquePages, st.DedupHits, st.StoredBytes)
 
-	fmt.Println("== staged rollout: disable webdav-write fleet-wide ==")
+	if live {
+		fmt.Println("== staged rollout: disable webdav-write fleet-wide (live-patch fast path) ==")
+	} else {
+		fmt.Println("== staged rollout: disable webdav-write fleet-wide ==")
+	}
 	apply := func(r *dynacut.FleetReplica) (dynacut.RewriteStats, error) {
 		if r.Index == failat {
 			return dynacut.RewriteStats{}, fmt.Errorf("sabotaged replica %d", r.Index)
+		}
+		if live {
+			return r.Cust.DisableBlocksLive("webdav-write", blocks, dynacut.PolicyBlockEntry)
 		}
 		return r.Cust.DisableBlocks("webdav-write", blocks, dynacut.PolicyBlockEntry)
 	}
@@ -152,8 +199,8 @@ func run(replicas, workers, wave, failat, crash int, out string) error {
 				note = fmt.Sprintf("  (%v)", firstLine(o.Err.Error()))
 			}
 		}
-		fmt.Printf("replica %2d  %-10s  PUT->%-28q GET->%q%s\n",
-			o.Index, o.Outcome, put, get, note)
+		fmt.Printf("replica %2d  %-10s  %-12s  PUT->%-28q GET->%q%s\n",
+			o.Index, o.Outcome, stepMode(o.Stats), put, get, note)
 	}
 	fmt.Printf("committed: %d/%d\n", res.Committed(), replicas)
 
@@ -215,7 +262,7 @@ func fmtReport(tag string, r *dynacut.SLOReport) {
 
 // runLoad measures a staged rollout under open-loop load against a
 // steady-state baseline of the same fleet shape and schedule.
-func runLoad(replicas, workers, wave int, sched string, interval, horizon uint64) error {
+func runLoad(replicas, workers, wave int, live bool, sched string, interval, horizon uint64) error {
 	app, sess, blocks, errAddr, err := setup()
 	if err != nil {
 		return err
@@ -251,11 +298,21 @@ func runLoad(replicas, workers, wave int, sched string, interval, horizon uint64
 		PollTicks: interval / 2,
 	}
 	apply := func(r *dynacut.FleetReplica) (dynacut.RewriteStats, error) {
+		if live {
+			return r.Cust.DisableBlocksLive("webdav-write", blocks, dynacut.PolicyBlockEntry)
+		}
 		return r.Cust.DisableBlocks("webdav-write", blocks, dynacut.PolicyBlockEntry)
+	}
+	rootPID := sess.PID()
+	if live {
+		fcfg.LivePatch = &dynacut.LivePatchSpec{Blocks: blocks, Policy: dynacut.PolicyBlockEntry}
+		if rootPID, err = prepLive(sess, errAddr); err != nil {
+			return err
+		}
 	}
 
 	fmt.Printf("== open-loop load: %s schedule, horizon %d vticks, %d replicas ==\n", sched, horizon, replicas)
-	baseFleet, err := dynacut.NewFleetFromSession(sess, fcfg)
+	baseFleet, err := dynacut.NewFleet(sess.Machine, rootPID, fcfg)
 	if err != nil {
 		return err
 	}
@@ -265,13 +322,24 @@ func runLoad(replicas, workers, wave int, sched string, interval, horizon uint64
 	}
 	fmtReport("steady state:", steady)
 
-	fmt.Println("\n== same load while the rollout disables webdav-write ==")
-	rep, _, err := dynacut.RolloutUnderLoad(sess.Machine, sess.PID(), fcfg, cfg, apply)
+	if live {
+		fmt.Println("\n== same load while the live patch disables webdav-write ==")
+	} else {
+		fmt.Println("\n== same load while the rollout disables webdav-write ==")
+	}
+	rep, _, err := dynacut.RolloutUnderLoad(sess.Machine, rootPID, fcfg, cfg, apply)
 	if err != nil {
 		return err
 	}
 	fmtReport("under rollout:", rep)
 	fmt.Printf("rollout committed %d/%d replicas\n", rep.Rollout.Committed(), replicas)
+	if live {
+		for _, o := range rep.Rollout.Outcomes {
+			if !o.Stats.LivePatched {
+				fmt.Printf("replica %2d applied via %s (%s)\n", o.Index, stepMode(o.Stats), o.Stats.FallbackReason)
+			}
+		}
+	}
 
 	fmt.Println("\n== per-replica downtime: journal stamps vs observed service gaps ==")
 	obs := map[int]dynacut.DowntimeSpan{}
@@ -324,15 +392,16 @@ func main() {
 	crash := flag.Int("crash", -1, "kill the controller at the Nth crash-site hit, then resume from the journal (-1: none)")
 	out := flag.String("o", "", "write the merged timeline to this file")
 	load := flag.Bool("load", false, "measure the rollout under open-loop load instead")
+	live := flag.Bool("live", false, "use the live-patch fast path (INT3 patch at a quiesced round; no checkpoint/restore)")
 	sched := flag.String("sched", "constant", "load schedule: constant, ramp, poisson, or a trace CSV path")
 	interval := flag.Uint64("interval", 10_000, "mean inter-arrival gap in vticks (constant/poisson)")
 	horizon := flag.Uint64("horizon", 1_200_000, "load run length in vticks")
 	flag.Parse()
 	var err error
 	if *load {
-		err = runLoad(*replicas, *workers, *wave, *sched, *interval, *horizon)
+		err = runLoad(*replicas, *workers, *wave, *live, *sched, *interval, *horizon)
 	} else {
-		err = run(*replicas, *workers, *wave, *failat, *crash, *out)
+		err = run(*replicas, *workers, *wave, *failat, *crash, *live, *out)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fleetdemo: %v\n", err)

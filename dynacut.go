@@ -183,6 +183,12 @@ type (
 	JournalRecord = fleet.Record
 	// JournalRecKind enumerates rollout-journal record types.
 	JournalRecKind = fleet.RecKind
+	// StepMode is the rewrite path of one rollout step (transaction,
+	// live-patch, or fell-back), journaled on intents and outcomes.
+	StepMode = fleet.StepMode
+	// LivePatchSpec declares a rollout's live-patch block set so torn
+	// journal windows are verified byte-wise on resume.
+	LivePatchSpec = fleet.LivePatchSpec
 
 	// PageStore is the content-addressed checkpoint store replicas
 	// deduplicate their pristine images into.
@@ -252,6 +258,17 @@ const (
 	RecResume   = fleet.RecResume
 	RecDone     = fleet.RecDone
 )
+
+// Rollout step modes (JournalRecord.Mode / StepEvent.Mode).
+const (
+	ModeTransaction = fleet.ModeTransaction
+	ModeLivePatch   = fleet.ModeLivePatch
+	ModeFellBack    = fleet.ModeFellBack
+)
+
+// DefaultQuiesceRounds bounds DisableBlocksLive's quiescence loop
+// when CustomizerOptions.LiveQuiesceRounds is zero.
+const DefaultQuiesceRounds = core.DefaultQuiesceRounds
 
 // Removal policies (§3.2.2), cheapest to strongest.
 const (

@@ -108,6 +108,10 @@ type Options struct {
 	// to aggregate per-replica outcomes without wrapping every call
 	// site.
 	OnOutcome func(Stats, error)
+	// LiveQuiesceRounds bounds how many scheduler rounds
+	// DisableBlocksLive runs waiting for quiescence before falling
+	// back to the checkpoint transaction (0 = DefaultQuiesceRounds).
+	LiveQuiesceRounds int
 	// Observer, when non-nil, receives a typed event for every rewrite
 	// phase (checkpoint, edit, validate, kill, restore, health,
 	// rollback) plus pipeline counters. New also installs it as the
@@ -146,6 +150,20 @@ type Stats struct {
 	PagesUnmapped int
 	// Attempts is how many edit/restore cycles ran (1 = no retry).
 	Attempts int
+	// LivePatched reports the rewrite took the live-patch fast path:
+	// the guest was never killed, Downtime is zero, and the text bytes
+	// were written directly into the running VMAs between scheduler
+	// rounds.
+	LivePatched bool
+	// FellBack reports a requested live patch that could not run (or
+	// was unwound after an injected fault) and was applied through the
+	// full checkpoint transaction instead; FallbackReason says why.
+	FellBack       bool
+	FallbackReason string
+	// QuiesceRounds counts the scheduler rounds the live patcher ran
+	// waiting for every RIP and saved return address to leave the
+	// affected blocks (0 = the guest was already safe).
+	QuiesceRounds int
 	// RolledBack reports the transaction's final outcome: true when
 	// the rewrite failed and the guest is running the restored
 	// pre-edit images (its live connections intact). It is false both

@@ -103,6 +103,21 @@ const (
 	// journal for a later ResumeController. detail identifies the
 	// boundary (a crashAt* constant in internal/fleet).
 	SiteFleetControllerCrash = "fleet.controller.crash"
+
+	// Live-patch hook sites (internal/core's DisableBlocksLive): the
+	// fast path never kills the guest, so an injected fault here must
+	// unwind any bytes already written and fall back to the checkpoint
+	// transaction — the property the livepatch chaos suite checks.
+	//
+	// SiteLivePatchQuiesce fires before the quiescence loop starts;
+	// detail is the root PID.
+	SiteLivePatchQuiesce = "core.livepatch.quiesce"
+	// SiteLivePatchPatch fires before each block's bytes are patched
+	// in the running VMA; detail is the target PID.
+	SiteLivePatchPatch = "core.livepatch.patch"
+	// SiteLivePatchCommit fires before the patched bytes are committed
+	// into the customizer's bookkeeping; detail is the block count.
+	SiteLivePatchCommit = "core.livepatch.commit"
 )
 
 // Step-prefix groups: FailDumpAtStep / FailRestoreAtStep count every
@@ -113,6 +128,7 @@ const (
 	PrefixEdit      = "crit.edit."
 	PrefixSupervise = "supervise."
 	PrefixFleet     = "fleet."
+	PrefixLivePatch = "core.livepatch."
 )
 
 // ErrInjected is the sentinel wrapped by every injected failure.

@@ -71,7 +71,10 @@ type StepEvent struct {
 	Wave    int
 	Attempt int
 	Outcome Outcome
-	VClock  uint64
+	// Mode is the step's rewrite path: the requested mode on "lease"
+	// events, the mode actually taken on "outcome" events.
+	Mode   StepMode
+	VClock uint64
 }
 
 // ControllerStatus is an incremental snapshot of a rollout in flight:
@@ -360,13 +363,42 @@ func (c *Controller) replay(res *RolloutResult) (states []priorState, waveFails 
 // verifyCommitted classifies a torn-window replica: the journal shows
 // a leased intent but no outcome, so the predecessor died between the
 // lease and the outcome record — the rewrite may or may not have
-// committed. Config.Verify decides from the live replica; the default
-// asks the customizer whether the rewrite's effect is present.
+// committed. Config.Verify decides from the live replica. Without it,
+// a live-patch rollout (Config.LivePatch) is verified byte-wise
+// against the replica's text — the customizer's in-memory bookkeeping
+// does not survive a controller crash, and a crash can land mid-patch,
+// so only the bytes themselves are trustworthy; any other rollout
+// falls back to asking the customizer whether blocks are disabled.
 func (c *Controller) verifyCommitted(r *Replica) (bool, error) {
 	if v := c.f.cfg.Verify; v != nil {
 		return v(r)
 	}
+	if lp := c.f.cfg.LivePatch; lp != nil {
+		return verifyLiveBlocks(r, lp)
+	}
 	return r.Cust.DisabledBlockCount() > 0, nil
+}
+
+// verifyLiveBlocks classifies a torn live-patch window from the
+// replica's text bytes. All blocks INT3 → committed (skip). No block
+// touched → not committed (safe to re-run; the fast path saves
+// originals before writing, so a clean re-patch is exactly-once in
+// effect). Anything in between is torn text: the crash interrupted
+// the patch loop, and re-running apply would record INT3 bytes as
+// "originals" — so it is surfaced as an error (the resume fails with
+// "cannot classify") for the operator to restore the replica from its
+// pristine checkpoint instead.
+func verifyLiveBlocks(r *Replica, lp *LivePatchSpec) (bool, error) {
+	blocks := r.Cust.FilterProtected(lp.Blocks)
+	full, partial, err := r.Cust.CountPatched(blocks, lp.Policy)
+	if err != nil {
+		return false, err
+	}
+	if partial > 0 || (full > 0 && full < len(blocks)) {
+		return false, fmt.Errorf("fleet: torn live patch on replica %d: %d/%d blocks fully patched, %d partially — refusing to re-patch; restore the replica from its pristine checkpoint",
+			r.Index, full, len(blocks), partial)
+	}
+	return full == len(blocks) && full > 0, nil
 }
 
 // Run executes the rollout (or, after ResumeController, whatever of
@@ -436,7 +468,8 @@ func (c *Controller) Run(apply func(r *Replica) (core.Stats, error)) (*RolloutRe
 					f.obs.Point("fleet.resume.skip", int64(i))
 					c.emit(StepEvent{Kind: "skip", Replica: i, Wave: st.wave, Outcome: OutcomeCommitted, VClock: c.lanes[0]})
 					if !c.append(Record{Kind: RecOutcome, Replica: int32(i), Wave: int32(st.wave),
-						Outcome: OutcomeCommitted, Ticks: 1, VClock: c.lanes[0], Note: "verified-after-crash"}) {
+						Outcome: OutcomeCommitted, Ticks: 1, VClock: c.lanes[0],
+						Mode: c.f.cfg.requestedMode(), Note: "verified-after-crash"}) {
 						return c.finish(res)
 					}
 				}
@@ -615,11 +648,12 @@ func (c *Controller) runWave(wi int, wave []int, res *RolloutResult, apply func(
 		// deterministic under concurrency.
 		for _, l := range round {
 			if !c.append(Record{Kind: RecIntent, Replica: int32(l.step.replica), Wave: int32(wi),
-				Attempt: int32(l.step.attempt), VClock: l.start}) {
+				Attempt: int32(l.step.attempt), VClock: l.start, Mode: f.cfg.requestedMode()}) {
 				return
 			}
 			f.obs.Point("fleet.step.lease", int64(l.step.replica))
-			c.emit(StepEvent{Kind: "lease", Replica: l.step.replica, Wave: wi, Attempt: l.step.attempt, VClock: l.start})
+			c.emit(StepEvent{Kind: "lease", Replica: l.step.replica, Wave: wi, Attempt: l.step.attempt,
+				Mode: f.cfg.requestedMode(), VClock: l.start})
 		}
 		if h := f.cfg.FaultHook; h != nil {
 			for _, l := range round {
@@ -666,7 +700,8 @@ func (c *Controller) runWave(wi int, wave []int, res *RolloutResult, apply func(
 					c.note(ri, OutcomeFailed, false)
 					c.emit(StepEvent{Kind: "budget-exhausted", Replica: ri, Wave: wi, Attempt: l.step.attempt, VClock: l.deadline})
 					if !c.append(Record{Kind: RecOutcome, Replica: int32(ri), Wave: int32(wi), Attempt: int32(l.step.attempt),
-						Outcome: OutcomeFailed, Ticks: 1, VClock: l.deadline, Note: "lease retry budget exhausted"}) {
+						Outcome: OutcomeFailed, Ticks: 1, VClock: l.deadline,
+						Mode: f.cfg.requestedMode(), Note: "lease retry budget exhausted"}) {
 						return
 					}
 					continue
@@ -692,14 +727,16 @@ func (c *Controller) runWave(wi int, wave []int, res *RolloutResult, apply func(
 			c.setClock(c.lanes[l.lane])
 			c.note(ri, l.out.Outcome, false)
 			f.obs.Point("fleet.step.outcome", int64(ri))
+			mode := f.cfg.outcomeMode(l.out.Stats)
 			c.emit(StepEvent{Kind: "outcome", Replica: ri, Wave: wi, Attempt: l.step.attempt,
-				Outcome: l.out.Outcome, VClock: c.lanes[l.lane]})
+				Outcome: l.out.Outcome, Mode: mode, VClock: c.lanes[l.lane]})
 			note := ""
 			if l.out.Err != nil {
 				note = l.out.Err.Error()
 			}
 			if !c.append(Record{Kind: RecOutcome, Replica: int32(ri), Wave: int32(wi), Attempt: int32(l.step.attempt),
-				Outcome: l.out.Outcome, Ticks: l.out.Ticks, Ident: l.ident, VClock: c.lanes[l.lane], Note: note}) {
+				Outcome: l.out.Outcome, Ticks: l.out.Ticks, Ident: l.ident, VClock: c.lanes[l.lane],
+				Mode: mode, Note: note}) {
 				return
 			}
 		}

@@ -35,8 +35,9 @@ var (
 	ErrJournalMagic = errors.New("fleet: not a rollout journal")
 )
 
-// journalMagic opens every journal ("DJL1").
-const journalMagic uint32 = 0x444a_4c31
+// journalMagic opens every journal ("DJL2" — v2 added the per-record
+// step Mode byte for live-patch rollouts).
+const journalMagic uint32 = 0x444a_4c32
 
 // RecKind enumerates journal record types.
 type RecKind uint8
@@ -101,7 +102,14 @@ type Record struct {
 	Ticks   uint64
 	Ident   uint32
 	VClock  uint64
-	Note    string
+	// Mode records the step's rewrite path. On an intent record it is
+	// the requested mode (ModeLivePatch when Config.LivePatch is set);
+	// on an outcome record it is what actually happened — a requested
+	// live patch that took the transaction instead is journaled as
+	// ModeFellBack. Resume uses the intent mode to pick the right
+	// torn-window verification (byte-wise for live patches).
+	Mode StepMode
+	Note string
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -121,6 +129,7 @@ func encodeRecord(r Record) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, r.Ticks)
 	buf = binary.LittleEndian.AppendUint32(buf, r.Ident)
 	buf = binary.LittleEndian.AppendUint64(buf, r.VClock)
+	buf = append(buf, byte(r.Mode))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(note)))
 	buf = append(buf, note...)
 	return buf
@@ -128,8 +137,8 @@ func encodeRecord(r Record) []byte {
 
 // recHeaderLen is the fixed prefix of an encoded record: kind (1),
 // replica/wave/attempt/outcome/ident (4 each), ticks/vclock (8 each),
-// note length (2).
-const recHeaderLen = 39
+// mode (1), note length (2).
+const recHeaderLen = 40
 
 // decodeRecord parses one record payload.
 func decodeRecord(p []byte) (Record, error) {
@@ -145,8 +154,9 @@ func decodeRecord(p []byte) (Record, error) {
 		Ticks:   binary.LittleEndian.Uint64(p[17:]),
 		Ident:   binary.LittleEndian.Uint32(p[25:]),
 		VClock:  binary.LittleEndian.Uint64(p[29:]),
+		Mode:    StepMode(p[37]),
 	}
-	n := int(binary.LittleEndian.Uint16(p[37:]))
+	n := int(binary.LittleEndian.Uint16(p[38:]))
 	if len(p) != recHeaderLen+n {
 		return Record{}, fmt.Errorf("%w: record payload length %d, note claims %d", ErrJournalCorrupt, len(p), n)
 	}

@@ -407,30 +407,13 @@ func (m *Machine) referenced(d *fdesc) bool {
 func (m *Machine) Run(maxSteps uint64) uint64 {
 	var executed uint64
 	for executed < maxSteps {
-		progress := false
-		pids := make([]int, 0, len(m.procs))
-		for pid, p := range m.procs {
-			if !p.exited {
-				pids = append(pids, pid)
-			}
-		}
-		sort.Ints(pids)
-		if len(pids) == 0 {
+		n, ran := m.runRound(maxSteps - executed)
+		if !ran {
 			break
 		}
-		for _, pid := range pids {
-			p := m.procs[pid]
-			for i := 0; i < 64 && executed < maxSteps && !p.exited; i++ {
-				if !m.step(p) {
-					break // would block; move to next process
-				}
-				executed++
-				m.clock++
-				progress = true
-			}
-		}
+		executed += n
 		m.pokeWatchdog()
-		if !progress {
+		if n == 0 {
 			break
 		}
 	}
@@ -438,6 +421,57 @@ func (m *Machine) Run(maxSteps uint64) uint64 {
 		m.obs.Add("kernel.ticks", int64(executed))
 	}
 	return executed
+}
+
+// runRound executes exactly one scheduler round: every live process,
+// in PID order, gets one time slice of up to 64 instructions (bounded
+// by budget across the round). It returns how many instructions
+// retired and whether any live process existed to schedule at all.
+// The watchdog is NOT poked here — callers do that between rounds.
+func (m *Machine) runRound(budget uint64) (executed uint64, ran bool) {
+	pids := make([]int, 0, len(m.procs))
+	for pid, p := range m.procs {
+		if !p.exited {
+			pids = append(pids, pid)
+		}
+	}
+	sort.Ints(pids)
+	if len(pids) == 0 {
+		return 0, false
+	}
+	for _, pid := range pids {
+		p := m.procs[pid]
+		for i := 0; i < 64 && executed < budget && !p.exited; i++ {
+			if !m.step(p) {
+				break // would block; move to next process
+			}
+			executed++
+			m.clock++
+		}
+	}
+	return executed, true
+}
+
+// RunRound executes one scheduler round (each live process gets at
+// most one 64-instruction slice) and returns the instructions retired.
+// Between rounds the process table is stable and no guest is
+// mid-instruction — the quiescence boundary the live-patch fast path
+// steps the machine by while it waits for every RIP and saved return
+// address to leave the affected blocks. The tick watchdog fires after
+// the round, exactly as it does between Run's internal rounds, so a
+// supervisor keeps observing virtual-time progress. A zero return with
+// live processes means every one of them is blocked: more rounds
+// cannot change the guest's state.
+func (m *Machine) RunRound() uint64 {
+	n, ran := m.runRound(^uint64(0))
+	if !ran {
+		return 0
+	}
+	m.pokeWatchdog()
+	if m.obs != nil && n > 0 {
+		m.obs.Add("kernel.ticks", int64(n))
+	}
+	return n
 }
 
 // RunUntil runs until pred returns true or maxSteps instructions have

@@ -150,3 +150,58 @@ spin:
 		}
 	}
 }
+
+// TestRunRoundMatchesRun: the public single-round stepper must be
+// exactly one lap of Run's scheduler — same fair split, same clock
+// accounting — so a caller interleaving work at round boundaries (the
+// live-patch quiescence loop) sees the identical execution Run would
+// have produced.
+func TestRunRoundMatchesRun(t *testing.T) {
+	build := func(t *testing.T) (*Machine, *Process, *Process) {
+		m := NewMachine()
+		p1, err := m.Load(buildExe(t, "spin", spinnerSrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := m.Load(buildExe(t, "spin2", spinnerSrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, p1, p2
+	}
+
+	// One round = one 64-instruction slice per runnable process.
+	m, p1, p2 := build(t)
+	before := m.Clock()
+	if n := m.RunRound(); n != 128 {
+		t.Fatalf("RunRound() = %d, want 128 (2 procs x 64-step slice)", n)
+	}
+	if m.Clock()-before != 128 {
+		t.Fatalf("clock advanced %d, want 128", m.Clock()-before)
+	}
+	if p1.Insts() != 64 || p2.Insts() != 64 {
+		t.Fatalf("unfair round: %d vs %d", p1.Insts(), p2.Insts())
+	}
+
+	// k rounds must land in the same state as one Run of the same
+	// budget: the refactor of Run onto runRound must not have changed
+	// scheduling order or clock math.
+	mr, r1, r2 := build(t)
+	for i := 0; i < 5; i++ {
+		if n := mr.RunRound(); n != 128 {
+			t.Fatalf("round %d = %d steps", i, n)
+		}
+	}
+	mb, b1, b2 := build(t)
+	mb.Run(5 * 128)
+	if r1.Insts() != b1.Insts() || r2.Insts() != b2.Insts() || mr.Clock() != mb.Clock() {
+		t.Fatalf("RunRound diverged from Run: insts %d/%d vs %d/%d, clock %d vs %d",
+			r1.Insts(), r2.Insts(), b1.Insts(), b2.Insts(), mr.Clock(), mb.Clock())
+	}
+
+	// No runnable work: a round retires nothing and says so.
+	empty := NewMachine()
+	if n := empty.RunRound(); n != 0 {
+		t.Fatalf("RunRound on an empty machine = %d, want 0", n)
+	}
+}

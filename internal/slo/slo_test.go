@@ -281,3 +281,85 @@ func TestConfigValidation(t *testing.T) {
 		t.Fatalf("err = %v, want ErrNoHorizon", err)
 	}
 }
+
+// TestLivePatchRolloutUnderLoadNearZeroDowntime is the fast path's SLO
+// acceptance figure, the counterpart of the cross-check test above: a
+// live-patch rollout under the same open-loop load must be invisible
+// to the load generator. No observed service gap, journal spans at the
+// one-vtick floor, zero dropped requests, and tail latency flush with
+// the steady-state baseline — the three-bucket downtime the
+// transaction charges simply never happens.
+func TestLivePatchRolloutUnderLoadNearZeroDowntime(t *testing.T) {
+	tpl := bootTemplate(t)
+	const replicas = 4
+
+	// Fleet-template preparation: inject the SIGTRAP handler once so
+	// every clone qualifies for the fast path.
+	cust, err := core.New(tpl.m, tpl.pid, core.Options{RedirectTo: tpl.redirect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cust.InstallHandler(); err != nil {
+		t.Fatal(err)
+	}
+	tpl.pid = cust.PID()
+
+	fcfg := fleetCfg(tpl, replicas)
+	fcfg.LivePatch = &fleet.LivePatchSpec{Blocks: tpl.blocks, Policy: core.PolicyBlockEntry}
+	apply := func(r *fleet.Replica) (core.Stats, error) {
+		return r.Cust.DisableBlocksLive("webdav-write", tpl.blocks, core.PolicyBlockEntry)
+	}
+
+	rep, f, err := RolloutUnderLoad(tpl.m, tpl.pid, fcfg, loadCfg(tpl), apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Rollout.Committed(); got != replicas {
+		t.Fatalf("committed = %d, want %d", got, replicas)
+	}
+	for _, o := range rep.Rollout.Outcomes {
+		if !o.Stats.LivePatched {
+			t.Fatalf("replica %d fell off the fast path: %+v (reason %q)",
+				o.Index, o.Stats, o.Stats.FallbackReason)
+		}
+	}
+
+	// The journal's charged span per replica is the one-vtick floor:
+	// the patch lands between scheduler rounds, instantaneous on the
+	// virtual clock.
+	if len(rep.JournalSpans) != replicas {
+		t.Fatalf("journal spans = %d, want %d", len(rep.JournalSpans), replicas)
+	}
+	for _, s := range rep.JournalSpans {
+		if s.Ticks() > bucketTicks/10 {
+			t.Fatalf("replica %d journal span %d vticks — the live patch charged real downtime", s.Replica, s.Ticks())
+		}
+	}
+	// The load generator saw nothing: no completion-free bucket run
+	// with offered traffic, anywhere in the fleet.
+	if len(rep.ObservedSpans) != 0 {
+		t.Fatalf("observed service gaps on the fast path: %+v", rep.ObservedSpans)
+	}
+	// An absent observed gap and a floor-level journal span agree
+	// within one bucket by the same Matches rule the transaction
+	// figure uses.
+	for _, js := range rep.JournalSpans {
+		if js.Ticks() >= bucketTicks {
+			t.Fatalf("replica %d journal span %d does not agree with a zero observed gap within one bucket",
+				js.Replica, js.Ticks())
+		}
+	}
+	if rep.Dropped != 0 {
+		t.Fatalf("live-patch rollout shed %d requests, want 0", rep.Dropped)
+	}
+	if rep.P99 >= bucketTicks {
+		t.Fatalf("p99 = %d vticks — the fast path leaked rewrite downtime into tail latency", rep.P99)
+	}
+
+	// And the customization actually landed fleet-wide.
+	for _, r := range f.Replicas() {
+		if got := request(r.Machine, tpl.port, "PUT /f data\n"); !strings.Contains(got, "403") {
+			t.Fatalf("replica %d PUT -> %q, want 403", r.Index, got)
+		}
+	}
+}

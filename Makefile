@@ -23,9 +23,9 @@ race:
 # trace. Runs vet first and the coverage floor last: the chaos gate is
 # also the lint and coverage gate.
 chaos: vet
-	$(GO) test -race -run 'Chaos|Rollback|Rolls|Transient|Retried|Revalidated|Corrupt|BitFlip|Truncation|Observer|Overflow|Supervisor|Breaker|Storm|Fleet|Controller|Journal|Lease|MidWave|Pristine|PageStore|LivePatch|InstallHandler|CountPatched' \
-		./internal/core/ ./internal/criu/ ./internal/faultinject/ ./internal/fleet/ ./internal/obs/ ./internal/supervise/ .
-	$(GO) test -race -run 'Driver|Pool|Merge|Schedule|Ramp|Poisson|TraceCSV|Histogram|Mix|RolloutUnderLoad|SteadyState|HaltReleases|ConfigValidation|LivePatch' \
+	$(GO) test -race -run 'Chaos|Rollback|Rolls|Transient|Retried|Revalidated|Corrupt|BitFlip|Truncation|Observer|Overflow|Supervisor|Breaker|Storm|Fleet|Controller|Journal|Lease|MidWave|Pristine|PageStore|LivePatch|InstallHandler|CountPatched|Attest|Scrub|Quarantine|Repair' \
+		./internal/core/ ./internal/criu/ ./internal/faultinject/ ./internal/fleet/ ./internal/kernel/ ./internal/obs/ ./internal/supervise/ .
+	$(GO) test -race -run 'Driver|Pool|Merge|Schedule|Ramp|Poisson|TraceCSV|Histogram|Mix|RolloutUnderLoad|SteadyState|HaltReleases|ConfigValidation|LivePatch|Scrub' \
 		./internal/loadgen/ ./internal/slo/
 	$(MAKE) cover
 
@@ -40,10 +40,12 @@ cover:
 		if (t + 0 < f + 0) { printf "FAIL: coverage %.1f%% below floor %.1f%%\n", t, f; exit 1 } \
 		printf "coverage %.1f%% (floor %.1f%%)\n", t, f }'
 
-# Short fuzz smoke over the image decoder (corpus seeds always run
-# as part of `test`; this adds a few seconds of mutation).
+# Short fuzz smoke over the image decoder and the rollout-journal
+# decoder (corpus seeds always run as part of `test`; this adds a few
+# seconds of mutation each).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalImages -fuzztime 10s ./internal/criu/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeJournal -fuzztime 10s ./internal/fleet/
 
 # The tier-1 gate: everything that must pass before a commit.
 check: build vet test race

@@ -26,10 +26,22 @@
 // downtime, with automatic fallback to the transaction when a replica
 // cannot be proven safe.
 //
+// With -scrub the rollout runs with attestation sweeps armed while a
+// silent bit-flip storm corrupts replica text pages — no error is ever
+// returned by the fault; the corruption is only visible to a hash of
+// the live bytes. After every wave the controller hashes each replica's
+// text against its expected-state oracle and repairs divergence in
+// place from the content-addressed page store (no restore, PIDs stay
+// put); replicas whose repair budget is exhausted are quarantined and
+// drained from later waves. The demo prints each sweep's verdicts and
+// then proves the invariant: every replica is attested-correct or
+// quarantined, never silently wrong.
+//
 // Usage:
 //
 //	go run ./cmd/fleetdemo [-replicas 8] [-workers 4] [-wave 3] [-failat -1] [-crash -1] [-live] [-o fleet.jsonl]
 //	go run ./cmd/fleetdemo -load [-live] [-sched constant|ramp|poisson|trace.csv] [-interval 10000] [-horizon 1200000]
+//	go run ./cmd/fleetdemo -scrub [-replicas 8] [-flipevery 3]
 package main
 
 import (
@@ -235,6 +247,115 @@ func run(replicas, workers, wave, failat, crash int, live bool, out string) erro
 	return nil
 }
 
+// runScrub demonstrates the anti-entropy attestation sweep: a staged
+// live-patch rollout with Scrub armed, under a silent text bit-flip
+// storm, ends with every replica attested-correct or quarantined.
+func runScrub(replicas, workers, wave, flipevery int) error {
+	app, sess, blocks, errAddr, err := setup()
+	if err != nil {
+		return err
+	}
+	rootPID, err := prepLive(sess, errAddr)
+	if err != nil {
+		return err
+	}
+
+	// The storm: every flipevery-th consultation of the bit-flip site
+	// silently XORs one byte of a text page. No error anywhere.
+	inj := dynacut.NewFaultInjector(1)
+	inj.FailTransient("kernel.text.bitflip", flipevery, 2)
+
+	fmt.Printf("== spawn %d CoW replicas; attestation scrub armed, bit-flip storm every %d checks ==\n",
+		replicas, flipevery)
+	cfg := dynacut.FleetConfig{
+		Replicas:     replicas,
+		Workers:      workers,
+		CanaryShards: 1,
+		WaveSize:     wave,
+		Scrub:        true,
+		FaultHook:    inj,
+		LivePatch:    &dynacut.LivePatchSpec{Blocks: blocks, Policy: dynacut.PolicyBlockEntry},
+		Core: dynacut.CustomizerOptions{
+			RedirectTo:  errAddr,
+			HealthCheck: dynacut.HealthProbe(app.Config.Port, "GET /\n", "200"),
+		},
+	}
+	f, err := dynacut.NewFleet(sess.Machine, rootPID, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\n== staged rollout: disable webdav-write, scrub after every wave ==")
+	c := dynacut.NewRolloutController(f, nil)
+	res, err := c.Run(func(r *dynacut.FleetReplica) (dynacut.RewriteStats, error) {
+		return r.Cust.DisableBlocksLive("webdav-write", blocks, dynacut.PolicyBlockEntry)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("committed %d/%d, %d silent faults injected\n\n", res.Committed(), replicas, inj.Injected())
+
+	fmt.Println("== attestation sweeps (one per wave) ==")
+	for _, sw := range res.Sweeps {
+		fmt.Printf("sweep after wave %d: quorum %d/%d on the modal root, %d divergent\n",
+			sw.Wave, sw.Quorum, sw.Quorum+sw.Divergent, sw.Divergent)
+		for _, ra := range sw.Replicas {
+			if ra.Verdict == dynacut.VerdictClean {
+				continue
+			}
+			line := fmt.Sprintf("  replica %2d  %-9v  %d pages checked", ra.Index, ra.Verdict, ra.Checked)
+			if ra.Repaired > 0 {
+				line += fmt.Sprintf(", %d repaired in place (try %d)", ra.Repaired, ra.Tries)
+			}
+			if ra.Err != nil {
+				line += fmt.Sprintf("  (%v)", firstLine(ra.Err.Error()))
+			}
+			fmt.Println(line)
+		}
+		fmt.Printf("  totals: %d repaired, %d skews absorbed, %d quarantined\n",
+			sw.Repaired, sw.Skews, sw.Quarantined)
+	}
+
+	// Journal ledger: repairs must never surface as restores.
+	var attests, repairs, quarantines int
+	for _, rec := range c.Journal().Records() {
+		switch rec.Kind {
+		case dynacut.RecAttest:
+			attests++
+		case dynacut.RecRepair:
+			repairs++
+		case dynacut.RecQuarantine:
+			quarantines++
+		}
+	}
+	fmt.Printf("\njournal (v3): %d attest, %d repair, %d quarantine records\n", attests, repairs, quarantines)
+
+	fmt.Println("\n== the invariant: attested-correct or quarantined, never silently wrong ==")
+	for _, r := range f.Replicas() {
+		r.Machine.SetFaultHook(nil) // disarm: verification must observe, not inject
+	}
+	f.Store().SetFaultHook(nil)
+	wrong := 0
+	for _, r := range f.Replicas() {
+		if r.Quarantined() {
+			fmt.Printf("replica %2d  QUARANTINED (drained from service)\n", r.Index)
+			continue
+		}
+		rep, aerr := r.Cust.Attest()
+		verdict := "attested clean"
+		if aerr != nil || !rep.Clean() {
+			verdict = "SILENTLY DIVERGED"
+			wrong++
+		}
+		get := firstLine(probe(r.Machine, app.Config.Port, "GET /\n"))
+		put := firstLine(probe(r.Machine, app.Config.Port, "PUT /f data\n"))
+		fmt.Printf("replica %2d  %-14s  pid %d  GET->%-24q PUT->%q\n",
+			r.Index, verdict, r.Cust.PID(), get, put)
+	}
+	fmt.Printf("serving %d/%d replicas, %d silently wrong\n", len(f.Active()), replicas, wrong)
+	return nil
+}
+
 // pickSchedule maps the -sched flag to a load schedule: a builtin
 // name, or a path to a CSV trace ("invocations[,payload]" per slot).
 func pickSchedule(name string, interval, bucket uint64) (dynacut.LoadSchedule, error) {
@@ -392,13 +513,17 @@ func main() {
 	crash := flag.Int("crash", -1, "kill the controller at the Nth crash-site hit, then resume from the journal (-1: none)")
 	out := flag.String("o", "", "write the merged timeline to this file")
 	load := flag.Bool("load", false, "measure the rollout under open-loop load instead")
+	scrub := flag.Bool("scrub", false, "run attestation sweeps under a silent bit-flip storm instead")
+	flipevery := flag.Int("flipevery", 3, "bit-flip storm period (with -scrub): corrupt on every Nth site check")
 	live := flag.Bool("live", false, "use the live-patch fast path (INT3 patch at a quiesced round; no checkpoint/restore)")
 	sched := flag.String("sched", "constant", "load schedule: constant, ramp, poisson, or a trace CSV path")
 	interval := flag.Uint64("interval", 10_000, "mean inter-arrival gap in vticks (constant/poisson)")
 	horizon := flag.Uint64("horizon", 1_200_000, "load run length in vticks")
 	flag.Parse()
 	var err error
-	if *load {
+	if *scrub {
+		err = runScrub(*replicas, *workers, *wave, *flipevery)
+	} else if *load {
 		err = runLoad(*replicas, *workers, *wave, *live, *sched, *interval, *horizon)
 	} else {
 		err = run(*replicas, *workers, *wave, *failat, *crash, *live, *out)

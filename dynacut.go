@@ -76,6 +76,20 @@ type (
 	// Handler is the injected SIGTRAP handler's in-guest state.
 	Handler = core.Handler
 
+	// Attestation is a Customizer's expected-state oracle snapshot:
+	// per-text-page digests folded into a Merkle-style root plus the
+	// active feature set.
+	Attestation = core.Attestation
+	// AttestReport is one attestation pass: live text hashed against
+	// the oracle, mismatches classified repairable or foreign.
+	AttestReport = core.AttestReport
+	// PageMismatch is one diverged text page inside an AttestReport.
+	PageMismatch = core.PageMismatch
+	// PageVerdict classifies one mismatched page.
+	PageVerdict = core.PageVerdict
+	// RepairStats reports one anti-entropy repair pass.
+	RepairStats = core.RepairStats
+
 	// Graph is a code-coverage graph.
 	Graph = coverage.Graph
 	// AbsBlock is a basic block at an absolute guest address.
@@ -189,6 +203,13 @@ type (
 	// LivePatchSpec declares a rollout's live-patch block set so torn
 	// journal windows are verified byte-wise on resume.
 	LivePatchSpec = fleet.LivePatchSpec
+	// AttestVerdict classifies one replica inside a fleet attestation
+	// sweep (clean, repaired, skew, foreign, readmit).
+	AttestVerdict = fleet.AttestVerdict
+	// SweepResult summarizes one fleet-wide attestation sweep.
+	SweepResult = fleet.SweepResult
+	// ReplicaAttest is one replica's verdict inside a SweepResult.
+	ReplicaAttest = fleet.ReplicaAttest
 
 	// PageStore is the content-addressed checkpoint store replicas
 	// deduplicate their pristine images into.
@@ -257,6 +278,27 @@ const (
 	RecHalt     = fleet.RecHalt
 	RecResume   = fleet.RecResume
 	RecDone     = fleet.RecDone
+
+	// Journal v3 attestation kinds.
+	RecAttest     = fleet.RecAttest
+	RecRepair     = fleet.RecRepair
+	RecQuarantine = fleet.RecQuarantine
+)
+
+// Attestation-sweep verdicts (JournalRecord.Attempt of a RecAttest).
+const (
+	VerdictClean    = fleet.VerdictClean
+	VerdictRepaired = fleet.VerdictRepaired
+	VerdictSkew     = fleet.VerdictSkew
+	VerdictForeign  = fleet.VerdictForeign
+	VerdictReadmit  = fleet.VerdictReadmit
+)
+
+// Per-page attestation verdicts (PageMismatch.Verdict).
+const (
+	PageClean      = core.PageClean
+	PageRepairable = core.PageRepairable
+	PageForeign    = core.PageForeign
 )
 
 // Rollout step modes (JournalRecord.Mode / StepEvent.Mode).
@@ -305,6 +347,9 @@ var (
 	ErrRollbackFailed = core.ErrRollbackFailed
 	// ErrCorruptImage: an image blob failed its checksum or framing.
 	ErrCorruptImage = criu.ErrCorruptImage
+	// ErrStoreCorrupt: a content-addressed page-store blob no longer
+	// hashes to its key — the store rotted underneath us.
+	ErrStoreCorrupt = criu.ErrStoreCorrupt
 	// ErrInconsistentImage: a decoded image set fails cross-checks
 	// (ImageSet.Validate).
 	ErrInconsistentImage = criu.ErrInconsistentImage

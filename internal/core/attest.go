@@ -1,0 +1,610 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/dynacut/dynacut/internal/criu"
+	"github.com/dynacut/dynacut/internal/faultinject"
+	"github.com/dynacut/dynacut/internal/kernel"
+)
+
+// Attestation is the expected-state oracle's public snapshot: a
+// Merkle-style root over the per-text-page expected digests plus the
+// applied-feature set. Two replicas that applied the same features to
+// the same binary have the same root; a replica whose live text hashes
+// to anything else has diverged, silently or not.
+type Attestation struct {
+	// Root commits to Pages and Features: the digest a fleet sweep
+	// compares across replicas.
+	Root [sha256.Size]byte
+	// Pages maps each text page number to its expected content digest.
+	// Pristine pages carry their PageStore blob hash by construction:
+	// the expected digest IS the content-addressed store key.
+	Pages map[uint64][sha256.Size]byte
+	// Features is the sorted set of currently-disabled feature names.
+	Features []string
+}
+
+// PageVerdict classifies one attestation mismatch.
+type PageVerdict int
+
+const (
+	// PageClean: live content matches the expected digest.
+	PageClean PageVerdict = iota
+	// PageRepairable: live content equals a known prior version of the
+	// page (e.g. pristine text after a patch was silently undone) — the
+	// expected bytes can be re-patched in place from the PageStore.
+	PageRepairable
+	// PageForeign: live content matches no version this customizer has
+	// ever committed. A bit flip, a rogue write — unknown bytes.
+	PageForeign
+)
+
+func (v PageVerdict) String() string {
+	switch v {
+	case PageClean:
+		return "clean"
+	case PageRepairable:
+		return "repairable"
+	case PageForeign:
+		return "foreign"
+	}
+	return fmt.Sprintf("PageVerdict(%d)", int(v))
+}
+
+// PageMismatch is one diverged (process, page) pair found by Attest.
+type PageMismatch struct {
+	PID  int
+	Page uint64
+	Want [sha256.Size]byte
+	Got  [sha256.Size]byte
+	Verdict PageVerdict
+}
+
+// AttestReport is the result of one live attestation sweep.
+type AttestReport struct {
+	// Checked counts (process, page) pairs hashed.
+	Checked int
+	// Procs is how many live processes were swept.
+	Procs int
+	// Root is the oracle's expected root; LiveRoot is the root computed
+	// from the root process's live text. Equal iff the root process's
+	// text (and feature set) matches expectations exactly.
+	Root     [sha256.Size]byte
+	LiveRoot [sha256.Size]byte
+	// Mismatches lists every diverged page, classified.
+	Mismatches []PageMismatch
+}
+
+// Clean reports whether the sweep found no divergence.
+func (r *AttestReport) Clean() bool { return len(r.Mismatches) == 0 }
+
+// Repairable counts mismatches whose content is a known prior version.
+func (r *AttestReport) Repairable() int {
+	n := 0
+	for _, m := range r.Mismatches {
+		if m.Verdict == PageRepairable {
+			n++
+		}
+	}
+	return n
+}
+
+// Foreign counts mismatches with unknown bytes.
+func (r *AttestReport) Foreign() int {
+	n := 0
+	for _, m := range r.Mismatches {
+		if m.Verdict == PageForeign {
+			n++
+		}
+	}
+	return n
+}
+
+// RepairStats reports the cost of one anti-entropy repair pass.
+type RepairStats struct {
+	// Repaired is how many pages were re-patched in place.
+	Repaired int
+	// Skipped counts foreign mismatches left alone (foreign=false).
+	Skipped int
+	// Rounds is how many scheduler rounds the quiesce loop ran. Repair
+	// never kills or restores a process: downtime is zero by the same
+	// construction as the live-patch fast path.
+	Rounds int
+}
+
+// pageOracle is the expected state of one text page: the current
+// expected digest, every prior expected digest (the version chain that
+// decides repairable-vs-foreign), and the patched-byte deltas relative
+// to an earlier version — captured at commit so a repair can rebuild
+// the expected content from any surviving prior blob.
+type pageOracle struct {
+	digest  [sha256.Size]byte
+	history [][sha256.Size]byte // prior expected digests, oldest first
+	overlay []overlayRun        // live patched bytes intersecting the page
+}
+
+// overlayRun is one span of patched bytes (INT3 fills, redirect jumps)
+// as committed, keyed by guest address.
+type overlayRun struct {
+	addr  uint64
+	bytes []byte
+}
+
+// attestStore returns the content-addressed store backing the oracle,
+// creating a private one on first use if the caller didn't share one
+// (fleets share theirs so N replicas' text deposits dedup to one).
+func (c *Customizer) attestStore() *criu.PageStore {
+	if c.attStore == nil {
+		c.attStore = criu.NewPageStore()
+	}
+	return c.attStore
+}
+
+// ensureSealed seals the oracle from the live guest on first use.
+func (c *Customizer) ensureSealed() error {
+	if c.attSealed {
+		return nil
+	}
+	return c.resealOracle()
+}
+
+// resealOracle recomputes the expected digest of every text page from
+// the root process's live memory — the incremental commit step of the
+// oracle. A page whose digest changed pushes its old digest onto the
+// version history; every page's current content is deposited into the
+// store so a later repair can materialize the expected bytes by key.
+// Call only at commit points, when the live text IS the expected text.
+func (c *Customizer) resealOracle() error {
+	p, err := c.machine.Process(c.pid)
+	if err != nil || p.Exited() {
+		return ErrDead
+	}
+	mem := p.Mem()
+	pns := mem.ExecPages()
+	live := mem.HashPages(pns)
+	store := c.attestStore()
+	next := make(map[uint64]*pageOracle, len(pns))
+	for _, pn := range pns {
+		po := c.oracle[pn]
+		if po == nil {
+			po = &pageOracle{}
+		} else if po.digest != live[pn] && !digestIn(po.history, po.digest) {
+			po.history = append(po.history, po.digest)
+		}
+		po.digest = live[pn]
+		po.overlay = c.overlayFor(mem, pn)
+		if _, err := store.DepositPage(mem.PageData(pn)); err != nil {
+			return fmt.Errorf("core: sealing oracle page %#x: %w", pn, err)
+		}
+		next[pn] = po
+	}
+	c.oracle = next
+	c.attSealed = true
+	return nil
+}
+
+// updateOraclePages incrementally reseals only the listed pages — the
+// live-patch commit path, which touches a handful of pages and should
+// not pay a full text hash.
+func (c *Customizer) updateOraclePages(pns []uint64) error {
+	if !c.attSealed {
+		return c.resealOracle()
+	}
+	p, err := c.machine.Process(c.pid)
+	if err != nil || p.Exited() {
+		return ErrDead
+	}
+	mem := p.Mem()
+	live := mem.HashPages(pns)
+	store := c.attestStore()
+	for _, pn := range pns {
+		po := c.oracle[pn]
+		if po == nil {
+			po = &pageOracle{}
+			c.oracle[pn] = po
+		} else if po.digest != live[pn] && !digestIn(po.history, po.digest) {
+			po.history = append(po.history, po.digest)
+		}
+		po.digest = live[pn]
+		po.overlay = c.overlayFor(mem, pn)
+		if _, err := store.DepositPage(mem.PageData(pn)); err != nil {
+			return fmt.Errorf("core: sealing oracle page %#x: %w", pn, err)
+		}
+	}
+	return nil
+}
+
+func digestIn(hs [][sha256.Size]byte, d [sha256.Size]byte) bool {
+	for _, h := range hs {
+		if h == d {
+			return true
+		}
+	}
+	return false
+}
+
+// overlayFor captures the currently-patched bytes intersecting page pn
+// — every saved-block span read back from live memory. Together with a
+// prior version's blob this reconstructs the expected content when the
+// store has lost the expected blob itself.
+func (c *Customizer) overlayFor(mem *kernel.Memory, pn uint64) []overlayRun {
+	lo, hi := pn*kernel.PageSize, (pn+1)*kernel.PageSize
+	var runs []overlayRun
+	for addr, orig := range c.saved {
+		if addr+uint64(len(orig)) <= lo || addr >= hi {
+			continue
+		}
+		cur, err := mem.Read(addr, len(orig))
+		if err != nil {
+			continue
+		}
+		runs = append(runs, overlayRun{addr: addr, bytes: cur})
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].addr < runs[j].addr })
+	return runs
+}
+
+// oraclePageNumbers returns the oracle's page set, sorted.
+func (c *Customizer) oraclePageNumbers() []uint64 {
+	pns := make([]uint64, 0, len(c.oracle))
+	for pn := range c.oracle {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	return pns
+}
+
+// features returns the sorted applied-feature set.
+func (c *Customizer) features() []string {
+	fs := make([]string, 0, len(c.disabled))
+	for name := range c.disabled {
+		fs = append(fs, name)
+	}
+	sort.Strings(fs)
+	return fs
+}
+
+// attRoot folds per-page digests and the feature set into one
+// Merkle-style root: each (page, digest) pair is hashed into a leaf,
+// the leaves are folded in page order, and the feature-set hash is the
+// final leaf. Page order is canonical, so equal state ⇒ equal root.
+func attRoot(pages map[uint64][sha256.Size]byte, features []string) [sha256.Size]byte {
+	pns := make([]uint64, 0, len(pages))
+	for pn := range pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	h := sha256.New()
+	var buf [8]byte
+	for _, pn := range pns {
+		d := pages[pn]
+		binary.LittleEndian.PutUint64(buf[:], pn)
+		leaf := sha256.Sum256(append(buf[:], d[:]...))
+		h.Write(leaf[:])
+	}
+	fh := sha256.New()
+	for _, f := range features {
+		fh.Write([]byte(f))
+		fh.Write([]byte{0})
+	}
+	h.Write(fh.Sum(nil))
+	var root [sha256.Size]byte
+	h.Sum(root[:0])
+	return root
+}
+
+// Attestation returns the expected-state oracle: the per-page expected
+// digests, the applied-feature set, and the root committing to both.
+// It never reads live guest memory — this is what the state SHOULD be.
+func (c *Customizer) Attestation() (Attestation, error) {
+	if err := c.ensureSealed(); err != nil {
+		return Attestation{}, err
+	}
+	pages := make(map[uint64][sha256.Size]byte, len(c.oracle))
+	for pn, po := range c.oracle {
+		pages[pn] = po.digest
+	}
+	fs := c.features()
+	return Attestation{Root: attRoot(pages, fs), Pages: pages, Features: fs}, nil
+}
+
+// LiveRoot hashes the root process's live text pages and returns the
+// attestation root they produce — the cheap divergence probe a fleet
+// sweep collects from every replica before deciding whether to pay for
+// a full Attest.
+func (c *Customizer) LiveRoot() ([sha256.Size]byte, error) {
+	if err := c.ensureSealed(); err != nil {
+		return [sha256.Size]byte{}, err
+	}
+	c.injectBitflip()
+	p, err := c.machine.Process(c.pid)
+	if err != nil || p.Exited() {
+		return [sha256.Size]byte{}, ErrDead
+	}
+	return attRoot(p.Mem().HashPages(c.oraclePageNumbers()), c.features()), nil
+}
+
+// injectBitflip consults the silent text-corruption fault site. When
+// armed, one bit of one live text page is flipped — no error, no trap,
+// no dirty bit; the flip is observable only by hashing — and the sweep
+// continues as if nothing happened. The page and offset derive from
+// the virtual clock, so a given (seed, schedule) corrupts the same
+// byte every run.
+func (c *Customizer) injectBitflip() {
+	if len(c.oracle) == 0 {
+		return
+	}
+	if ferr := c.machine.Fault(faultinject.SiteTextBitflip, c.pid); ferr == nil {
+		return
+	}
+	p, err := c.machine.Process(c.pid)
+	if err != nil || p.Exited() {
+		return
+	}
+	pns := c.oraclePageNumbers()
+	clock := c.machine.Clock()
+	pn := pns[int(clock%uint64(len(pns)))]
+	off := (clock*2654435761 + 12345) % kernel.PageSize
+	if p.Mem().FlipBits(pn*kernel.PageSize+off, 0x80) {
+		c.point("attest.bitflip", int64(pn))
+	}
+}
+
+// Attest runs one live attestation sweep: every live target process's
+// text pages are hashed and compared against the oracle, and each
+// mismatch is classified repairable (content equals a known prior
+// version in the chain) or foreign (unknown bytes). The sweep runs
+// host-side between scheduler rounds — the same boundary the
+// live-patch quiesce machinery establishes — so a page is never hashed
+// mid-patch.
+func (c *Customizer) Attest() (*AttestReport, error) {
+	if err := c.ensureSealed(); err != nil {
+		return nil, err
+	}
+	end := c.span("attest", 0)
+	c.injectBitflip()
+	targets := c.liveTargets()
+	if len(targets) == 0 {
+		end(ErrDead)
+		return nil, ErrDead
+	}
+	pns := c.oraclePageNumbers()
+	pages := make(map[uint64][sha256.Size]byte, len(c.oracle))
+	for pn, po := range c.oracle {
+		pages[pn] = po.digest
+	}
+	fs := c.features()
+	rep := &AttestReport{Procs: len(targets), Root: attRoot(pages, fs)}
+	for _, p := range targets {
+		mem := p.Mem()
+		check := make([]uint64, 0, len(pns))
+		for _, pn := range pns {
+			if _, ok := mem.VMAAt(pn * kernel.PageSize); ok {
+				check = append(check, pn)
+			}
+		}
+		live := mem.HashPages(check)
+		for _, pn := range check {
+			rep.Checked++
+			want := c.oracle[pn].digest
+			got := live[pn]
+			if got == want {
+				continue
+			}
+			verdict := PageForeign
+			if digestIn(c.oracle[pn].history, got) {
+				verdict = PageRepairable
+			}
+			rep.Mismatches = append(rep.Mismatches, PageMismatch{
+				PID: p.PID(), Page: pn, Want: want, Got: got, Verdict: verdict,
+			})
+		}
+		if p.PID() == c.pid {
+			rep.LiveRoot = attRoot(live, fs)
+		}
+	}
+	c.point("attest.pages", int64(rep.Checked))
+	if n := len(rep.Mismatches); n > 0 {
+		c.point("attest.mismatch", int64(n))
+	}
+	end(nil)
+	return rep, nil
+}
+
+// Repair re-patches diverged pages in place from the content-addressed
+// store: materialize the expected blob (or rebuild it from a prior
+// version plus the recorded patched-byte deltas), quiesce like the
+// live-patch fast path, write, verify the digest, commit. The guest is
+// never killed or restored — zero downtime — and any failure unwinds
+// every byte already written, same discipline as DisableBlocksLive.
+// Foreign pages are repaired only when foreign is true (the supervisor
+// scrub rung and the fleet repair ladder pass true; a cautious caller
+// can restrict itself to known-prior-version pages).
+//
+// Repair is all-or-nothing: on error no page keeps repaired bytes.
+func (c *Customizer) Repair(rep *AttestReport, foreign bool) (RepairStats, error) {
+	var rs RepairStats
+	if rep == nil || len(rep.Mismatches) == 0 {
+		return rs, nil
+	}
+	end := c.span("attest.repair", 0)
+	var fix []PageMismatch
+	for _, mm := range rep.Mismatches {
+		if mm.Verdict == PageForeign && !foreign {
+			rs.Skipped++
+			continue
+		}
+		fix = append(fix, mm)
+	}
+	if len(fix) == 0 {
+		end(nil)
+		return rs, nil
+	}
+
+	targets := c.liveTargets()
+	if len(targets) == 0 {
+		end(ErrDead)
+		return rs, ErrDead
+	}
+	byPID := make(map[int]*kernel.Process, len(targets))
+	for _, p := range targets {
+		byPID[p.PID()] = p
+	}
+
+	// Source every expected blob up front and diff it against the live
+	// page: only the diverged byte runs actually mutate (the rest of
+	// the page is rewritten with identical values), so those runs — not
+	// the whole page — are what the quiesce must clear. A whole-page
+	// span would deadlock on any guest idling elsewhere in the page.
+	blobs := make([][]byte, len(fix))
+	var spans []blockSpan
+	for i, mm := range fix {
+		p := byPID[mm.PID]
+		if p == nil || p.Exited() {
+			err := fmt.Errorf("core: repair target pid %d gone", mm.PID)
+			end(err)
+			return rs, err
+		}
+		blob, err := c.expectedBlob(mm.Page, mm.Want)
+		if err != nil {
+			end(err)
+			return rs, err
+		}
+		blobs[i] = blob
+		lo := mm.Page * kernel.PageSize
+		live, err := p.Mem().Read(lo, kernel.PageSize)
+		if err != nil {
+			end(err)
+			return rs, err
+		}
+		for j := 0; j < kernel.PageSize; {
+			if live[j] == blob[j] {
+				j++
+				continue
+			}
+			k := j
+			for k < kernel.PageSize && live[k] != blob[k] {
+				k++
+			}
+			spans = append(spans, blockSpan{lo: lo + uint64(j), hi: lo + uint64(k)})
+			j = k
+		}
+	}
+
+	// Quiesce: no target may be executing (or returning into) a byte
+	// run about to change — the live-patch discipline.
+	maxRounds := c.opts.LiveQuiesceRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultQuiesceRounds
+	}
+	for {
+		conflict := liveConflict(targets, spans)
+		if conflict == "" {
+			break
+		}
+		if rs.Rounds >= maxRounds {
+			err := fmt.Errorf("core: repair quiescence not reached in %d rounds: %s", maxRounds, conflict)
+			end(err)
+			return rs, err
+		}
+		if c.machine.RunRound() == 0 {
+			err := fmt.Errorf("core: guest parked inside page under repair: %s", conflict)
+			end(err)
+			return rs, err
+		}
+		rs.Rounds++
+		targets = c.liveTargets()
+		if len(targets) == 0 {
+			end(ErrDead)
+			return rs, ErrDead
+		}
+	}
+
+	// Forks during quiesce can add processes; re-key the live set.
+	byPID = make(map[int]*kernel.Process, len(targets))
+	for _, p := range targets {
+		byPID[p.PID()] = p
+	}
+	type writeRec struct {
+		mem  *kernel.Memory
+		addr uint64
+		orig []byte
+	}
+	var undo []writeRec
+	unwind := func() {
+		for i := len(undo) - 1; i >= 0; i-- {
+			_ = undo[i].mem.Write(undo[i].addr, undo[i].orig)
+		}
+		rs.Repaired = 0
+	}
+	fail := func(err error) (RepairStats, error) {
+		unwind()
+		end(err)
+		return rs, err
+	}
+	for i, mm := range fix {
+		p := byPID[mm.PID]
+		if p == nil || p.Exited() {
+			return fail(fmt.Errorf("core: repair target pid %d gone", mm.PID))
+		}
+		if ferr := c.machine.Fault(faultinject.SiteAttestRepair, mm.PID); ferr != nil {
+			return fail(fmt.Errorf("core: repairing page %#x: %w", mm.Page, ferr))
+		}
+		blob := blobs[i]
+		mem := p.Mem()
+		lo := mm.Page * kernel.PageSize
+		orig, err := mem.Read(lo, kernel.PageSize)
+		if err != nil {
+			return fail(fmt.Errorf("core: reading page %#x for repair: %w", mm.Page, err))
+		}
+		if err := mem.Write(lo, blob); err != nil {
+			return fail(fmt.Errorf("core: repairing page %#x: %w", mm.Page, err))
+		}
+		undo = append(undo, writeRec{mem: mem, addr: lo, orig: orig})
+		if got := mem.HashPages([]uint64{mm.Page})[mm.Page]; got != mm.Want {
+			return fail(fmt.Errorf("core: page %#x still diverged after repair", mm.Page))
+		}
+		rs.Repaired++
+		c.point("attest.repair.page", int64(mm.Page))
+	}
+	end(nil)
+	return rs, nil
+}
+
+// expectedBlob sources the expected content of a page: first the store
+// blob keyed by the expected digest itself, then — if the store lost
+// or rotted that blob — any surviving prior version re-overlaid with
+// the recorded patched bytes. Every candidate is digest-verified.
+func (c *Customizer) expectedBlob(pn uint64, want [sha256.Size]byte) ([]byte, error) {
+	store := c.attestStore()
+	if blob, err := store.PageBlob(want); err == nil {
+		return blob, nil
+	}
+	po := c.oracle[pn]
+	if po == nil {
+		return nil, fmt.Errorf("core: page %#x not in oracle", pn)
+	}
+	lo := pn * kernel.PageSize
+	for i := len(po.history) - 1; i >= 0; i-- {
+		blob, err := store.PageBlob(po.history[i])
+		if err != nil {
+			continue
+		}
+		cand := append([]byte(nil), blob...)
+		for _, run := range po.overlay {
+			for j, b := range run.bytes {
+				if a := run.addr + uint64(j); a >= lo && a < lo+kernel.PageSize {
+					cand[a-lo] = b
+				}
+			}
+		}
+		if sha256.Sum256(cand) == want {
+			return cand, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no source blob for page %#x digest %x", pn, want[:8])
+}

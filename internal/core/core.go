@@ -119,6 +119,11 @@ type Options struct {
 	// fault-injection telemetry land in the same sink. nil = zero
 	// overhead: no events, no metrics, no allocations.
 	Observer *obs.Observer
+	// AttestStore, when non-nil, backs the attestation oracle's
+	// expected-content deposits (attest.go). Fleets pass their shared
+	// PageStore so N replicas' identical text pages dedup to one blob;
+	// nil = a private store created on first use.
+	AttestStore *criu.PageStore
 }
 
 // Stats reports the cost of one rewrite cycle, matching the segments
@@ -241,6 +246,14 @@ type Customizer struct {
 	tickCarry float64
 
 	verifierCount int
+
+	// Expected-state oracle (attest.go): per-text-page expected digests
+	// with version history, resealed at every commit point. attStore is
+	// the content-addressed repair source — shared with the fleet's
+	// store when Options.AttestStore is set.
+	oracle    map[uint64]*pageOracle
+	attStore  *criu.PageStore
+	attSealed bool
 }
 
 type pageRange struct{ start, end uint64 }
@@ -254,14 +267,20 @@ func New(m *kernel.Machine, pid int, opts Options) (*Customizer, error) {
 	if opts.Observer != nil && m.Observer() == nil {
 		m.SetObserver(opts.Observer)
 	}
-	return &Customizer{
+	c := &Customizer{
 		machine:    m,
 		pid:        pid,
 		opts:       opts,
 		handlerLib: lib,
 		saved:      map[uint64][]byte{},
 		disabled:   map[string][]coverage.AbsBlock{},
-	}, nil
+		attStore:   opts.AttestStore,
+	}
+	// Seal the oracle on the pristine text so the first version in
+	// every page's chain is the unmodified binary. A guest that is not
+	// running yet seals lazily on first use instead.
+	_ = c.resealOracle()
+	return c, nil
 }
 
 // span opens an observability span for one rewrite phase and returns
@@ -541,6 +560,10 @@ func (c *Customizer) rewrite(edit func(ed *crit.Editor, pids []int) error) (Stat
 		c.parent = work.RemapPIDs(pidMap)
 		stats.RolledBack = false
 		c.point("rewrite.commit", int64(attempt))
+		// The restored text is the new expected state: reseal the
+		// attestation oracle against it (pristine digests stay in each
+		// page's version chain).
+		_ = c.resealOracle()
 		if o := c.opts.Observer; o != nil {
 			o.Add("core.commits", 1)
 		}
@@ -591,6 +614,8 @@ func (c *Customizer) rollbackOr(stats *Stats, pristine []byte, blobParent *criu.
 			if c.pid == 0 && len(procs) > 0 {
 				c.pid = procs[0].PID()
 			}
+			// The rolled-back pristine text is the expected state now.
+			_ = c.resealOracle()
 			return pids, nil
 		}
 	}
@@ -952,6 +977,11 @@ func (c *Customizer) Rebind(pid int) {
 	c.handler = nil
 	c.parent = nil
 	c.tickCarry = 0
+	// The restored tree's text is a fresh expected state; the old
+	// oracle described a guest that no longer exists.
+	c.oracle = nil
+	c.attSealed = false
+	_ = c.resealOracle()
 }
 
 // Disabled reports the currently disabled block groups.
@@ -1105,6 +1135,9 @@ func (c *Customizer) AdoptFalseRemovals() ([]uint64, error) {
 			return healed, fmt.Errorf("core: adopt: %w", err)
 		}
 		c.point("verifier.adopted", int64(len(healed)))
+		// The verifier restored those blocks' bytes in live text: the
+		// expected state moved, so the oracle must move with it.
+		_ = c.resealOracle()
 	}
 	return healed, nil
 }

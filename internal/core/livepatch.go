@@ -45,6 +45,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/dynacut/dynacut/internal/coverage"
 	"github.com/dynacut/dynacut/internal/crit"
@@ -257,7 +258,27 @@ func (c *Customizer) livePatch(name string, blocks []coverage.AbsBlock, policy P
 	if o := c.opts.Observer; o != nil {
 		o.Add("core.livepatches", 1)
 	}
+	// Incremental oracle commit: only the pages the patch touched are
+	// resealed (their pre-patch digests join the version chain).
+	_ = c.updateOraclePages(spanPages(spans))
 	return stats, "", nil
+}
+
+// spanPages returns the sorted, deduplicated page numbers covered by
+// the spans.
+func spanPages(spans []blockSpan) []uint64 {
+	seen := map[uint64]struct{}{}
+	var pns []uint64
+	for _, s := range spans {
+		for pn := s.lo / kernel.PageSize; pn <= (s.hi-1)/kernel.PageSize; pn++ {
+			if _, ok := seen[pn]; !ok {
+				seen[pn] = struct{}{}
+				pns = append(pns, pn)
+			}
+		}
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	return pns
 }
 
 // liveTargets returns the live processes the patch applies to: the

@@ -2,12 +2,20 @@ package criu
 
 import (
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"github.com/dynacut/dynacut/internal/faultinject"
 	"github.com/dynacut/dynacut/internal/kernel"
 )
+
+// ErrStoreCorrupt reports a content-addressed blob whose bytes no
+// longer hash to its key: the store rotted underneath us. Every blob
+// read re-hashes (the key IS the checksum), so rot is caught at the
+// first read instead of being silently restored into a live guest.
+var ErrStoreCorrupt = errors.New("criu: page store blob corrupt")
 
 // PageStore is a content-addressed blob store for checkpoint images:
 // every page is keyed by the SHA-256 of its contents, so identical
@@ -28,6 +36,9 @@ type PageStore struct {
 
 	setMu sync.RWMutex
 	sets  map[uint32]*storedSet
+
+	hookMu sync.Mutex
+	hook   kernel.FaultHook // consulted at SiteStoreRot on blob reads
 
 	interned atomic.Uint64 // pages presented to the store
 	hits     atomic.Uint64 // pages already present (dedup wins)
@@ -92,6 +103,68 @@ func newPageStoreShards(n int) *PageStore {
 // shard picks the bucket owning a content key by hash prefix.
 func (s *PageStore) shard(key [sha256.Size]byte) *pageShard {
 	return &s.shards[int(key[0])&(len(s.shards)-1)]
+}
+
+// SetFaultHook installs a fault hook consulted on every blob read
+// (SiteStoreRot). A fired fault rots the stored blob in place — the
+// rot is persistent, exactly like bit decay on a real image store —
+// and the read continues as if nothing happened; the re-hash check is
+// what turns it into a loud ErrStoreCorrupt.
+func (s *PageStore) SetFaultHook(h kernel.FaultHook) {
+	s.hookMu.Lock()
+	s.hook = h
+	s.hookMu.Unlock()
+}
+
+// readBlob fetches one page blob, applies any armed silent-rot fault,
+// and re-hashes the bytes against the content key. The key is the
+// checksum: any divergence is corruption by definition.
+func (s *PageStore) readBlob(key [sha256.Size]byte) ([]byte, error) {
+	s.hookMu.Lock()
+	hook := s.hook
+	s.hookMu.Unlock()
+	sh := s.shard(key)
+	sh.mu.Lock()
+	pg, ok := sh.pages[key]
+	if ok && hook != nil {
+		if ferr := hook.Fault(faultinject.SiteStoreRot, int(key[0])); ferr != nil {
+			// Silent rot: flip one bit of the *stored* slice. Future
+			// reads of this blob see the same rotten bytes.
+			pg[len(pg)/2] ^= 0x40
+		}
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: no blob for key %x", ErrNoImage, key[:8])
+	}
+	if sha256.Sum256(pg) != key {
+		return nil, fmt.Errorf("%w: key %x", ErrStoreCorrupt, key[:8])
+	}
+	return pg, nil
+}
+
+// PageBlob returns a private copy of one page blob by content key,
+// re-hash-verified like every store read. This is the anti-entropy
+// repair path's source of truth: an attestation oracle's expected
+// page digest is a store key, so the expected bytes are one lookup
+// away.
+func (s *PageStore) PageBlob(key [sha256.Size]byte) ([]byte, error) {
+	pg, err := s.readBlob(key)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), pg...), nil
+}
+
+// DepositPage interns a single page outside any image set and returns
+// its content key. The attestation oracle deposits each text page's
+// expected content at commit time so a later repair can materialize
+// it by digest.
+func (s *PageStore) DepositPage(pg []byte) ([sha256.Size]byte, error) {
+	if len(pg) != kernel.PageSize {
+		return [sha256.Size]byte{}, fmt.Errorf("%w: page blob is %d bytes, want %d", ErrBadImage, len(pg), kernel.PageSize)
+	}
+	return s.internPage(pg), nil
 }
 
 // internPage stores one page under its content key (or finds it
@@ -217,11 +290,11 @@ func (s *PageStore) Materialize(ident uint32) (*ImageSet, error) {
 		keys := st.keys[pid]
 		pi.Pages = make([]byte, 0, len(keys)*kernel.PageSize)
 		for _, key := range keys {
-			sh := s.shard(key)
-			sh.mu.Lock()
-			pg, ok := sh.pages[key]
-			sh.mu.Unlock()
-			if !ok {
+			pg, err := s.readBlob(key)
+			switch {
+			case errors.Is(err, ErrStoreCorrupt):
+				return nil, fmt.Errorf("set %#x pid %d: %w", ident, pid, err)
+			case err != nil:
 				return nil, fmt.Errorf("%w: page blob missing for set %#x pid %d", ErrCorruptImage, ident, pid)
 			}
 			pi.Pages = append(pi.Pages, pg...)

@@ -118,6 +118,40 @@ const (
 	// SiteLivePatchCommit fires before the patched bytes are committed
 	// into the customizer's bookkeeping; detail is the block count.
 	SiteLivePatchCommit = "core.livepatch.commit"
+
+	// Silent-corruption hook sites (attestation / anti-entropy). These
+	// invert the usual contract: the caller treats a non-nil return not
+	// as a failure to surface but as an instruction to corrupt state
+	// *silently* and carry on as if nothing happened. No error
+	// propagates — the corruption is only observable if the attestation
+	// sweep catches it, which is exactly the invariant the chaos suite
+	// proves.
+	//
+	// SiteTextBitflip fires at the start of an attestation hash pass;
+	// when armed, the caller flips one bit in a live text page and
+	// continues. detail is the root PID.
+	SiteTextBitflip = "kernel.text.bitflip"
+	// SiteStoreRot fires on each page-blob read from the
+	// content-addressed PageStore; when armed, the caller rots the
+	// stored blob in place (the rot is persistent) and continues. The
+	// read-path re-hash then reports ErrStoreCorrupt. detail is the
+	// first key byte.
+	SiteStoreRot = "criu.store.rot"
+	// SiteAttestSkew fires when the fleet sweep collects a replica's
+	// live attestation root; when armed, the *collected* root is
+	// corrupted in flight — the replica's text is fine, its report is
+	// not. The oracle-authoritative re-attest must clear it. detail is
+	// the replica index.
+	SiteAttestSkew = "fleet.attest.skew"
+
+	// SiteAttestRepair fires before each in-place page repair write.
+	// Unlike the silent sites above this one is loud: an injected fault
+	// fails that repair attempt, driving the retry budget and, when
+	// exhausted, the quarantine path. detail is the target PID.
+	SiteAttestRepair = "core.attest.repair"
+	// SiteSuperviseScrub fires before the supervisor's attest-and-scrub
+	// ladder rung runs (between disarm and pristine restore).
+	SiteSuperviseScrub = "supervise.scrub"
 )
 
 // Step-prefix groups: FailDumpAtStep / FailRestoreAtStep count every
@@ -129,6 +163,7 @@ const (
 	PrefixSupervise = "supervise."
 	PrefixFleet     = "fleet."
 	PrefixLivePatch = "core.livepatch."
+	PrefixStore     = "criu.store."
 )
 
 // ErrInjected is the sentinel wrapped by every injected failure.

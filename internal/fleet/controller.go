@@ -175,7 +175,7 @@ func ResumeController(f *Fleet, journal []byte) (*Controller, error) {
 				recs[0].Replica, len(f.replicas))
 		}
 	}
-	c := NewController(f, journalFrom(journal, recs))
+	c := NewController(f, journalFrom(recs))
 	c.prior = recs
 	c.resumed = true
 	return c, nil
@@ -348,6 +348,17 @@ func (c *Controller) replay(res *RolloutResult) (states []priorState, waveFails 
 			c.f.halted.Store(true)
 		case RecDone:
 			finished = true
+		case RecQuarantine:
+			if i := int(r.Replica); i >= 0 && i < len(c.f.replicas) {
+				c.f.replicas[i].quarantined.Store(true)
+			}
+		case RecAttest:
+			// The only attest verdict that changes replayed state is a
+			// readmission lifting an earlier quarantine.
+			if i := int(r.Replica); AttestVerdict(r.Attempt) == VerdictReadmit &&
+				i >= 0 && i < len(c.f.replicas) {
+				c.f.replicas[i].quarantined.Store(false)
+			}
 		}
 	}
 	// Resume picks the clock up where the journal left off: every
@@ -482,6 +493,13 @@ func (c *Controller) Run(apply func(r *Replica) (core.Stats, error)) (*RolloutRe
 		}
 		c.emit(StepEvent{Kind: "resume", Replica: -1, VClock: c.lanes[0]})
 		f.obs.Point("fleet.resume", int64(res.SkippedCommitted))
+		// Replicas the journal shows quarantined are re-attested before
+		// the resumed rollout proceeds: clean (or repaired-clean) text
+		// readmits them, anything else stays drained.
+		c.readmitQuarantined()
+		if c.isCrashed() {
+			return c.finish(res)
+		}
 	}
 
 	if finished {
@@ -579,6 +597,16 @@ func (c *Controller) Run(apply func(r *Replica) (core.Stats, error)) (*RolloutRe
 		// Wave barrier: the next wave starts after the slowest lane.
 		c.syncLanes()
 		f.obs.PhaseEnd("fleet.wave", wi, nil)
+
+		if f.cfg.Scrub {
+			// Anti-entropy boundary: sweep the whole active fleet, not
+			// just this wave — silent corruption does not wait its turn.
+			sw := c.AttestSweep(wi)
+			res.Sweeps = append(res.Sweeps, *sw)
+			if c.isCrashed() {
+				break
+			}
+		}
 	}
 
 	return c.finish(res)
@@ -606,9 +634,16 @@ func (c *Controller) runWave(wi int, wave []int, res *RolloutResult, apply func(
 
 	var pending []*step
 	for _, ri := range wave {
-		if res.Outcomes[ri].Outcome == OutcomePending {
-			pending = append(pending, &step{replica: ri, wave: wi, attempt: 1})
+		if res.Outcomes[ri].Outcome != OutcomePending {
+			continue
 		}
+		if f.replicas[ri].Quarantined() {
+			// Drained by an earlier sweep: the replica takes no rollout
+			// steps until re-attestation readmits it.
+			f.obs.Point("fleet.step.skip.quarantined", int64(ri))
+			continue
+		}
+		pending = append(pending, &step{replica: ri, wave: wi, attempt: 1})
 	}
 
 	for len(pending) > 0 && !c.isCrashed() && !f.halted.Load() {

@@ -101,6 +101,16 @@ type Config struct {
 	// expiry, requeue, outcome, skip, halt, crash) as the controller
 	// dispatches — the incremental status stream.
 	OnStep func(StepEvent)
+	// Scrub enables the anti-entropy attestation sweep after every
+	// wave: each active replica's live text root is collected and
+	// compared against its expected-state oracle, diverged pages are
+	// repaired in place, and replicas that exhaust RepairBudget are
+	// quarantined (drained from later waves, journaled, re-attested on
+	// resume before readmission).
+	Scrub bool
+	// RepairBudget bounds in-place repair attempts per replica per
+	// sweep before quarantine (0 = 3).
+	RepairBudget int
 }
 
 // LivePatchSpec names the block set a live-patch rollout applies, so
@@ -172,7 +182,15 @@ type Replica struct {
 	PristineID uint32
 
 	pristineRoot int
+	// quarantined drains the replica from waves and sweeps after its
+	// repair budget was exhausted; set and cleared only through the
+	// journaled quarantine/readmit protocol.
+	quarantined atomic.Bool
 }
+
+// Quarantined reports whether the replica is drained from the fleet
+// pending re-attestation.
+func (r *Replica) Quarantined() bool { return r.quarantined.Load() }
 
 // Outcome classifies where a replica ended up after a rollout.
 type Outcome int
@@ -293,6 +311,9 @@ type RolloutResult struct {
 	// the virtual clock and the steps requeued with backoff.
 	LeaseExpiries int
 	Requeues      int
+	// Sweeps holds the per-wave attestation sweep results (Config.Scrub
+	// rollouts only), in wave order.
+	Sweeps []SweepResult
 }
 
 // Committed counts replicas that ended on the new version.
@@ -343,6 +364,11 @@ func New(template *kernel.Machine, rootPID int, cfg Config) (*Fleet, error) {
 	if f.obs == nil {
 		f.obs = obs.New(obs.DefaultCapacity)
 	}
+	if cfg.FaultHook != nil {
+		// The shared store participates in chaos runs too: the
+		// criu.store.rot site silently corrupts a blob in place on read.
+		f.store.SetFaultHook(cfg.FaultHook)
+	}
 
 	f.obs.PhaseStart("fleet.spawn", 0)
 	for i := 0; i < cfg.Replicas; i++ {
@@ -362,6 +388,11 @@ func New(template *kernel.Machine, rootPID int, cfg Config) (*Fleet, error) {
 
 		opts := cfg.Core
 		opts.Observer = ro
+		// All replicas seal their attestation oracles into the fleet's
+		// shared content-addressed store: N identical guests' text
+		// deposits dedup to one, and any replica's repair can source
+		// expected bytes another replica deposited.
+		opts.AttestStore = f.store
 		userBC := cfg.Core.BeforeCommit
 		opts.BeforeCommit = func(attempt int) error {
 			if f.halted.Load() {
@@ -402,6 +433,19 @@ func New(template *kernel.Machine, rootPID int, cfg Config) (*Fleet, error) {
 
 // Replicas returns the fleet members in index order.
 func (f *Fleet) Replicas() []*Replica { return append([]*Replica(nil), f.replicas...) }
+
+// Active returns the fleet members currently serving — every replica
+// not quarantined by the attestation sweep. This is the set a load
+// balancer should route to.
+func (f *Fleet) Active() []*Replica {
+	var out []*Replica
+	for _, r := range f.replicas {
+		if !r.Quarantined() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
 
 // Store returns the shared content-addressed page store.
 func (f *Fleet) Store() *criu.PageStore { return f.store }

@@ -35,9 +35,20 @@ var (
 	ErrJournalMagic = errors.New("fleet: not a rollout journal")
 )
 
-// journalMagic opens every journal ("DJL2" — v2 added the per-record
-// step Mode byte for live-patch rollouts).
-const journalMagic uint32 = 0x444a_4c32
+// Journal format versions. New journals are written at the current
+// version; DecodeJournal reads every version it has ever written.
+//
+//	DJL1: original format — 39-byte record header, no Mode byte.
+//	DJL2: added the per-record step Mode byte for live-patch rollouts.
+//	DJL3: added the attestation record kinds (RecAttest, RecRepair,
+//	      RecQuarantine); wire layout identical to v2.
+const (
+	journalMagicV1 uint32 = 0x444a_4c31
+	journalMagicV2 uint32 = 0x444a_4c32
+	journalMagicV3 uint32 = 0x444a_4c33
+	// journalMagic is the version new journals are written at.
+	journalMagic = journalMagicV3
+)
 
 // RecKind enumerates journal record types.
 type RecKind uint8
@@ -66,6 +77,18 @@ const (
 	RecResume
 	// RecDone closes the rollout: Replica holds the committed count.
 	RecDone
+	// RecAttest records one replica's attestation verdict (journal v3).
+	// Attempt holds the AttestVerdict, Ident the first four bytes of
+	// the attested root, Ticks the pages checked.
+	RecAttest
+	// RecRepair records an in-place anti-entropy repair attempt
+	// (journal v3): Attempt is the try number, Ticks the pages
+	// repaired, Outcome the step outcome after the repair.
+	RecRepair
+	// RecQuarantine records a replica drained from the fleet after its
+	// repair budget was exhausted (journal v3): Attempt holds the
+	// failed try count. A later RecAttest with VerdictReadmit lifts it.
+	RecQuarantine
 )
 
 func (k RecKind) String() string {
@@ -84,8 +107,52 @@ func (k RecKind) String() string {
 		return "resume"
 	case RecDone:
 		return "done"
+	case RecAttest:
+		return "attest"
+	case RecRepair:
+		return "repair"
+	case RecQuarantine:
+		return "quarantine"
 	default:
 		return fmt.Sprintf("RecKind(%d)", int(k))
+	}
+}
+
+// AttestVerdict is the per-replica result of one attestation sweep,
+// journaled in a RecAttest record's Attempt field.
+type AttestVerdict int32
+
+const (
+	// VerdictClean: live text matched the oracle root.
+	VerdictClean AttestVerdict = iota
+	// VerdictRepaired: text had diverged and was repaired in place.
+	VerdictRepaired
+	// VerdictSkew: the cheap collected root diverged but the
+	// authoritative page-by-page attestation found the text clean —
+	// the collection channel, not the text, was wrong.
+	VerdictSkew
+	// VerdictForeign: text held bytes outside the oracle's version
+	// chain (still repaired from the store, but worth distinguishing).
+	VerdictForeign
+	// VerdictReadmit: a quarantined replica re-attested clean on
+	// resume and rejoined the fleet.
+	VerdictReadmit
+)
+
+func (v AttestVerdict) String() string {
+	switch v {
+	case VerdictClean:
+		return "clean"
+	case VerdictRepaired:
+		return "repaired"
+	case VerdictSkew:
+		return "skew"
+	case VerdictForeign:
+		return "foreign"
+	case VerdictReadmit:
+		return "readmit"
+	default:
+		return fmt.Sprintf("AttestVerdict(%d)", int32(v))
 	}
 }
 
@@ -135,14 +202,21 @@ func encodeRecord(r Record) []byte {
 	return buf
 }
 
-// recHeaderLen is the fixed prefix of an encoded record: kind (1),
-// replica/wave/attempt/outcome/ident (4 each), ticks/vclock (8 each),
-// mode (1), note length (2).
-const recHeaderLen = 40
+// recHeaderLen is the fixed prefix of an encoded record since v2:
+// kind (1), replica/wave/attempt/outcome/ident (4 each), ticks/vclock
+// (8 each), mode (1), note length (2). v1 records had no Mode byte.
+const (
+	recHeaderLen   = 40
+	recHeaderLenV1 = 39
+)
 
-// decodeRecord parses one record payload.
-func decodeRecord(p []byte) (Record, error) {
-	if len(p) < recHeaderLen {
+// decodeRecord parses one record payload at the given journal version.
+func decodeRecord(p []byte, version uint32) (Record, error) {
+	hdr := recHeaderLen
+	if version == journalMagicV1 {
+		hdr = recHeaderLenV1
+	}
+	if len(p) < hdr {
 		return Record{}, fmt.Errorf("%w: short record payload (%d bytes)", ErrJournalCorrupt, len(p))
 	}
 	r := Record{
@@ -154,13 +228,20 @@ func decodeRecord(p []byte) (Record, error) {
 		Ticks:   binary.LittleEndian.Uint64(p[17:]),
 		Ident:   binary.LittleEndian.Uint32(p[25:]),
 		VClock:  binary.LittleEndian.Uint64(p[29:]),
-		Mode:    StepMode(p[37]),
 	}
-	n := int(binary.LittleEndian.Uint16(p[38:]))
-	if len(p) != recHeaderLen+n {
+	noteOff := 37
+	if version != journalMagicV1 {
+		r.Mode = StepMode(p[37])
+		noteOff = 38
+	}
+	if version != journalMagicV3 && r.Kind >= RecAttest {
+		return Record{}, fmt.Errorf("%w: record kind %d not valid before journal v3", ErrJournalCorrupt, r.Kind)
+	}
+	n := int(binary.LittleEndian.Uint16(p[noteOff:]))
+	if len(p) != hdr+n {
 		return Record{}, fmt.Errorf("%w: record payload length %d, note claims %d", ErrJournalCorrupt, len(p), n)
 	}
-	r.Note = string(p[recHeaderLen:])
+	r.Note = string(p[hdr:])
 	return r, nil
 }
 
@@ -232,13 +313,20 @@ func (j *Journal) Len() int {
 	return len(j.recs)
 }
 
-// DecodeJournal parses a serialized journal. A truncated or
-// CRC-damaged final frame — the signature of a crash mid-append — is
-// dropped silently; the same damage anywhere before the tail returns
+// DecodeJournal parses a serialized journal at any version this
+// package has ever written (v1, v2 or v3). A truncated or CRC-damaged
+// final frame — the signature of a crash mid-append — is dropped
+// silently; the same damage anywhere before the tail returns
 // ErrJournalCorrupt, because an append-only log cannot lose interior
 // records without foul play.
 func DecodeJournal(data []byte) ([]Record, error) {
-	if len(data) < 4 || binary.LittleEndian.Uint32(data) != journalMagic {
+	if len(data) < 4 {
+		return nil, ErrJournalMagic
+	}
+	version := binary.LittleEndian.Uint32(data)
+	switch version {
+	case journalMagicV1, journalMagicV2, journalMagicV3:
+	default:
 		return nil, ErrJournalMagic
 	}
 	var recs []Record
@@ -259,7 +347,7 @@ func DecodeJournal(data []byte) ([]Record, error) {
 			}
 			return nil, fmt.Errorf("%w: CRC mismatch at offset %d (record %d)", ErrJournalCorrupt, off, len(recs))
 		}
-		rec, err := decodeRecord(payload)
+		rec, err := decodeRecord(payload, version)
 		if err != nil {
 			if off+8+n == len(data) {
 				break
@@ -273,16 +361,19 @@ func DecodeJournal(data []byte) ([]Record, error) {
 }
 
 // journalFrom rebuilds an appendable journal over previously decoded
-// bytes: resume continues the same log. Torn tail bytes are trimmed
-// so the next append starts at a clean frame boundary.
-func journalFrom(data []byte, recs []Record) *Journal {
-	j := &Journal{recs: append([]Record(nil), recs...)}
-	// Re-measure the clean prefix: 4 magic bytes plus each committed
-	// frame, skipping whatever tail DecodeJournal dropped.
-	off := 4
+// records: resume continues the same log. The committed records are
+// re-encoded into a fresh current-version buffer rather than sliced
+// out of the old bytes — a v3 journal round-trips byte-identically
+// (resume determinism is preserved), while a v1/v2 journal is
+// upgraded to v3 on resume, and any torn tail is dropped either way.
+func journalFrom(recs []Record) *Journal {
+	j := NewJournal()
+	j.recs = append([]Record(nil), recs...)
 	for _, r := range recs {
-		off += 8 + len(encodeRecord(r))
+		payload := encodeRecord(r)
+		j.buf = binary.LittleEndian.AppendUint32(j.buf, uint32(len(payload)))
+		j.buf = binary.LittleEndian.AppendUint32(j.buf, crc32.Checksum(payload, crcTable))
+		j.buf = append(j.buf, payload...)
 	}
-	j.buf = append([]byte(nil), data[:off]...)
 	return j
 }

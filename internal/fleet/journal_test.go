@@ -175,7 +175,7 @@ func TestJournalResumeContinuesLog(t *testing.T) {
 	if err != nil || len(decoded) != 3 {
 		t.Fatalf("decode: %d records, err %v", len(decoded), err)
 	}
-	j2 := journalFrom(data, decoded)
+	j2 := journalFrom(decoded)
 	if err := j2.Append(recs[3]); err != nil {
 		t.Fatal(err)
 	}

@@ -52,7 +52,7 @@ func TestJournalModeRoundTrip(t *testing.T) {
 	for _, mode := range []StepMode{ModeTransaction, ModeLivePatch, ModeFellBack} {
 		r := Record{Kind: RecIntent, Replica: 3, Wave: 1, Attempt: 2,
 			Outcome: OutcomeCommitted, Ticks: 77, Ident: 5, VClock: 123, Mode: mode, Note: "x"}
-		got, err := decodeRecord(encodeRecord(r))
+		got, err := decodeRecord(encodeRecord(r), journalMagic)
 		if err != nil {
 			t.Fatalf("mode %v: %v", mode, err)
 		}

@@ -8,6 +8,7 @@ import (
 	"github.com/dynacut/dynacut/internal/apps/webserv"
 	"github.com/dynacut/dynacut/internal/core"
 	"github.com/dynacut/dynacut/internal/coverage"
+	"github.com/dynacut/dynacut/internal/faultinject"
 	"github.com/dynacut/dynacut/internal/fleet"
 	"github.com/dynacut/dynacut/internal/kernel"
 	"github.com/dynacut/dynacut/internal/loadgen"
@@ -358,6 +359,92 @@ func TestLivePatchRolloutUnderLoadNearZeroDowntime(t *testing.T) {
 
 	// And the customization actually landed fleet-wide.
 	for _, r := range f.Replicas() {
+		if got := request(r.Machine, tpl.port, "PUT /f data\n"); !strings.Contains(got, "403") {
+			t.Fatalf("replica %d PUT -> %q, want 403", r.Index, got)
+		}
+	}
+}
+
+// TestScrubRolloutUnderLoadBitflipStorm is the silent-corruption SLO
+// figure: the live-patch rollout runs with attestation sweeps armed
+// while a silent bit-flip storm corrupts replica text — and the load
+// generator must not be able to tell. Every flip is repaired in place
+// at a quiesced round (no restore, no PID moves), so the storm costs
+// no observed service gap, no dropped requests, and leaves tail
+// latency flush with the steady-state baseline.
+func TestScrubRolloutUnderLoadBitflipStorm(t *testing.T) {
+	tpl := bootTemplate(t)
+	const replicas = 4
+
+	cust, err := core.New(tpl.m, tpl.pid, core.Options{RedirectTo: tpl.redirect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cust.InstallHandler(); err != nil {
+		t.Fatal(err)
+	}
+	tpl.pid = cust.PID()
+
+	inj := faultinject.New(7)
+	inj.FailTransient(faultinject.SiteTextBitflip, 2, 3)
+	fcfg := fleetCfg(tpl, replicas)
+	fcfg.LivePatch = &fleet.LivePatchSpec{Blocks: tpl.blocks, Policy: core.PolicyBlockEntry}
+	fcfg.Scrub = true
+	fcfg.FaultHook = inj
+	apply := func(r *fleet.Replica) (core.Stats, error) {
+		return r.Cust.DisableBlocksLive("webdav-write", tpl.blocks, core.PolicyBlockEntry)
+	}
+
+	rep, f, err := RolloutUnderLoad(tpl.m, tpl.pid, fcfg, loadCfg(tpl), apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Rollout.Committed(); got != replicas {
+		t.Fatalf("committed = %d, want %d", got, replicas)
+	}
+	if inj.Injected() == 0 {
+		t.Fatal("the bit-flip storm never fired")
+	}
+	repaired, quarantined := 0, 0
+	for _, sw := range rep.Rollout.Sweeps {
+		repaired += sw.Repaired
+		quarantined += sw.Quarantined
+	}
+	if repaired == 0 {
+		t.Fatal("storm fired but no page was repaired")
+	}
+	if quarantined != 0 {
+		t.Fatalf("store-backed repair quarantined %d replicas", quarantined)
+	}
+
+	// The storm and its repairs are invisible to the load: no observed
+	// service gap, nothing shed, tail latency at the baseline.
+	if len(rep.ObservedSpans) != 0 {
+		t.Fatalf("observed service gaps under the scrub rollout: %+v", rep.ObservedSpans)
+	}
+	if rep.Dropped != 0 {
+		t.Fatalf("scrub rollout shed %d requests, want 0", rep.Dropped)
+	}
+	if rep.P99 >= bucketTicks {
+		t.Fatalf("p99 = %d vticks — repairs leaked downtime into tail latency", rep.P99)
+	}
+	t.Logf("storm: %d faults injected, %d pages repaired; p50=%d p99=%d served/vtick=%.5f served=%d/%d dropped=%d",
+		inj.Injected(), repaired, rep.P50, rep.P99, rep.ServedPerVtick, rep.Served, rep.Total, rep.Dropped)
+
+	// Disarm and verify: every replica attested clean, still serving,
+	// customization intact.
+	for _, r := range f.Replicas() {
+		r.Machine.SetFaultHook(nil)
+	}
+	f.Store().SetFaultHook(nil)
+	for _, r := range f.Replicas() {
+		arep, aerr := r.Cust.Attest()
+		if aerr != nil {
+			t.Fatalf("replica %d attest: %v", r.Index, aerr)
+		}
+		if !arep.Clean() {
+			t.Fatalf("replica %d silently diverged past the sweeps: %d mismatches", r.Index, len(arep.Mismatches))
+		}
 		if got := request(r.Machine, tpl.port, "PUT /f data\n"); !strings.Contains(got, "403") {
 			t.Fatalf("replica %d PUT -> %q, want 403", r.Index, got)
 		}

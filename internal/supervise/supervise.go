@@ -16,7 +16,8 @@
 //   - detects trap storms (trap rate over a sliding virtual-time
 //     window) and walks a graceful-degradation ladder: heal individual
 //     addresses → re-enable the worst feature → re-enable everything
-//     and disarm patching → restore the last-good pristine images.
+//     and disarm patching → attest and scrub diverged text in place →
+//     restore the last-good pristine images.
 //
 // Everything is driven by the machine's virtual clock and the
 // deterministic fault injector, so a supervised chaos run replays
@@ -37,8 +38,8 @@ import (
 
 // Supervisor errors.
 var (
-	// ErrDisarmed: the degradation ladder reached rung 3 (or 4) and
-	// switched patching off; DisableFeature refuses until Rearm.
+	// ErrDisarmed: the degradation ladder reached rung 3 (or beyond)
+	// and switched patching off; DisableFeature refuses until Rearm.
 	ErrDisarmed = errors.New("supervise: patching disarmed by degradation ladder")
 	// ErrQuarantined: the feature's breaker is open and its probation
 	// has not expired yet.
@@ -518,7 +519,7 @@ func shiftClamp(base uint64, n int, max uint64) uint64 {
 // the next, harsher rung within the same step — a storm is not left
 // unanswered.
 func (s *Supervisor) escalate(now uint64) {
-	for s.level < 4 {
+	for s.level < 5 {
 		s.level++
 		s.point("supervise.degrade.level", int64(s.level))
 		switch s.level {
@@ -536,10 +537,53 @@ func (s *Supervisor) escalate(now uint64) {
 				return
 			}
 		case 4:
+			if s.scrubText(now) {
+				return
+			}
+		case 5:
 			s.restorePristine(now)
 			return
 		}
 	}
+}
+
+// scrubText is the ladder rung between "everything disarmed" and the
+// last-resort pristine restore: attest the live text against the
+// expected-state oracle and repair any diverged page in place. If the
+// storm was caused by silent text corruption (a bit flip turning sound
+// code into trap-raising garbage), this heals it with zero downtime —
+// the restore rung below would pay a full kill/restore for the same
+// outcome. A clean attestation means the storm is NOT a text problem,
+// so the rung reports failure and the ladder falls through.
+func (s *Supervisor) scrubText(now uint64) bool {
+	if err := s.m.Fault(faultinject.SiteSuperviseScrub, 0); err != nil {
+		s.point("supervise.degrade.scrub.fail", 0)
+		return false
+	}
+	end := s.span("supervise.scrub")
+	rep, err := s.cust.Attest()
+	if err != nil {
+		end(err)
+		return false
+	}
+	if rep.Clean() {
+		// Nothing to heal here; the harsher rung must answer the storm.
+		end(nil)
+		return false
+	}
+	rs, err := s.cust.Repair(rep, true)
+	if err != nil {
+		end(err)
+		return false
+	}
+	rep2, err := s.cust.Attest()
+	if err != nil || !rep2.Clean() {
+		end(fmt.Errorf("supervise: text still diverged after scrub: %v", err))
+		return false
+	}
+	s.point("supervise.degrade.scrub.repaired", int64(rs.Repaired))
+	end(nil)
+	return true
 }
 
 // reenableWorst force re-enables the most-struck (ties: most recently
@@ -677,7 +721,7 @@ func (s *Supervisor) DisableFeature(name string, blocks []coverage.AbsBlock, pol
 }
 
 // Rearm re-enables supervised patching after the ladder disarmed it
-// (rung 3) or restored pristine images (rung 4): the current guest
+// (rung 3) or restored pristine images (rung 5): the current guest
 // state is snapshotted as the new last-good anchor and the ladder
 // resets to normal. Breaker ledgers survive — quarantines outlive the
 // incident that caused them.

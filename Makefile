@@ -23,7 +23,7 @@ race:
 # trace. Runs vet first and the coverage floor last: the chaos gate is
 # also the lint and coverage gate.
 chaos: vet
-	$(GO) test -race -run 'Chaos|Rollback|Rolls|Transient|Retried|Revalidated|Corrupt|BitFlip|Truncation|Observer|Overflow|Supervisor|Breaker|Storm|Fleet|Controller|Journal|Lease|MidWave|Pristine|PageStore|LivePatch|InstallHandler|CountPatched|Attest|Scrub|Quarantine|Repair' \
+	$(GO) test -race -run 'Chaos|Rollback|Rolls|Transient|Retried|Revalidated|Corrupt|BitFlip|Truncation|Observer|Overflow|Supervisor|Breaker|Storm|Fleet|Controller|Journal|Lease|MidWave|Pristine|PageStore|LivePatch|InstallHandler|CountPatched|Attest|Scrub|Quarantine|Repair|Lockstep|Translate|BlockCache|FlipBits' \
 		./internal/core/ ./internal/criu/ ./internal/faultinject/ ./internal/fleet/ ./internal/kernel/ ./internal/obs/ ./internal/supervise/ .
 	$(GO) test -race -run 'Driver|Pool|Merge|Schedule|Ramp|Poisson|TraceCSV|Histogram|Mix|RolloutUnderLoad|SteadyState|HaltReleases|ConfigValidation|LivePatch|Scrub' \
 		./internal/loadgen/ ./internal/slo/
@@ -40,12 +40,13 @@ cover:
 		if (t + 0 < f + 0) { printf "FAIL: coverage %.1f%% below floor %.1f%%\n", t, f; exit 1 } \
 		printf "coverage %.1f%% (floor %.1f%%)\n", t, f }'
 
-# Short fuzz smoke over the image decoder and the rollout-journal
-# decoder (corpus seeds always run as part of `test`; this adds a few
-# seconds of mutation each).
+# Short fuzz smoke over the image decoder, the rollout-journal
+# decoder, and the basic-block translator (corpus seeds always run as
+# part of `test`; this adds a few seconds of mutation each).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalImages -fuzztime 10s ./internal/criu/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeJournal -fuzztime 10s ./internal/fleet/
+	$(GO) test -run '^$$' -fuzz FuzzBlockCacheDecode -fuzztime 10s ./internal/kernel/
 
 # The tier-1 gate: everything that must pass before a commit.
 check: build vet test race
@@ -53,10 +54,10 @@ check: build vet test race
 # Perf trajectory: run the headline figure benchmarks plus the
 # incremental-checkpoint benchmark and record the numbers as JSON so
 # each PR's results are comparable to the last (BENCH_pr2.json here on).
-BENCH_JSON ?= BENCH_pr8.json
+BENCH_JSON ?= BENCH_pr10.json
 
 bench:
-	$(GO) test -run '^$$' -bench 'Figure6_|Figure7_|Figure8_|IncrementalDump|Observer_|SupervisorOverhead|FleetRollout|FleetControllerScale|PageStoreParallel|RewriteUnderLoad' -benchmem -benchtime 1x . ./internal/criu/ \
+	$(GO) test -run '^$$' -bench 'Figure6_|Figure7_|Figure8_|IncrementalDump|Observer_|SupervisorOverhead|FleetRollout|FleetControllerScale|PageStoreParallel|RewriteUnderLoad|ExecEngine' -benchmem -benchtime 1x . ./internal/criu/ \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 # The historical full sweep (every figure, table, ablation and micro).

@@ -61,6 +61,23 @@ type (
 	Module = kernel.Module
 	// Signal is a guest signal number.
 	Signal = kernel.Signal
+	// ExecMode selects the machine's execution engine: the reference
+	// interpreter, the basic-block translation cache, or the
+	// self-checking lockstep variant (Machine.SetExecMode).
+	ExecMode = kernel.ExecMode
+	// BlockCacheStats is the translation cache's counter set
+	// (Machine.BlockCacheStats).
+	BlockCacheStats = kernel.BlockCacheStats
+	// CacheDivergence is one stale cached decode caught by lockstep
+	// mode (Machine.CacheDivergences).
+	CacheDivergence = kernel.CacheDivergence
+	// Lockstep runs the interpreter and the translating engine side
+	// by side on cloned machines, diffing full machine state after
+	// every scheduler round — the differential oracle that proves the
+	// engines equivalent.
+	Lockstep = kernel.Lockstep
+	// Divergence is one state difference found by a Lockstep harness.
+	Divergence = kernel.Divergence
 
 	// Binary is a DELF executable or shared library.
 	Binary = delf.File
@@ -333,6 +350,17 @@ const (
 	SIGSYS  = kernel.SIGSYS
 )
 
+// Execution engines (Machine.SetExecMode; DESIGN.md §15).
+const (
+	// ModeInterpret single-steps every instruction. The reference.
+	ModeInterpret = kernel.ModeInterpret
+	// ModeTranslate executes through the basic-block cache.
+	ModeTranslate = kernel.ModeTranslate
+	// ModeLockstep is ModeTranslate with every cached block
+	// re-verified against live bytes at dispatch.
+	ModeLockstep = kernel.ModeLockstep
+)
+
 // Failure-model sentinels, for errors.Is against Customizer and image
 // errors.
 var (
@@ -396,6 +424,13 @@ var (
 
 // NewMachine creates an empty simulated machine.
 func NewMachine() *Machine { return kernel.NewMachine() }
+
+// NewLockstep builds the differential-execution oracle: two clones of
+// m, one interpreting and one running the given engine, advanced
+// round-for-round and diffed after each (registers, memory, dirty
+// bitmaps, tick counts, net buffers). Divergences are collected, not
+// fatal — inspect with Lockstep.Divergences.
+func NewLockstep(m *Machine, mode ExecMode) *Lockstep { return kernel.NewLockstep(m, mode) }
 
 // NewFaultInjector creates a deterministic, seeded fault injector;
 // install it with Machine.SetFaultHook.

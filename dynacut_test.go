@@ -182,3 +182,47 @@ func TestRequestErrors(t *testing.T) {
 		t.Fatal("Root on dead machine succeeded")
 	}
 }
+
+// TestPublicExecModes: the execution-engine surface — ExecMode on a
+// session's machine, cache statistics, and the lockstep differential
+// oracle — all reachable through the public API.
+func TestPublicExecModes(t *testing.T) {
+	sess, _ := startWebSession(t, WebServerConfig{Port: 8080})
+
+	if got := sess.Machine.ExecMode(); got != ModeInterpret {
+		t.Fatalf("default mode %v, want %v", got, ModeInterpret)
+	}
+	sess.Machine.SetExecMode(ModeTranslate)
+	for _, req := range []string{"GET /\n", "HEAD /\n", "GET /\n"} {
+		resp, err := sess.Request(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(resp, "200") {
+			t.Fatalf("%q -> %q under translate", req, resp)
+		}
+	}
+	st := sess.Machine.BlockCacheStats()
+	if st.Hits == 0 || st.Translations == 0 {
+		t.Fatalf("translate mode never used the cache: %+v", st)
+	}
+
+	// The oracle: interpreter vs translator on clones of the booted
+	// server, request traffic driven symmetrically into both.
+	ls := NewLockstep(sess.Machine, ModeLockstep)
+	for i := 0; i < 3; i++ {
+		ls.Do(func(m *Machine) {
+			conn, err := m.Dial(8080)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := conn.Write([]byte("GET /\n")); err != nil {
+				t.Fatal(err)
+			}
+		})
+		ls.Run(200)
+	}
+	if divs := ls.Divergences(); len(divs) != 0 {
+		t.Fatalf("lockstep diverged: %v", divs)
+	}
+}

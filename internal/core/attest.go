@@ -57,10 +57,10 @@ func (v PageVerdict) String() string {
 
 // PageMismatch is one diverged (process, page) pair found by Attest.
 type PageMismatch struct {
-	PID  int
-	Page uint64
-	Want [sha256.Size]byte
-	Got  [sha256.Size]byte
+	PID     int
+	Page    uint64
+	Want    [sha256.Size]byte
+	Got     [sha256.Size]byte
 	Verdict PageVerdict
 }
 

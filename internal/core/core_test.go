@@ -23,11 +23,19 @@ type testbed struct {
 
 func newTestbed(t *testing.T, cfg webserv.Config) *testbed {
 	t.Helper()
+	return newTestbedExec(t, cfg, kernel.ModeInterpret)
+}
+
+// newTestbedExec boots the testbed under the chosen execution engine;
+// the chaos suites run both interpreted and through the block cache.
+func newTestbedExec(t *testing.T, cfg webserv.Config, mode kernel.ExecMode) *testbed {
+	t.Helper()
 	app, err := webserv.Build(cfg)
 	if err != nil {
 		t.Fatalf("build: %v", err)
 	}
 	m := kernel.NewMachine()
+	m.SetExecMode(mode)
 	col := trace.NewCollector(app.Config.Name)
 	m.SetTracer(col)
 	p, err := m.Load(app.Exe, app.Libc)

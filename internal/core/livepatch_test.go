@@ -9,6 +9,7 @@ import (
 	"github.com/dynacut/dynacut/internal/coverage"
 	"github.com/dynacut/dynacut/internal/criu"
 	"github.com/dynacut/dynacut/internal/faultinject"
+	"github.com/dynacut/dynacut/internal/kernel"
 )
 
 // liveTestbed boots a guest and pre-installs the SIGTRAP handler
@@ -340,7 +341,20 @@ func TestLivePatchAbortUnwindsText(t *testing.T) {
 // to the transaction, and ends with the feature disabled and the guest
 // serving — never a half-patched text or a dead guest.
 func TestLivePatchChaosSeeds(t *testing.T) {
-	tb := newTestbed(t, webserv.Config{Name: "lighttpd", Port: 9321})
+	runLivePatchChaosSeeds(t, kernel.ModeInterpret, 9321)
+}
+
+// TestLivePatchChaosSeedsTranslate is the same sweep with the guest
+// executing through the basic-block translation cache. Every INT3
+// store, unwind write and fallback-transaction restore now races a
+// cache full of pre-decoded blocks; the 403/200/201 probes prove a
+// patched (or unwound) page never executes stale cached code.
+func TestLivePatchChaosSeedsTranslate(t *testing.T) {
+	runLivePatchChaosSeeds(t, kernel.ModeTranslate, 9324)
+}
+
+func runLivePatchChaosSeeds(t *testing.T, mode kernel.ExecMode, port uint16) {
+	tb := newTestbedExec(t, webserv.Config{Name: "lighttpd", Port: port}, mode)
 	blocks := tb.profileFeatures(t, wantedReqs, undesiredReqs)
 	if len(blocks) == 0 {
 		t.Fatal("no feature blocks identified")
@@ -383,6 +397,20 @@ func TestLivePatchChaosSeeds(t *testing.T) {
 		}
 		if got := tb.request(t, "PUT /f x\n"); !strings.Contains(got, "201") {
 			t.Fatalf("seed %d: PUT after re-enable -> %q, want 201", seed, got)
+		}
+	}
+	if mode == kernel.ModeTranslate {
+		// The sweep must actually have exercised the cache AND its
+		// invalidation protocol: the guest served from cached blocks,
+		// and the INT3 stores / unwinds flushed blocks on the patched
+		// pages (had they not, the 403 probes above would have seen
+		// stale code).
+		st := tb.m.BlockCacheStats()
+		if st.Hits == 0 {
+			t.Fatalf("translate-mode chaos never hit the block cache: %+v", st)
+		}
+		if st.PageFlushes == 0 {
+			t.Fatalf("no cached block was flushed by the patch writes: %+v", st)
 		}
 	}
 }

@@ -5,32 +5,7 @@ import (
 	"testing/quick"
 
 	"github.com/dynacut/dynacut/internal/delf"
-	"github.com/dynacut/dynacut/internal/isa"
 )
-
-// genProgram builds a structurally valid code section from a random
-// seed: a chain of arithmetic blocks separated by forward branches,
-// ending in RET.
-func genProgram(seed []byte) []byte {
-	var code []byte
-	for _, b := range seed {
-		switch b % 5 {
-		case 0:
-			code = isa.MustEncode(code, isa.Inst{Op: isa.OpMOVri, A: isa.Register(b % 16), Imm: int64(b)})
-		case 1:
-			code = isa.MustEncode(code, isa.Inst{Op: isa.OpADDri, A: isa.Register(b % 16), Imm: 1})
-		case 2:
-			code = isa.MustEncode(code, isa.Inst{Op: isa.OpCMPri, A: isa.Register(b % 16), Imm: 7})
-		case 3:
-			// Forward conditional branch over one NOP.
-			code = isa.MustEncode(code, isa.Inst{Op: isa.OpJE, Imm: 1})
-			code = isa.MustEncode(code, isa.Inst{Op: isa.OpNOP})
-		case 4:
-			code = isa.MustEncode(code, isa.Inst{Op: isa.OpNOP})
-		}
-	}
-	return isa.MustEncode(code, isa.Inst{Op: isa.OpRET})
-}
 
 func fileFor(code []byte) *delf.File {
 	return &delf.File{
@@ -58,7 +33,7 @@ func TestQuickCFGInvariants(t *testing.T) {
 		if len(seed) > 200 {
 			seed = seed[:200]
 		}
-		code := genProgram(seed)
+		code := GenProgram(seed)
 		cfg := Analyze(fileFor(code))
 		if cfg.Count() == 0 {
 			return false
@@ -95,7 +70,7 @@ func TestQuickCFGCoverage(t *testing.T) {
 		if len(seed) > 100 {
 			seed = seed[:100]
 		}
-		code := genProgram(seed)
+		code := GenProgram(seed)
 		cfg := Analyze(fileFor(code))
 		if cfg.TotalBytes() > uint64(len(code)) {
 			return false

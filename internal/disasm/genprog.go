@@ -1,0 +1,31 @@
+package disasm
+
+import "github.com/dynacut/dynacut/internal/isa"
+
+// GenProgram builds a structurally valid code section from a random
+// seed: a chain of arithmetic blocks separated by forward branches,
+// ending in RET. It drives this package's property tests and the
+// kernel's FuzzBlockCacheDecode target, which replays generated
+// programs through both execution engines and diffs the outcomes —
+// one generator, two consumers, so decoder and translator are fuzzed
+// over the same program distribution.
+func GenProgram(seed []byte) []byte {
+	var code []byte
+	for _, b := range seed {
+		switch b % 5 {
+		case 0:
+			code = isa.MustEncode(code, isa.Inst{Op: isa.OpMOVri, A: isa.Register(b % 16), Imm: int64(b)})
+		case 1:
+			code = isa.MustEncode(code, isa.Inst{Op: isa.OpADDri, A: isa.Register(b % 16), Imm: 1})
+		case 2:
+			code = isa.MustEncode(code, isa.Inst{Op: isa.OpCMPri, A: isa.Register(b % 16), Imm: 7})
+		case 3:
+			// Forward conditional branch over one NOP.
+			code = isa.MustEncode(code, isa.Inst{Op: isa.OpJE, Imm: 1})
+			code = isa.MustEncode(code, isa.Inst{Op: isa.OpNOP})
+		case 4:
+			code = isa.MustEncode(code, isa.Inst{Op: isa.OpNOP})
+		}
+	}
+	return isa.MustEncode(code, isa.Inst{Op: isa.OpRET})
+}

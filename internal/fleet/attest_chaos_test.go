@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/dynacut/dynacut/internal/faultinject"
+	"github.com/dynacut/dynacut/internal/kernel"
 )
 
 // The silent-corruption chaos suite. Unlike every other chaos site,
@@ -102,7 +103,15 @@ func assertAttestedOrQuarantined(t *testing.T, f *Fleet, ctl *Controller, res *R
 
 // runAttestChaos drives the seed sweep for one silent fault site.
 func runAttestChaos(t *testing.T, arm func(inj *faultinject.Injector, seed int64)) {
+	runAttestChaosMode(t, kernel.ModeInterpret, arm)
+}
+
+// runAttestChaosMode is runAttestChaos under a chosen execution
+// engine: the mode is set on the template machine, and every CoW
+// replica inherits it through Machine.Clone.
+func runAttestChaosMode(t *testing.T, mode kernel.ExecMode, arm func(inj *faultinject.Injector, seed int64)) {
 	tpl := bootLiveTemplate(t)
+	tpl.m.SetExecMode(mode)
 	for seed := int64(0); seed < chaosSeeds; seed++ {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			inj := faultinject.New(seed)
@@ -121,6 +130,15 @@ func runAttestChaos(t *testing.T, arm func(inj *faultinject.Injector, seed int64
 				t.Fatal("armed faults never fired")
 			}
 			assertAttestedOrQuarantined(t, f, ctl, res, pids)
+			if mode != kernel.ModeInterpret {
+				var st kernel.BlockCacheStats
+				for _, r := range f.Replicas() {
+					st.Add(r.Machine.BlockCacheStats())
+				}
+				if st.Hits == 0 {
+					t.Errorf("translate-mode fleet never hit the block cache: %+v", st)
+				}
+			}
 		})
 	}
 }
@@ -129,6 +147,19 @@ func runAttestChaos(t *testing.T, arm func(inj *faultinject.Injector, seed int64
 // Every flip is either repaired in place or the victim is quarantined.
 func TestFleetChaosAttestBitflip(t *testing.T) {
 	runAttestChaos(t, func(inj *faultinject.Injector, seed int64) {
+		inj.FailTransient(faultinject.SiteTextBitflip, 1+int(seed)%29, 1+int(seed)%4)
+	})
+}
+
+// TestFleetChaosAttestBitflipTranslate is the bitflip sweep with every
+// replica executing through the block cache: flips land on pages whose
+// decodes are cached (caught only by the generation check — FlipBits
+// bypasses the dirty bitmap and the eager flush), and each repair is a
+// loud write that must flush the pre-repair blocks. The verification
+// attest plus the serving probe prove no repaired page ever executes
+// stale cached code.
+func TestFleetChaosAttestBitflipTranslate(t *testing.T) {
+	runAttestChaosMode(t, kernel.ModeTranslate, func(inj *faultinject.Injector, seed int64) {
 		inj.FailTransient(faultinject.SiteTextBitflip, 1+int(seed)%29, 1+int(seed)%4)
 	})
 }

@@ -182,9 +182,9 @@ func FuzzDecodeJournal(f *testing.F) {
 	f.Add(v1)
 	f.Add(v2)
 	f.Add(v3)
-	f.Add(v3[:len(v3)-5])       // torn tail
-	f.Add(v2[:7])               // torn first frame header
-	f.Add([]byte("DJL3"))       // wrong byte order for the magic
+	f.Add(v3[:len(v3)-5])                 // torn tail
+	f.Add(v2[:7])                         // torn first frame header
+	f.Add([]byte("DJL3"))                 // wrong byte order for the magic
 	f.Add([]byte{0x33, 0x4c, 0x4a, 0x44}) // bare v3 magic, no frames
 	dam := append([]byte(nil), v3...)
 	dam[12] ^= 0xff // interior corruption

@@ -64,5 +64,11 @@ func (m *Memory) FlipBits(addr uint64, mask byte) bool {
 	}
 	m.breakCoW(pn)
 	m.pages[pn][addr%PageSize] ^= mask
+	// The one bookkeeping channel a silent flip must touch: the text
+	// generation counter. Without it the block cache would keep
+	// replaying the pre-flip decode — executing code that no longer
+	// exists in memory — while the interpreter fetches the corrupted
+	// bytes. The dirty bitmap stays untouched (see noteSilentWrite).
+	m.noteSilentWrite(pn)
 	return true
 }

@@ -1,0 +1,550 @@
+package kernel
+
+// The basic-block translation cache: the kernel's second execution
+// engine. The interpreter (exec.go) fetches and decodes every
+// instruction on every execution; the translating engine decodes each
+// basic block once — on its first execution — and replays the
+// pre-decoded instruction vector afterwards, skipping the dominant
+// per-instruction fetch/decode cost (a permission check, a page-table
+// walk per byte, and an allocation, per instruction, per execution).
+//
+// Correctness is structural, not re-derived: translation IS the first
+// interpreted execution. The recorder runs the ordinary
+// fetch→decode→exec1 path and merely remembers what it decoded, so
+// every side effect of a first execution — pages populated by the
+// fetch window, dirty bits, tick charging, trap ordering — is
+// byte-identical to the interpreter by construction. Replay runs the
+// same exec1 semantic core on the remembered decodes. The only new
+// failure class the cache introduces is staleness — executing a
+// decode whose underlying bytes have since changed — and that is what
+// the invalidation protocol (below) and the lockstep oracle
+// (lockstep.go) exist to kill.
+//
+// Block formation: a block begins at the dispatch address and ends at
+// the first control transfer (conditional or indirect jump, call,
+// return), trap (INT3, HLT), or syscall — except a direct
+// unconditional JMP, which the recorder follows, chaining the
+// straight-line runs on both sides into one superblock (bounded by
+// maxBlockInsts, and never following a jump back into the block being
+// recorded, so loops are not unrolled). A block may also end early at
+// a scheduler-slice boundary or at an instruction whose execution
+// faulted; both simply produce a shorter cached block.
+//
+// Invalidation protocol (the proof obligations are spelled out in
+// DESIGN.md §15):
+//
+//  1. Loud writes — guest stores, live-patch INT3 stores, attestation
+//     repairs, restore-path SetPage, library injection — advance the
+//     page's generation counter AND immediately evict every cached
+//     block whose fetch window touched the page (Memory.noteWrite).
+//     Eviction clears the block's valid flag, which the replay loop
+//     checks after every instruction: a store into the page of the
+//     very block being replayed stops the replay before the next
+//     stale instruction, and a superblock chained through a flushed
+//     page is severed mid-flight.
+//  2. Silent writes — Memory.FlipBits, the bit-rot fault channel —
+//     advance the generation only (no eviction, no dirty bit). Every
+//     dispatch validates the block's recorded generations against the
+//     live counters, so the next entry to the page re-translates and
+//     executes the flipped bytes exactly as the interpreter would.
+//  3. Layout changes — Map/Unmap/Protect — flush the entire cache:
+//     fetch side effects depend on the VMA table (permission checks,
+//     where an over-fetch window stops, which pages a fetch can
+//     populate), not just on page contents.
+//  4. Nothing is cloned. Fork, CoW replica spawning and restore all
+//     build fresh address spaces whose caches start empty.
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dynacut/dynacut/internal/isa"
+)
+
+// ExecMode selects the machine's execution engine.
+type ExecMode int
+
+// Execution modes.
+const (
+	// ModeInterpret is the reference interpreter: fetch, decode and
+	// execute one instruction at a time. The oracle every other mode
+	// is measured against.
+	ModeInterpret ExecMode = iota
+	// ModeTranslate executes through the basic-block translation
+	// cache: blocks are decoded once and replayed from the cache.
+	ModeTranslate
+	// ModeLockstep executes through the cache but re-fetches and
+	// re-decodes every cached instruction at each block dispatch,
+	// comparing against the cached decode. A mismatch is a stale-cache
+	// bug: it is recorded (CacheDivergences), the block is evicted,
+	// and execution continues on the fresh decode — so the guest still
+	// behaves like the interpreter while the harness collects proof of
+	// the divergence. Interpreter-speed; built for the test oracle.
+	ModeLockstep
+)
+
+func (em ExecMode) String() string {
+	switch em {
+	case ModeInterpret:
+		return "interpret"
+	case ModeTranslate:
+		return "translate"
+	case ModeLockstep:
+		return "lockstep"
+	default:
+		return fmt.Sprintf("ExecMode(%d)", int(em))
+	}
+}
+
+// maxBlockInsts bounds one cached block (and therefore one superblock
+// chain). Two scheduler slices: long enough that straight-line hot
+// loops cache whole, small enough that a block's generation check
+// stays a handful of page comparisons.
+const maxBlockInsts = 128
+
+// cachedInst is one pre-decoded instruction with its address — the
+// operands are fully resolved at translation time, so replay never
+// touches the encoding again.
+type cachedInst struct {
+	addr uint64
+	in   isa.Inst
+}
+
+// block is one cached (super)block.
+type block struct {
+	entry uint64
+	insts []cachedInst
+	// pages are the sorted page numbers the recorder's fetch windows
+	// touched (including over-fetch spill into a neighboring page);
+	// gens are the generation counters observed at first touch. A
+	// dispatch-time mismatch against the live counters means the
+	// bytes — or the fetch behavior — may have changed: re-translate.
+	pages  []uint64
+	gens   []uint64
+	layout uint64 // Memory.layoutGen at recording time
+	valid  bool   // cleared by eviction; checked mid-replay
+}
+
+// fresh reports whether every page the block was decoded from is
+// still at its recorded generation.
+func (b *block) fresh(mem *Memory) bool {
+	for i, pn := range b.pages {
+		if mem.gens[pn] != b.gens[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BlockCacheStats is the translation cache's counter set.
+type BlockCacheStats struct {
+	Blocks       int    // blocks currently cached
+	CachedInsts  int    // pre-decoded instructions currently cached
+	Hits         uint64 // dispatches served from the cache
+	Misses       uint64 // dispatches that had to (re-)translate
+	Translations uint64 // blocks recorded
+	ChainedJumps uint64 // unconditional jumps chained into superblocks
+	PageFlushes  uint64 // blocks evicted by loud page writes
+	GenEvictions uint64 // stale blocks caught by the generation check
+	LayoutFlush  uint64 // whole-cache flushes from VMA-layout changes
+}
+
+// Add folds o into s (aggregation across processes/replicas).
+func (s *BlockCacheStats) Add(o BlockCacheStats) {
+	s.Blocks += o.Blocks
+	s.CachedInsts += o.CachedInsts
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Translations += o.Translations
+	s.ChainedJumps += o.ChainedJumps
+	s.PageFlushes += o.PageFlushes
+	s.GenEvictions += o.GenEvictions
+	s.LayoutFlush += o.LayoutFlush
+}
+
+// blockCache holds one address space's translated blocks, keyed by
+// entry address, with a per-page index for eviction.
+type blockCache struct {
+	blocks map[uint64]*block
+	byPage map[uint64][]*block
+	stats  BlockCacheStats
+}
+
+func newBlockCache() *blockCache {
+	return &blockCache{
+		blocks: map[uint64]*block{},
+		byPage: map[uint64][]*block{},
+	}
+}
+
+// blockCacheOf returns the memory's cache, creating it (and the
+// generation space it validates against) on first use.
+func (m *Memory) blockCacheOf() *blockCache {
+	if m.bc == nil {
+		m.bc = newBlockCache()
+		if m.gens == nil {
+			m.gens = map[uint64]uint64{}
+		}
+	}
+	return m.bc
+}
+
+// lookup returns the valid, fresh cached block entered at addr, or
+// nil after evicting whatever stale entry was found there.
+func (bc *blockCache) lookup(mem *Memory, addr uint64) *block {
+	b := bc.blocks[addr]
+	if b == nil {
+		bc.stats.Misses++
+		return nil
+	}
+	if !b.valid || b.layout != mem.layoutGen || !b.fresh(mem) {
+		bc.evict(b)
+		bc.stats.GenEvictions++
+		bc.stats.Misses++
+		return nil
+	}
+	bc.stats.Hits++
+	return b
+}
+
+// insert caches a freshly recorded block, replacing any previous
+// entry at the same address.
+func (bc *blockCache) insert(b *block, touched map[uint64]uint64) {
+	if old := bc.blocks[b.entry]; old != nil {
+		bc.evict(old)
+	}
+	b.pages = make([]uint64, 0, len(touched))
+	for pn := range touched {
+		b.pages = append(b.pages, pn)
+	}
+	sort.Slice(b.pages, func(i, j int) bool { return b.pages[i] < b.pages[j] })
+	b.gens = make([]uint64, len(b.pages))
+	for i, pn := range b.pages {
+		b.gens[i] = touched[pn]
+	}
+	bc.blocks[b.entry] = b
+	for _, pn := range b.pages {
+		bc.byPage[pn] = append(bc.byPage[pn], b)
+	}
+	bc.stats.Translations++
+}
+
+// evict removes b from both indexes and clears its valid flag so any
+// in-flight replay or chained superblock stops at the next
+// instruction boundary.
+func (bc *blockCache) evict(b *block) {
+	b.valid = false
+	if bc.blocks[b.entry] == b {
+		delete(bc.blocks, b.entry)
+	}
+	for _, pn := range b.pages {
+		list := bc.byPage[pn]
+		kept := list[:0]
+		for _, o := range list {
+			if o != b {
+				kept = append(kept, o)
+			}
+		}
+		if len(kept) == 0 {
+			delete(bc.byPage, pn)
+		} else {
+			bc.byPage[pn] = kept
+		}
+	}
+}
+
+// invalidatePage evicts every block whose fetch window touched pn —
+// the loud-write protocol step.
+func (bc *blockCache) invalidatePage(pn uint64) {
+	list := bc.byPage[pn]
+	if len(list) == 0 {
+		return
+	}
+	for _, b := range append([]*block(nil), list...) {
+		bc.evict(b)
+		bc.stats.PageFlushes++
+	}
+}
+
+// flushAll drops the entire cache — the layout-change protocol step.
+func (bc *blockCache) flushAll() {
+	for _, b := range bc.blocks {
+		b.valid = false
+	}
+	bc.blocks = map[uint64]*block{}
+	bc.byPage = map[uint64][]*block{}
+	bc.stats.LayoutFlush++
+}
+
+// BlockCacheStats returns a snapshot of this address space's
+// translation-cache counters.
+func (m *Memory) BlockCacheStats() BlockCacheStats {
+	if m.bc == nil {
+		return BlockCacheStats{}
+	}
+	s := m.bc.stats
+	s.Blocks = len(m.bc.blocks)
+	s.CachedInsts = 0
+	for _, b := range m.bc.blocks {
+		s.CachedInsts += len(b.insts)
+	}
+	return s
+}
+
+// BlockInfo describes one cached block for introspection (tests, the
+// fuzz harness, debugging).
+type BlockInfo struct {
+	Entry uint64
+	Addrs []uint64
+	Insts []isa.Inst
+	Pages []uint64
+}
+
+// CachedBlocks returns the currently cached blocks sorted by entry
+// address. Slices are copies; mutating them cannot corrupt the cache.
+func (m *Memory) CachedBlocks() []BlockInfo {
+	if m.bc == nil {
+		return nil
+	}
+	out := make([]BlockInfo, 0, len(m.bc.blocks))
+	for _, b := range m.bc.blocks {
+		bi := BlockInfo{
+			Entry: b.entry,
+			Addrs: make([]uint64, len(b.insts)),
+			Insts: make([]isa.Inst, len(b.insts)),
+			Pages: append([]uint64(nil), b.pages...),
+		}
+		for i := range b.insts {
+			bi.Addrs[i] = b.insts[i].addr
+			bi.Insts[i] = b.insts[i].in
+		}
+		out = append(out, bi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Entry < out[j].Entry })
+	return out
+}
+
+// BlockCacheStats aggregates the translation-cache counters across
+// every process on the machine.
+func (m *Machine) BlockCacheStats() BlockCacheStats {
+	var s BlockCacheStats
+	for _, p := range m.procs {
+		s.Add(p.mem.BlockCacheStats())
+	}
+	return s
+}
+
+// CacheDivergence records one lockstep-mode mismatch between a cached
+// decode and a fresh fetch+decode of the same address — evidence of a
+// stale cache (an invalidation protocol bug).
+type CacheDivergence struct {
+	PID    int
+	Addr   uint64
+	Detail string
+}
+
+func (d CacheDivergence) String() string {
+	return fmt.Sprintf("pid %d @%#x: %s", d.PID, d.Addr, d.Detail)
+}
+
+// maxCacheDivs bounds the stored divergence reports; the total count
+// keeps incrementing past the bound.
+const maxCacheDivs = 64
+
+// CacheDivergences returns the lockstep-mode divergences recorded so
+// far (nil when none — the state every test asserts).
+func (m *Machine) CacheDivergences() []CacheDivergence {
+	return append([]CacheDivergence(nil), m.cacheDivs...)
+}
+
+// CacheDivergenceCount returns the total number of lockstep
+// divergences observed, including any past the storage bound.
+func (m *Machine) CacheDivergenceCount() uint64 { return m.cacheDivTotal }
+
+func (m *Machine) recordCacheDiv(pid int, addr uint64, detail string) {
+	m.cacheDivTotal++
+	if len(m.cacheDivs) < maxCacheDivs {
+		m.cacheDivs = append(m.cacheDivs, CacheDivergence{PID: pid, Addr: addr, Detail: detail})
+	}
+}
+
+// verifyBlock is lockstep mode's dispatch-time oracle: re-fetch and
+// re-decode every cached instruction and compare against the cache.
+// On mismatch the divergence is recorded, the block evicted, and
+// false returned so the caller re-records from live bytes — the guest
+// never executes the stale decode.
+func (m *Machine) verifyBlock(p *Process, b *block) bool {
+	for i := range b.insts {
+		ci := &b.insts[i]
+		var in isa.Inst
+		code, err := p.mem.FetchGuest(ci.addr, maxInstLen)
+		if err == nil {
+			in, err = isa.Decode(code)
+		}
+		if err != nil || in != ci.in {
+			detail := fmt.Sprintf("cached %v, live decode %v", ci.in, in)
+			if err != nil {
+				detail = fmt.Sprintf("cached %v, live fetch/decode failed: %v", ci.in, err)
+			}
+			m.recordCacheDiv(p.pid, ci.addr, detail)
+			p.mem.bc.evict(b)
+			return false
+		}
+	}
+	return true
+}
+
+// terminator reports whether op ends a basic block: any control
+// transfer, trap, or syscall. (OpJMP is a terminator too — the
+// recorder special-cases it for superblock chaining.)
+func terminator(op isa.Opcode) bool {
+	switch op {
+	case isa.OpJMP, isa.OpJE, isa.OpJNE, isa.OpJL, isa.OpJG, isa.OpJLE, isa.OpJGE,
+		isa.OpJMPr, isa.OpCALL, isa.OpCALLr, isa.OpRET,
+		isa.OpSYS, isa.OpINT3, isa.OpHLT:
+		return true
+	}
+	return false
+}
+
+// runSliceTranslated executes up to limit instructions of p through
+// the block cache — the translating-engine counterpart of the
+// interpreter's inner loop in runRound. It charges the virtual clock
+// exactly as the interpreter does: one tick per step that the
+// interpreter would have counted (retired instructions AND
+// fetch/decode faults), nothing for a blocking syscall.
+func (m *Machine) runSliceTranslated(p *Process, limit uint64) uint64 {
+	if limit == 0 {
+		return 0
+	}
+	bc := p.mem.blockCacheOf()
+	var n uint64
+	for n < limit && !p.exited {
+		b := bc.lookup(p.mem, p.rip)
+		if b != nil && m.execMode == ModeLockstep && !m.verifyBlock(p, b) {
+			b = nil // evicted; fall through to re-record from live bytes
+		}
+		var charged uint64
+		var blocked bool
+		if b != nil {
+			charged, blocked = m.replay(p, b, limit-n)
+		} else {
+			charged, blocked = m.record(p, bc, limit-n)
+		}
+		n += charged
+		if blocked || charged == 0 {
+			break
+		}
+	}
+	return n
+}
+
+// replay executes a cached block through the shared exec1 core. It
+// stops — without error, execution simply continues at the next
+// dispatch — when the slice budget runs out, when control left the
+// recorded straight line (a fault handler, a re-faulting
+// instruction), when the block is evicted mid-flight (a store into
+// its own page), or when a syscall would block (uncharged, exactly
+// like the interpreter).
+func (m *Machine) replay(p *Process, b *block, limit uint64) (charged uint64, blocked bool) {
+	for i := range b.insts {
+		if charged >= limit || p.exited {
+			return charged, false
+		}
+		ci := &b.insts[i]
+		if p.rip != ci.addr {
+			return charged, false
+		}
+		if !m.exec1(p, ci.in, ci.addr) {
+			return charged, true
+		}
+		charged++
+		m.clock++
+		if !b.valid {
+			return charged, false
+		}
+	}
+	return charged, false
+}
+
+// record is translation: one interpreted execution (the ordinary
+// fetch→decode→exec1 path, with identical side effects and charging)
+// that remembers its decodes and caches the resulting block. The
+// fetch windows' page touches are recorded with their generation at
+// first touch, so a block whose bytes changed under it — even during
+// its own recording — can never validate.
+func (m *Machine) record(p *Process, bc *blockCache, limit uint64) (charged uint64, blocked bool) {
+	entry := p.rip
+	insts := make([]cachedInst, 0, 16)
+	touched := map[uint64]uint64{}
+	var seen map[uint64]bool // lazily allocated; only superblocks need it
+	layout := p.mem.layoutGen
+	finalize := func() {
+		if len(insts) > 0 {
+			bc.insert(&block{entry: entry, insts: insts, layout: layout, valid: true}, touched)
+		}
+	}
+	for charged < limit && !p.exited && len(insts) < maxBlockInsts {
+		addr := p.rip
+		code, err := p.mem.FetchGuest(addr, maxInstLen)
+		if err != nil {
+			m.fault(p, SIGSEGV, addr)
+			charged++
+			m.clock++
+			break
+		}
+		for pn := addr / PageSize; pn <= (addr+uint64(len(code))-1)/PageSize; pn++ {
+			if _, ok := touched[pn]; !ok {
+				touched[pn] = p.mem.gens[pn]
+			}
+		}
+		in, derr := isa.Decode(code)
+		if derr != nil {
+			m.fault(p, SIGSEGV, addr)
+			charged++
+			m.clock++
+			break
+		}
+		if !m.exec1(p, in, addr) {
+			// Blocking syscall: uncharged and unrecorded. The block
+			// ends just before it; the syscall re-runs (and is
+			// re-translated) when the process is next scheduled.
+			finalize()
+			return charged, true
+		}
+		charged++
+		m.clock++
+		insts = append(insts, cachedInst{addr: addr, in: in})
+		if in.Op == isa.OpJMP {
+			// Superblock chaining: follow the unconditional direct
+			// jump and keep recording — unless it loops back into
+			// this very block, which would unroll the loop.
+			if seen == nil {
+				seen = make(map[uint64]bool, len(insts)+1)
+				for i := range insts {
+					seen[insts[i].addr] = true
+				}
+			} else {
+				seen[addr] = true
+			}
+			if seen[p.rip] {
+				break
+			}
+			bc.stats.ChainedJumps++
+			continue
+		}
+		if seen != nil {
+			seen[addr] = true
+		}
+		if terminator(in.Op) {
+			break
+		}
+		if p.rip != addr+uint64(in.Size) {
+			// Execution faulted mid-straight-line and control went to
+			// a handler (or the process died): end the block here.
+			break
+		}
+	}
+	finalize()
+	return charged, false
+}

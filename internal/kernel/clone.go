@@ -17,9 +17,10 @@ package kernel
 // tick watchdog are left nil on the clone.
 func (m *Machine) Clone() *Machine {
 	c := &Machine{
-		procs:   make(map[int]*Process, len(m.procs)),
-		nextPID: m.nextPID,
-		clock:   m.clock,
+		procs:    make(map[int]*Process, len(m.procs)),
+		nextPID:  m.nextPID,
+		clock:    m.clock,
+		execMode: m.execMode,
 		net: &network{
 			listeners: make(map[uint16]*listener, len(m.net.listeners)),
 			conns:     make(map[uint64]*conn, len(m.net.conns)),
@@ -46,8 +47,8 @@ func (m *Machine) Clone() *Machine {
 		}
 		nc := &conn{
 			id: cn.id, port: cn.port,
-			a2b: append([]byte(nil), cn.a2b...),
-			b2a: append([]byte(nil), cn.b2a...),
+			a2b:     append([]byte(nil), cn.a2b...),
+			b2a:     append([]byte(nil), cn.b2a...),
 			aClosed: cn.aClosed, bClosed: cn.bClosed,
 		}
 		connMap[cn] = nc

@@ -10,17 +10,39 @@ const maxInstLen = 10
 // step executes one instruction of p. It returns false when the
 // process would block on a syscall (RIP unchanged, no clock charge).
 func (m *Machine) step(p *Process) bool {
+	in, ok := m.fetchDecode(p)
+	if !ok {
+		return true
+	}
+	return m.exec1(p, in, p.rip)
+}
+
+// fetchDecode performs the instruction fetch and decode at p.rip.
+// Both failure modes fault SIGSEGV exactly like executing unmapped or
+// undecodable bytes always has: the step is charged to the clock but
+// does not retire (p.insts unchanged).
+func (m *Machine) fetchDecode(p *Process) (isa.Inst, bool) {
 	code, err := p.mem.FetchGuest(p.rip, maxInstLen)
 	if err != nil {
 		m.fault(p, SIGSEGV, p.rip)
-		return true
+		return isa.Inst{}, false
 	}
 	in, err := isa.Decode(code)
 	if err != nil {
 		m.fault(p, SIGSEGV, p.rip)
-		return true
+		return isa.Inst{}, false
 	}
-	addr := p.rip
+	return in, true
+}
+
+// exec1 executes one already-decoded instruction located at addr
+// (== p.rip). It is the single semantic core shared by the
+// interpreter (which fetches and decodes every time) and the
+// block-cache engine (which replays pre-decoded instructions), so the
+// two execution modes cannot drift: ticks, dirty bits, trap ordering
+// and tracer callbacks all happen here. It returns false when the
+// process would block on a syscall (RIP unchanged, no clock charge).
+func (m *Machine) exec1(p *Process, in isa.Inst, addr uint64) bool {
 	next := addr + uint64(in.Size)
 
 	switch in.Op {

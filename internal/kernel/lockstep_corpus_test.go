@@ -1,0 +1,223 @@
+package kernel
+
+// The differential-execution corpus: every guest family the repo
+// ships (webserv in both lighttpd and nginx-worker shapes, kvstore,
+// and the SPEC-profile benchmarks) booted from instruction zero under
+// the lockstep harness, with seeded random request streams driven
+// identically into both machines. Zero divergence across the corpus
+// is the PR's acceptance gate for the translating engine.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/dynacut/dynacut/internal/apps/kvstore"
+	"github.com/dynacut/dynacut/internal/apps/specgen"
+	"github.com/dynacut/dynacut/internal/apps/webserv"
+	"github.com/dynacut/dynacut/internal/delf"
+)
+
+// newLockstepGuest loads exe+libs into a fresh machine and wraps it
+// in a lockstep pair, so even the first boot instruction executes
+// under both engines.
+func newLockstepGuest(t *testing.T, exe *delf.File, libs ...*delf.File) *Lockstep {
+	t.Helper()
+	m := NewMachine()
+	if _, err := m.Load(exe, libs...); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return NewLockstep(m, ModeLockstep)
+}
+
+// assertConverged fails the test on any recorded divergence.
+func assertConverged(t *testing.T, l *Lockstep) {
+	t.Helper()
+	if divs := l.Divergences(); len(divs) != 0 {
+		for _, d := range divs {
+			t.Errorf("%s", d)
+		}
+		t.Fatalf("%d divergence(s) between interpreter and block-cache engine", len(divs))
+	}
+}
+
+// runRounds advances both machines up to n rounds, stopping early
+// when both go idle. Fails fast on divergence so the report points at
+// the first bad round, not a cascade.
+func runRounds(t *testing.T, l *Lockstep, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		refN, txN := l.RunRound()
+		if len(l.Divergences()) != 0 {
+			assertConverged(t, l)
+		}
+		if refN == 0 && txN == 0 {
+			return
+		}
+	}
+}
+
+// lockstepRequest drives one request into both machines and asserts
+// the responses are byte-identical.
+func lockstepRequest(t *testing.T, l *Lockstep, port uint16, req string) {
+	t.Helper()
+	var conns []*HostConn
+	l.Do(func(m *Machine) {
+		c, err := m.Dial(port)
+		if err != nil {
+			t.Fatalf("dial %d: %v", port, err)
+		}
+		if _, err := c.Write([]byte(req)); err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	})
+	// Both machines idle at the same round by construction (any
+	// difference in progress is itself a reported divergence).
+	for i := 0; i < 4000; i++ {
+		l.RunRound()
+		if len(conns[0].ReadAllPeek()) > 0 && len(conns[1].ReadAllPeek()) > 0 {
+			break
+		}
+	}
+	runRounds(t, l, 50) // let the connection drain/close on both
+	ra, rb := conns[0].ReadAll(), conns[1].ReadAll()
+	if string(ra) != string(rb) {
+		t.Fatalf("response to %q diverged: interpreter %q, engine %q", req, ra, rb)
+	}
+	l.Do(func(*Machine) {}) // keep Do shape symmetric for readability
+	conns[0].Close()
+	conns[1].Close()
+}
+
+// bootToListener runs rounds until the guest's listener is up on both
+// machines.
+func bootToListener(t *testing.T, l *Lockstep, port uint16) {
+	t.Helper()
+	for i := 0; i < 20000; i++ {
+		l.RunRound()
+		if len(l.Divergences()) != 0 {
+			assertConverged(t, l)
+		}
+		_, errA := l.Ref.Dial(port)
+		_, errB := l.Tx.Dial(port)
+		if errA == nil && errB == nil {
+			// The probe dials above queued one embryo connection on
+			// each machine's backlog — symmetric on both, and the
+			// guests will accept-and-close them identically.
+			return
+		}
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("listener up on one machine only: ref=%v tx=%v", errA, errB)
+		}
+	}
+	t.Fatal("listener never came up")
+}
+
+// webservRequests builds a seeded random request stream mixing every
+// dispatchable method with junk.
+func webservRequests(seed int64, n int) []string {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		switch r.Intn(5) {
+		case 0:
+			out = append(out, fmt.Sprintf("%s /\n", webserv.Methods[r.Intn(len(webserv.Methods))]))
+		case 1:
+			out = append(out, fmt.Sprintf("PUT /f%d data%d\n", r.Intn(4), r.Intn(100)))
+		case 2:
+			out = append(out, fmt.Sprintf("GET /f%d\n", r.Intn(4)))
+		case 3:
+			out = append(out, "BREW /\n") // unknown method: 400 path
+		default:
+			out = append(out, fmt.Sprintf("DELETE /f%d\n", r.Intn(4)))
+		}
+	}
+	return out
+}
+
+// kvstoreRequests builds a seeded random command stream.
+func kvstoreRequests(seed int64, n int) []string {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%d", r.Intn(5))
+		switch r.Intn(4) {
+		case 0:
+			out = append(out, fmt.Sprintf("SET %s v%d\n", k, r.Intn(100)))
+		case 1:
+			out = append(out, fmt.Sprintf("GET %s\n", k))
+		case 2:
+			out = append(out, "PING\n")
+		default:
+			out = append(out, fmt.Sprintf("DEL %s\n", k))
+		}
+	}
+	return out
+}
+
+func TestLockstepCorpusWebserv(t *testing.T) {
+	for _, cfg := range []webserv.Config{
+		{Name: "lighttpd", Port: 8080},
+		{Name: "nginx", Port: 8081, Workers: 2},
+	} {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			app, err := webserv.Build(cfg)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			for seed := int64(1); seed <= 3; seed++ {
+				l := newLockstepGuest(t, app.Exe, app.Libc)
+				bootToListener(t, l, cfg.Port)
+				for _, req := range webservRequests(seed, 6) {
+					lockstepRequest(t, l, cfg.Port, req)
+				}
+				assertConverged(t, l)
+			}
+		})
+	}
+}
+
+func TestLockstepCorpusKvstore(t *testing.T) {
+	app, err := kvstore.Build(kvstore.Config{Name: "kvstore", Port: 6379})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		l := newLockstepGuest(t, app.Exe, app.Libc)
+		bootToListener(t, l, 6379)
+		for _, req := range kvstoreRequests(seed, 8) {
+			lockstepRequest(t, l, 6379, req)
+		}
+		assertConverged(t, l)
+	}
+}
+
+func TestLockstepCorpusSpec(t *testing.T) {
+	// The self-driving figure workloads: boot to completion under both
+	// engines. Two profiles keep the corpus representative (short
+	// functions + hot loops vs a deep call graph) without blowing up
+	// test time.
+	for _, name := range []string{"605.mcf_s", "631.deepsjeng_s"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prof, ok := specgen.ProfileByName(name)
+			if !ok {
+				t.Fatalf("no profile %s", name)
+			}
+			app, err := specgen.Build(prof)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			l := newLockstepGuest(t, app.Exe, app.Libc)
+			runRounds(t, l, 200000)
+			assertConverged(t, l)
+			pr := l.Ref.Processes()
+			pt := l.Tx.Processes()
+			if len(pr) != 0 || len(pt) != 0 {
+				t.Fatalf("guest did not finish: %d/%d live processes", len(pr), len(pt))
+			}
+		})
+	}
+}

@@ -72,6 +72,14 @@ type Machine struct {
 	obs       *obs.Observer
 	disk      map[string][]byte // serialized DELF files by name
 
+	// Execution engine selection (see bcache.go). ModeInterpret is the
+	// reference interpreter; ModeTranslate runs through the basic-block
+	// translation cache; ModeLockstep runs the cache with per-dispatch
+	// re-decode verification, logging any divergence below.
+	execMode      ExecMode
+	cacheDivs     []CacheDivergence
+	cacheDivTotal uint64
+
 	// Tick-progress watchdog: fn fires between scheduler rounds once
 	// the virtual clock has advanced by at least wdEvery ticks since
 	// the last firing. The callback may run the machine itself
@@ -101,6 +109,14 @@ var (
 
 // SetTracer installs (or removes, with nil) the coverage tracer.
 func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// SetExecMode selects the execution engine for subsequent runs. Safe
+// to switch between scheduler rounds; cached blocks persist across
+// switches (they are revalidated on every dispatch anyway).
+func (m *Machine) SetExecMode(mode ExecMode) { m.execMode = mode }
+
+// ExecMode returns the currently selected execution engine.
+func (m *Machine) ExecMode() ExecMode { return m.execMode }
 
 // SetNudgeFunc installs the nudge callback.
 func (m *Machine) SetNudgeFunc(f NudgeFunc) { m.nudge = f }
@@ -441,6 +457,14 @@ func (m *Machine) runRound(budget uint64) (executed uint64, ran bool) {
 	}
 	for _, pid := range pids {
 		p := m.procs[pid]
+		if m.execMode != ModeInterpret {
+			// Translating engine: the slice runs through the block
+			// cache. It charges m.clock internally (per instruction,
+			// so mid-slice clock reads observe the same values the
+			// interpreter would produce) and returns the charge.
+			executed += m.runSliceTranslated(p, minU64(64, budget-executed))
+			continue
+		}
 		for i := 0; i < 64 && executed < budget && !p.exited; i++ {
 			if !m.step(p) {
 				break // would block; move to next process

@@ -68,6 +68,20 @@ type Memory struct {
 	// their common pristine pages until they diverge. nil when nothing
 	// is shared.
 	cow map[uint64]struct{}
+
+	// Block-cache state (bcache.go). bc is the per-address-space
+	// basic-block translation cache, created lazily the first time the
+	// machine executes this memory in a translating mode; gens is the
+	// per-page mutation generation counter the cache validates against
+	// (allocated with bc, so pure-interpreter runs pay nothing); and
+	// layoutGen counts VMA-layout changes (Map/Unmap/Protect), any of
+	// which flushes the whole cache — instruction-fetch side effects
+	// depend on the mapping, not just the bytes. None of these fields
+	// are cloned: a clone starts with an empty cache and a zeroed
+	// generation space, which is trivially consistent.
+	bc        *blockCache
+	gens      map[uint64]uint64
+	layoutGen uint64
 }
 
 func newMemory() *Memory {
@@ -136,6 +150,56 @@ func (m *Memory) breakCoW(pn uint64) {
 // clone (diagnostics; the fleet dedup experiments read it).
 func (m *Memory) SharedPageCount() int { return len(m.cow) }
 
+// noteWrite records a loud mutation of page pn: the page's generation
+// advances and every cached block spanning the page is flushed
+// immediately, severing any superblock that chained through it. All
+// legitimate text-write channels funnel here — guest stores, live-
+// patch INT3 stores, attestation repairs, restore-path SetPage,
+// library injection — so a patched page can never execute stale
+// cached code, not even later in the same scheduler round.
+func (m *Memory) noteWrite(pn uint64) {
+	if m.gens != nil {
+		m.gens[pn]++
+	}
+	if m.bc != nil {
+		m.bc.invalidatePage(pn)
+	}
+}
+
+// noteSilentWrite advances pn's generation without flushing the cache:
+// the FlipBits channel. A silent bit flip bypasses every loud
+// bookkeeping path by design (no dirty bit, no trap), but the
+// translation cache would otherwise keep executing the pre-flip
+// decode — diverging from the interpreter, which fetches live bytes.
+// The generation bump makes the next dispatch of any block on the
+// page revalidate and re-translate, keeping flip semantics
+// byte-identical across execution modes while staying invisible to
+// the dirty bitmap.
+func (m *Memory) noteSilentWrite(pn uint64) {
+	if m.gens != nil {
+		m.gens[pn]++
+	}
+}
+
+// noteLayoutChange records a VMA-table change (Map/Unmap/Protect) and
+// flushes the entire block cache. Layout changes can alter fetch
+// behavior without touching any page contents — revoking execute
+// permission, unmapping a page a block's over-fetch window touched,
+// mapping fresh pages where a fetch previously stopped — so per-page
+// generations are not enough; every cached block is invalidated.
+func (m *Memory) noteLayoutChange() {
+	m.layoutGen++
+	if m.bc != nil {
+		m.bc.flushAll()
+	}
+}
+
+// TextGen returns the current mutation generation of page pn (zero
+// until the block cache exists and the page is first mutated). Tests
+// and the attestation layer use it to prove that a silent flip or a
+// repair advanced the counter the cache validates against.
+func (m *Memory) TextGen(pn uint64) uint64 { return m.gens[pn] }
+
 // VMAs returns a copy of the VMA table.
 func (m *Memory) VMAs() []VMA {
 	return append([]VMA(nil), m.vmas...)
@@ -165,6 +229,7 @@ func (m *Memory) Map(v VMA) error {
 	}
 	m.vmas = append(m.vmas, v)
 	sort.Slice(m.vmas, func(i, j int) bool { return m.vmas[i].Start < m.vmas[j].Start })
+	m.noteLayoutChange()
 	return nil
 }
 
@@ -201,7 +266,9 @@ func (m *Memory) Unmap(start, end uint64) error {
 		delete(m.pages, pn)
 		delete(m.dirty, pn)
 		delete(m.cow, pn)
+		m.noteSilentWrite(pn) // generation keeps advancing across unmap/remap
 	}
+	m.noteLayoutChange()
 	return nil
 }
 
@@ -239,6 +306,7 @@ func (m *Memory) Protect(start, end uint64, perm delf.Perm) error {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	m.vmas = out
+	m.noteLayoutChange()
 	return nil
 }
 
@@ -307,6 +375,7 @@ func (m *Memory) Write(addr uint64, b []byte) error {
 		m.breakCoW(pn)
 		pg := m.pages[pn]
 		m.dirty[pn] = struct{}{}
+		m.noteWrite(pn)
 		off := a % PageSize
 		done += copy(pg[off:], b[done:])
 	}
@@ -426,11 +495,25 @@ func (m *Memory) SetPage(pn uint64, data []byte) error {
 	m.pages[pn] = append([]byte(nil), data...)
 	m.dirty[pn] = struct{}{}
 	delete(m.cow, pn)
+	m.noteWrite(pn)
 	return nil
 }
 
 // DirtyPageCount reports how many pages are currently marked dirty.
 func (m *Memory) DirtyPageCount() int { return len(m.dirty) }
+
+// DirtyPages returns the sorted page numbers currently marked dirty
+// WITHOUT clearing the bitmap — the observation the lockstep oracle
+// diffs after every scheduler round (SnapshotDirty would perturb the
+// very state under comparison).
+func (m *Memory) DirtyPages() []uint64 {
+	out := make([]uint64, 0, len(m.dirty))
+	for pn := range m.dirty {
+		out = append(out, pn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // SnapshotDirty returns the sorted page numbers written since the
 // previous snapshot and clears the bitmap: the caller is taking a
